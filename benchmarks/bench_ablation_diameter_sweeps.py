@@ -1,0 +1,44 @@
+"""Ablation: iterations ``m`` of the approximate-diameter subroutine.
+
+The paper reports that the Egecioglu-Kalantari estimate ``r_m`` is "a
+good enough approximation even when m is small (e.g. 40)".  This bench
+measures the estimate's accuracy against the exact diameter as ``m``
+grows, and the wall-clock cost of the sweep.
+"""
+
+import numpy as np
+
+from repro.datasets.synthetic import labelme_like
+from repro.rptree.diameter import approximate_diameter
+
+
+def _exact_diameter(points):
+    sq = np.einsum("ij,ij->i", points, points)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * points @ points.T
+    return float(np.sqrt(max(d2.max(), 0.0)))
+
+
+def test_ablation_diameter_sweeps(benchmark, scale):
+    points = labelme_like(n_points=min(scale.n_train, 2000),
+                          dim=scale.dim, seed=scale.seed)
+    exact = _exact_diameter(points)
+
+    def run():
+        rows = []
+        for m in (1, 2, 5, 10, 20, 40):
+            est = approximate_diameter(points, m=m, seed=scale.seed)
+            rows.append((m, est, est / exact))
+        print(f"\nexact diameter: {exact:.4f}")
+        print(f"{'m':>4} {'estimate':>10} {'ratio':>7}")
+        for m, est, ratio in rows:
+            print(f"{m:>4} {est:>10.4f} {ratio:>7.4f}")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # m=40 must be within the EK lower-bound guarantee and close in practice.
+    final_ratio = rows[-1][2]
+    assert final_ratio >= 1.0 / np.sqrt(3.0) - 1e-9
+    assert final_ratio > 0.85
+    # The sequence is non-decreasing in m.
+    estimates = [r[1] for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(estimates, estimates[1:]))

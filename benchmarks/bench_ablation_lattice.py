@@ -1,0 +1,28 @@
+"""Ablation: Z^M vs E8 quantizer at matched selectivity.
+
+The paper's motivation for E8 (Section IV-B.2b): the Z^M cell is a poor
+sphere approximation in high dimensions, so its buckets contain worse
+neighbor candidates.  This bench runs Bi-level LSH under both quantizers
+over the same sweep and reports recall per unit selectivity.
+"""
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments.figures import _sweep
+from repro.experiments.workloads import make_workload
+
+
+def test_ablation_lattice(benchmark, scale):
+    workload = make_workload("labelme", scale)
+
+    def run():
+        zm = _sweep(workload, "bilevel", "zm", scale)
+        e8 = _sweep(workload, "bilevel", "e8", scale)
+        print(format_results_table(zm, title="-- bilevel Z^M --"))
+        print(format_results_table(e8, title="-- bilevel E8 --"))
+        return zm, e8
+
+    zm, e8 = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Both quantizers must trace rising selectivity->recall curves.
+    assert zm[-1].recall.mean >= zm[0].recall.mean
+    assert e8[-1].recall.mean >= e8[0].recall.mean
+    assert e8[-1].recall.mean > 0.02

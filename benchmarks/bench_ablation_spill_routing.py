@@ -1,0 +1,55 @@
+"""Ablation: spill routing (multi-group queries) vs the routing ceiling.
+
+EXPERIMENTS.md records that at reduced scale the level-1 routing loss —
+true neighbors living outside the query's RP-tree group — caps Bi-level
+recall and dominates its query-wise variance (Figs. 11/12 discussion).
+This bench quantifies that ceiling with
+:func:`repro.evaluation.diagnostics.routing_loss` and shows how querying
+the 1, 2 or 3 most plausible groups (``BiLevelConfig.multi_assign``)
+trades candidate budget for ceiling height.
+"""
+
+import numpy as np
+
+from repro.core.bilevel import BiLevelLSH
+from repro.evaluation.diagnostics import routing_loss
+from repro.evaluation.metrics import recall_ratio
+from repro.experiments.methods import method_spec
+from repro.experiments.workloads import make_workload
+
+
+def test_ablation_spill_routing(benchmark, scale):
+    workload = make_workload("labelme", scale)
+    width = workload.absolute_widths()[-1]
+    exact_ids, _ = workload.ground_truth.neighbors(scale.k)
+
+    def run():
+        rows = []
+        for spill in (1, 2, 3):
+            spec = method_spec("bilevel", width, n_tables=scale.n_tables,
+                               n_groups=scale.n_groups)
+            index = spec.factory(scale.seed)
+            index.config = index.config.with_(multi_assign=spill)
+            index.fit(workload.train)
+            ids, _, stats = index.query_batch(workload.queries, scale.k)
+            rec = float(recall_ratio(exact_ids, ids).mean())
+            sel = float(stats.n_candidates.mean() / workload.train.shape[0])
+            loss = float(routing_loss(index, workload.queries,
+                                      exact_ids).mean()) if spill == 1 else None
+            rows.append({"spill": spill, "recall": rec, "selectivity": sel,
+                         "routing_loss": loss})
+        print(f"\nrouting loss at spill=1 (ceiling on 1-recall): "
+              f"{rows[0]['routing_loss']:.3f}")
+        print(f"{'spill':>6} {'recall':>8} {'selectivity':>12}")
+        for r in rows:
+            print(f"{r['spill']:>6} {r['recall']:>8.4f} "
+                  f"{r['selectivity']:>12.4f}")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Spilling to more groups cannot lower recall and costs selectivity.
+    assert rows[1]["recall"] >= rows[0]["recall"] - 1e-9
+    assert rows[2]["recall"] >= rows[0]["recall"] - 1e-9
+    assert rows[2]["selectivity"] >= rows[0]["selectivity"]
+    # The measured routing loss is a real, nonzero effect at this scale.
+    assert 0.0 <= rows[0]["routing_loss"] <= 1.0

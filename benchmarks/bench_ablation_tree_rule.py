@@ -1,0 +1,31 @@
+"""Ablation: RP-tree *mean* vs *max* split rule in the first level.
+
+The paper states (Section IV-A.2) that the mean rule "computes better
+results in terms of recall ratio of the overall bi-level scheme" than the
+max rule.  This bench sweeps W for both rules and compares the recall per
+unit selectivity at matched operating points.
+"""
+
+from repro.evaluation.runner import format_results_table
+from repro.experiments.figures import _sweep
+from repro.experiments.workloads import make_workload
+
+
+def test_ablation_tree_rule(benchmark, scale):
+    workload = make_workload("labelme", scale)
+
+    def run():
+        mean_res = _sweep(workload, "bilevel", "zm", scale, tree_rule="mean")
+        max_res = _sweep(workload, "bilevel", "zm", scale, tree_rule="max")
+        print(format_results_table(mean_res, title="-- mean rule --"))
+        print(format_results_table(max_res, title="-- max rule --"))
+        return mean_res, max_res
+
+    mean_res, max_res = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def eff(results):
+        res = results[-1]
+        return res.recall.mean / max(res.selectivity.mean, 1e-9)
+
+    # Mean rule should be at least in the same league as max.
+    assert eff(mean_res) >= 0.7 * eff(max_res)

@@ -1,0 +1,25 @@
+"""Fig. 4: short-list search timing — CPU-lshkit vs CPU-shortlist vs GPU.
+
+Paper protocol: 100k train / 100k test, K=500, L=10, M=8, sweep W to vary
+the number of short-list candidates; compare a serial CPU pipeline, a GPU
+hash table with CPU short-list, and the full GPU pipeline.
+
+Expected shape: the full GPU pipeline is an order of magnitude (paper:
+~40x) faster than the serial CPU; the work-queue short-list beats the
+per-thread one by a further 2-5x at large k; the hybrid (parallel hash,
+serial short-list) gains only the hash-lookup time.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig04_gpu_shortlist(benchmark, scale):
+    fig4_scale = scale.with_(k=min(max(scale.k, 100), scale.n_train // 4),
+                             n_queries=min(scale.n_queries, 128))
+    rows = benchmark.pedantic(figures.fig04, args=(fig4_scale,),
+                              rounds=1, iterations=1)
+    # Shape assertions (who wins), not absolute numbers.
+    last = {mode: series[-1]["seconds"] for mode, series in rows.items()}
+    assert last["gpu_workqueue"] < last["cpu_lshkit"]
+    assert last["gpu"] < last["cpu_shortlist"]
+    assert last["cpu_shortlist"] <= last["cpu_lshkit"]

@@ -1,0 +1,45 @@
+"""Fig. 5: standard LSH vs Bi-level LSH on the Z^M lattice.
+
+Paper protocol: M=8, 16 first-level groups, L in {10, 20, 30}, sweep W;
+plot selectivity vs recall and selectivity vs error ratio with std
+ellipses over random projections.
+
+Expected shape: at matched selectivity (< ~0.4) Bi-level yields higher
+recall/error ratio; Bi-level's projection-wise deviations are smaller; at
+the same W Bi-level's selectivity is lower (finer per-group buckets).
+
+Both of the paper's corpora are represented (LabelMe-like and
+Tiny-Images-like synthetic workloads).
+"""
+
+import pytest
+
+from repro.evaluation.curves import (
+    compare_at_matched_selectivity,
+    shared_selectivity_range,
+)
+from repro.experiments import figures
+
+
+@pytest.mark.parametrize("workload", ["labelme", "tiny"])
+def test_fig05_standard_vs_bilevel_zm(benchmark, scale, workload):
+    l_values = (scale.n_tables,)
+    blocks = benchmark.pedantic(
+        figures.fig05, args=(scale,),
+        kwargs={"l_values": l_values, "workload_name": workload},
+        rounds=1, iterations=1)
+    std = blocks[f"standard[zm] L={l_values[0]}"]
+    bi = blocks[f"bilevel[zm] L={l_values[0]}"]
+    lo, hi = shared_selectivity_range(std, bi)
+    assert hi > 0, "sweep produced empty candidate sets everywhere"
+    # Paper: Bi-level wins at matched selectivity (slack for smoke scale).
+    advantage = compare_at_matched_selectivity(bi, std)
+    assert advantage >= -0.05
+    if workload == "labelme":
+        # Bi-level's projection-wise recall deviation is no larger at the
+        # widest operating point.  Asserted on the primary workload only:
+        # at smoke scale the std estimate comes from n_runs samples and the
+        # heavily imbalanced 'tiny' workload leaves too few points per
+        # group for it to be stable.
+        assert (bi[-1].recall.std_projections
+                <= std[-1].recall.std_projections + 0.02)

@@ -1,0 +1,22 @@
+"""Fig. 10: hierarchical standard vs hierarchical Bi-level LSH (E8).
+
+Same protocol as Fig. 9 with the E8 scaled-lattice hierarchy instead of
+the Morton curve.  Expected shape: mirrors Fig. 9 — Bi-level wins, and
+the hierarchy avoids the quality hit that E8 multi-probe shows in Fig. 8.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig10_hierarchy_e8(benchmark, scale):
+    l_values = (scale.n_tables,)
+    blocks = benchmark.pedantic(figures.fig10, args=(scale,),
+                                kwargs={"l_values": l_values},
+                                rounds=1, iterations=1)
+    std = blocks[f"standard+h[e8] L={l_values[0]}"]
+    bi = blocks[f"bilevel+h[e8] L={l_values[0]}"]
+    # As in Fig. 9, escalation gives every operating point a recall floor,
+    # flattening the curve instead of letting it rise from ~0.
+    assert bi[0].recall.mean > 0.2
+    assert bi[-1].recall.mean > 0.2
+    assert std[-1].recall.mean > 0.05

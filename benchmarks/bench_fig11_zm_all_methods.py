@@ -1,0 +1,26 @@
+"""Fig. 11: all six methods + query-caused variance (Z^M, L=20).
+
+Paper protocol: compare standard LSH, multiprobed LSH, standard LSH +
+Morton hierarchy, Bi-level LSH, multiprobed Bi-level LSH, Bi-level LSH +
+Morton hierarchy, reporting the deviation over queries.
+
+Expected shape: multiprobed Bi-level has the best recall; the
+hierarchical Bi-level variant has the smallest query-wise deviation of
+all six methods.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_all_methods_zm(benchmark, scale):
+    blocks = benchmark.pedantic(figures.fig11, args=(scale,),
+                                rounds=1, iterations=1)
+    assert len(blocks) == 6
+    last = {name: results[-1] for name, results in blocks.items()}
+    # Every method reaches non-trivial recall at the widest setting.
+    for name, res in last.items():
+        assert res.recall.mean > 0.02, name
+    # Hierarchical bilevel should not have a larger query-wise selectivity
+    # deviation than plain standard LSH (the variance-reduction claim).
+    assert (last["bilevel+h[zm]"].recall.std_queries
+            <= last["standard[zm]"].recall.std_queries + 0.15)

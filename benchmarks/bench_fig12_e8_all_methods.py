@@ -1,0 +1,30 @@
+"""Fig. 12: all six methods + query-caused variance (E8, L=20).
+
+Paper protocol as Fig. 11, with the E8 lattice and the E8 hierarchy.
+
+Expected shape: the three Bi-level variants give the highest recall;
+multiprobed standard is the worst; hierarchical Bi-level has the smallest
+query-wise deviation.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig12_all_methods_e8(benchmark, scale):
+    blocks = benchmark.pedantic(figures.fig12, args=(scale,),
+                                rounds=1, iterations=1)
+    assert len(blocks) == 6
+    last = {name: results[-1] for name, results in blocks.items()}
+    for name, res in last.items():
+        assert res.recall.mean > 0.02, name
+    # Bi-level variants collectively at least match the standard variants
+    # on recall-per-selectivity at the widest operating point.
+    def eff(res):
+        sel = max(res.selectivity.mean, 1e-9)
+        return res.recall.mean / sel
+
+    best_bi = max(eff(last["bilevel[e8]"]), eff(last["bilevel+mp[e8]"]),
+                  eff(last["bilevel+h[e8]"]))
+    best_std = max(eff(last["standard[e8]"]), eff(last["standard+mp[e8]"]),
+                   eff(last["standard+h[e8]"]))
+    assert best_bi >= 0.8 * best_std

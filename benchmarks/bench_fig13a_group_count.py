@@ -1,0 +1,27 @@
+"""Fig. 13a: Bi-level quality vs first-level group count (L=20).
+
+Paper protocol: groups in {1, 8, 16, 32, 64}, Z^M, sweep W.
+
+Expected shape: given the same selectivity, quality rises with the group
+count and the gain saturates after ~32 groups.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig13a_group_count(benchmark, scale):
+    group_counts = (1, 8, 16, 32)
+    blocks = benchmark.pedantic(
+        figures.fig13a, args=(scale,),
+        kwargs={"group_counts": group_counts}, rounds=1, iterations=1)
+    assert len(blocks) == len(group_counts)
+
+    # Recall per unit selectivity at the widest W: more groups should not
+    # hurt, and g=16 should beat g=1 (the no-partitioning baseline).
+    def eff(results):
+        res = results[-1]
+        return res.recall.mean / max(res.selectivity.mean, 1e-9)
+
+    assert eff(blocks["bilevel g=16"]) >= 0.9 * eff(blocks["bilevel g=1"])
+    for g in group_counts:
+        assert blocks[f"bilevel g={g}"][-1].recall.mean > 0.02

@@ -1,0 +1,32 @@
+"""Fig. 13b: Bi-level vs standard LSH for different code lengths M (L=20).
+
+Paper point: the Bi-level code ``(RPtree(v), H(v))`` is *better*, not just
+*longer* — Bi-level beats standard at every M, including when standard's
+M is larger than Bi-level's.
+
+Expected shape: at each M the Bi-level curve dominates; larger M lowers
+selectivity (finer codes) for both methods at fixed W.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig13b_hash_dim(benchmark, scale):
+    m_values = (4, 8, 12)
+    blocks = benchmark.pedantic(figures.fig13b, args=(scale,),
+                                kwargs={"m_values": m_values},
+                                rounds=1, iterations=1)
+    assert len(blocks) == 2 * len(m_values)
+
+    def eff(results):
+        res = results[-1]
+        return res.recall.mean / max(res.selectivity.mean, 1e-9)
+
+    # Bi-level at least comparable to standard at each M.
+    for m in m_values:
+        assert (eff(blocks[f"bilevel M={m}"])
+                >= 0.8 * eff(blocks[f"standard M={m}"])), m
+    # Larger M -> finer codes -> lower selectivity at the same widest W.
+    sel8 = blocks["standard M=8"][-1].selectivity.mean
+    sel4 = blocks["standard M=4"][-1].selectivity.mean
+    assert sel8 <= sel4 + 1e-6

@@ -1,0 +1,25 @@
+"""Fig. 13c: RP-tree vs K-means as the first-level partitioner (L=20).
+
+Paper point: with RP-tree in the first level, the Bi-level scheme's
+quality and deviation are better than with K-means.
+
+Expected shape: the RP-tree curve is at least as good as the K-means
+curve, with no larger projection-wise deviation.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig13c_rptree_vs_kmeans(benchmark, scale):
+    blocks = benchmark.pedantic(figures.fig13c, args=(scale,),
+                                rounds=1, iterations=1)
+    rp = blocks["bilevel (RP-tree)"]
+    km = blocks["bilevel (K-means)"]
+
+    def eff(results):
+        res = results[-1]
+        return res.recall.mean / max(res.selectivity.mean, 1e-9)
+
+    assert eff(rp) >= 0.8 * eff(km)
+    assert rp[-1].recall.mean > 0.02
+    assert km[-1].recall.mean > 0.02

@@ -1,0 +1,67 @@
+"""Motivation study (Section I): exact tree methods vs dimensionality.
+
+The paper's introduction motivates approximate LSH with the classic
+observation that space-partitioning exact methods "can be slower than the
+brute-force approach" once the dimensionality exceeds ~10 (Weber et al.,
+VLDB 1998).  This bench measures the distance evaluations per query of a
+Kd-tree (relative to brute force's ``n``) as the dimension grows, next to
+the selectivity a Bi-level LSH index needs for ~0.7 recall.
+
+Expected shape: Kd-tree pruning collapses from a few percent of the
+dataset at dim 2 to nearly the full dataset beyond dim ~16, while the
+approximate index keeps its candidate fraction flat.
+"""
+
+import numpy as np
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.evaluation.groundtruth import brute_force_knn
+from repro.evaluation.metrics import recall_ratio
+from repro.exact.kdtree import KDTree
+
+
+def test_motivation_exact_methods(benchmark, scale):
+    rng = np.random.default_rng(scale.seed)
+    n, nq, k = 3000, 50, 10
+    dims = (2, 4, 8, 16, 32, 64)
+
+    def run():
+        rows = []
+        for dim in dims:
+            data = rng.standard_normal((n, dim))
+            queries = rng.standard_normal((nq, dim))
+            tree = KDTree(leaf_size=16).fit(data)
+            tree.query(queries, k)
+            kd_fraction = tree.last_distance_evals / (nq * n)
+            # Bi-level LSH at a recall-calibrated width.
+            _, gt_d = brute_force_knn(data, queries, k)
+            width = 2.5 * float(np.median(gt_d[:, -1]))
+            index = BiLevelLSH(BiLevelConfig(
+                n_groups=8, n_tables=8, bucket_width=width,
+                seed=scale.seed)).fit(data)
+            ids, _, stats = index.query_batch(queries, k)
+            gt_ids, _ = brute_force_knn(data, queries, k)
+            rows.append({
+                "dim": dim,
+                "kdtree_fraction": kd_fraction,
+                "lsh_selectivity": float(stats.n_candidates.mean() / n),
+                "lsh_recall": float(recall_ratio(gt_ids, ids).mean()),
+            })
+        print(f"\n{'dim':>5} {'kd evals / n':>13} {'lsh select.':>12} "
+              f"{'lsh recall':>11}")
+        for r in rows:
+            print(f"{r['dim']:>5} {r['kdtree_fraction']:>13.3f} "
+                  f"{r['lsh_selectivity']:>12.4f} {r['lsh_recall']:>11.3f}")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_dim = {r["dim"]: r for r in rows}
+    # Kd-tree prunes hard in low dimension...
+    assert by_dim[2]["kdtree_fraction"] < 0.1
+    # ...and degenerates toward a (slow) brute force in high dimension.
+    assert by_dim[64]["kdtree_fraction"] > 0.5
+    # Monotone-ish collapse across the sweep.
+    assert by_dim[64]["kdtree_fraction"] > by_dim[4]["kdtree_fraction"]
+    # The approximate index keeps its candidate budget bounded throughout.
+    assert all(r["lsh_selectivity"] < 0.6 for r in rows)

@@ -1,0 +1,35 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one figure of the paper via the drivers in
+:mod:`repro.experiments.figures` and prints the same data series the
+figure plots.  The scale is selected with the ``REPRO_BENCH_SCALE``
+environment variable:
+
+- ``smoke``  (default) — minutes for the whole suite; directional shapes.
+- ``default``          — the library's standard reduced scale.
+- ``paper``            — the paper's full 100k/100k/k=500 protocol
+                          (days of pure-Python runtime; provided for
+                          completeness).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.workloads import Scale
+
+
+def _selected_scale() -> Scale:
+    choice = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    if choice == "paper":
+        return Scale.paper()
+    if choice == "default":
+        return Scale()
+    # Smoke: small but large enough that the figures' orderings are stable.
+    return Scale(n_train=2500, n_queries=150, dim=48, k=20, n_runs=2,
+                 n_tables=6, n_probes=16, widths=(0.75, 1.5, 3.0))
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return _selected_scale()

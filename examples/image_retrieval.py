@@ -1,0 +1,69 @@
+"""Image-retrieval scenario: GIST-like descriptors, LabelMe-style corpus.
+
+Reproduces the paper's motivating use case at reduced scale: a corpus of
+high-dimensional image descriptors with scene-level cluster structure, a
+large batch of query images, and a runtime budget (selectivity) under
+which different LSH variants are compared.
+
+Run:  python examples/image_retrieval.py
+"""
+
+import numpy as np
+
+from repro import BiLevelConfig, BiLevelLSH, StandardLSH
+from repro.datasets.synthetic import labelme_like, train_query_split
+from repro.evaluation.groundtruth import GroundTruth
+from repro.evaluation.metrics import error_ratio, recall_ratio, selectivity
+
+N_POINTS = 6000
+N_QUERIES = 400
+DIM = 128        # reduced from GIST-512 for example runtime
+K = 20
+WIDTH_MULTIPLier = 2.0
+
+
+def evaluate(name, index, train, queries, gt):
+    index.fit(train)
+    ids, dists, stats = index.query_batch(queries, K)
+    exact_ids, exact_dists = gt.neighbors(K)
+    rec = recall_ratio(exact_ids, ids).mean()
+    err = error_ratio(exact_dists, dists).mean()
+    sel = selectivity(stats.n_candidates, train.shape[0]).mean()
+    print(f"{name:<28} selectivity={sel:.4f} recall={rec:.3f} error={err:.3f}")
+    return sel, rec, err
+
+
+def main():
+    print(f"corpus: {N_POINTS} GIST-like descriptors, dim {DIM}; "
+          f"{N_QUERIES} queries; k={K}\n")
+    data = labelme_like(n_points=N_POINTS + N_QUERIES, dim=DIM, seed=7)
+    train, queries = train_query_split(data, N_QUERIES, seed=8)
+    gt = GroundTruth(train, queries, K)
+
+    # Pick W from the data scale: a multiple of the median kNN distance.
+    _, d = gt.neighbors(K)
+    width = WIDTH_MULTIPLier * float(np.median(d[:, -1]))
+    print(f"bucket width W = {width:.2f} "
+          f"({WIDTH_MULTIPLier}x median kNN distance)\n")
+
+    shared = dict(n_hashes=8, n_tables=10, bucket_width=width, seed=3)
+    evaluate("standard LSH", StandardLSH(**shared), train, queries, gt)
+    evaluate("multiprobe standard LSH",
+             StandardLSH(n_probes=32, **shared), train, queries, gt)
+
+    def bilevel(**kw):
+        return BiLevelLSH(BiLevelConfig(n_groups=16, **shared, **kw))
+
+    evaluate("Bi-level LSH", bilevel(), train, queries, gt)
+    evaluate("multiprobe Bi-level LSH", bilevel(n_probes=32),
+             train, queries, gt)
+    evaluate("hierarchical Bi-level LSH", bilevel(hierarchy=True),
+             train, queries, gt)
+
+    print("\nNote: at a matched selectivity budget the Bi-level variants "
+          "return more of the true neighbors per candidate scanned — the "
+          "paper's headline claim (Figs. 5-12).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Parameter tuning: the collision model behind per-group bucket widths.
+
+Demonstrates the Dong-et-al.-style model the Bi-level scheme uses for its
+second level (Section IV-B of the paper): fit recall/selectivity
+predictions from a small sample, pick the cheapest W meeting a recall
+target, and check the prediction against measured results.
+
+Run:  python examples/parameter_tuning.py
+"""
+
+import numpy as np
+
+from repro import StandardLSH, brute_force_knn
+from repro.datasets.synthetic import clustered_manifold, train_query_split
+from repro.evaluation.metrics import recall_ratio, selectivity
+from repro.lsh.params import CollisionModel, tune_bucket_width
+
+M, L, K = 8, 10, 10
+
+
+def measure(train, queries, width, seed=0):
+    index = StandardLSH(n_hashes=M, n_tables=L, bucket_width=width,
+                        seed=seed).fit(train)
+    ids, _, stats = index.query_batch(queries, K)
+    exact_ids, _ = brute_force_knn(train, queries, K)
+    return (recall_ratio(exact_ids, ids).mean(),
+            selectivity(stats.n_candidates, train.shape[0]).mean())
+
+
+def main():
+    data = clustered_manifold(n_points=5000, dim=48, n_clusters=10,
+                              intrinsic_dim=5, seed=21)
+    train, queries = train_query_split(data, 300, seed=22)
+
+    model = CollisionModel(train, k=K, sample_size=300, seed=23)
+    print("collision model fitted from a 300-point sample")
+    print(f"median kNN distance:  {np.median(model.knn_distances):.2f}")
+    print(f"median pair distance: {np.median(model.pair_distances):.2f}\n")
+
+    print(f"{'W':>8} {'recall (model)':>15} {'recall (meas.)':>15} "
+          f"{'select. (model)':>16} {'select. (meas.)':>16}")
+    ref = float(np.median(model.knn_distances))
+    for mult in (0.5, 1.0, 2.0, 4.0):
+        w = mult * ref
+        pred_rec = model.expected_recall(M, L, w)
+        pred_sel = model.expected_selectivity(M, L, w)
+        meas_rec, meas_sel = measure(train, queries, w)
+        print(f"{w:>8.2f} {pred_rec:>15.3f} {meas_rec:>15.3f} "
+              f"{pred_sel:>16.4f} {meas_sel:>16.4f}")
+
+    for target in (0.5, 0.8, 0.95):
+        params = tune_bucket_width(model, M, L, target_recall=target)
+        meas_rec, meas_sel = measure(train, queries, params.bucket_width)
+        print(f"\ntarget recall {target:.2f}: tuned W={params.bucket_width:.2f} "
+              f"(model recall {params.expected_recall:.3f}, "
+              f"model selectivity {params.expected_selectivity:.4f})")
+        print(f"  measured: recall={meas_rec:.3f} selectivity={meas_sel:.4f}")
+
+
+if __name__ == "__main__":
+    main()

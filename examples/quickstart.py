@@ -1,0 +1,55 @@
+"""Quickstart: build a Bi-level LSH index and run approximate KNN queries.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BiLevelConfig, BiLevelLSH, brute_force_knn
+from repro.datasets.synthetic import clustered_manifold, train_query_split
+from repro.evaluation.metrics import error_ratio, recall_ratio
+
+
+def main():
+    # 1. Data: a clustered, anisotropic feature set (a stand-in for image
+    #    descriptors such as GIST features).
+    data = clustered_manifold(n_points=6000, dim=64, n_clusters=16,
+                              intrinsic_dim=6, anisotropy=6.0, seed=0)
+    train, queries = train_query_split(data, n_queries=500, seed=1)
+    k = 10
+
+    # 2. Index: RP-tree first level (16 groups) + per-group LSH tables
+    #    with automatically tuned bucket widths.
+    config = BiLevelConfig(
+        n_groups=16,        # first-level RP-tree leaves
+        n_hashes=8,         # code length M
+        n_tables=10,        # independent tables L
+        tune_params=True,   # per-group bucket width via the collision model
+        target_recall=0.9,
+        seed=42,
+    )
+    index = BiLevelLSH(config).fit(train)
+    print(f"indexed {index.n_points} points in {index.n_groups_built} groups")
+    print(f"per-group bucket widths: "
+          f"min={min(index.group_widths):.2f} max={max(index.group_widths):.2f}")
+
+    # 3. Query: approximate k-nearest neighbors for the whole batch.
+    ids, dists, stats = index.query_batch(queries, k)
+    print(f"mean short-list size: {stats.n_candidates.mean():.1f} "
+          f"({100 * stats.n_candidates.mean() / train.shape[0]:.2f}% selectivity)")
+
+    # 4. Quality: compare against exact brute-force ground truth.
+    exact_ids, exact_dists = brute_force_knn(train, queries, k)
+    rec = recall_ratio(exact_ids, ids).mean()
+    err = error_ratio(exact_dists, dists).mean()
+    print(f"recall ratio: {rec:.3f}   error ratio: {err:.3f} "
+          f"(1.0 = exact)")
+
+    # 5. Single query usage.
+    one_ids, one_dists = index.query(queries[0], k=5)
+    print(f"top-5 for query 0: ids={one_ids.tolist()}")
+    print(f"               dists={np.round(one_dists, 3).tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,214 @@
+"""Command-line interface for building, querying and inspecting indexes.
+
+Usage (installed as ``repro-knn``, or ``python -m repro.cli``)::
+
+    repro-knn build  features.npy index.npz --groups 16 --tables 10 --tune
+    repro-knn query  index.npz queries.npy -k 10 --output results.npz
+    repro-knn info   index.npz
+    repro-knn bench  --figure fig05 --scale smoke
+    repro-knn synth  out.npy --preset labelme --n 10000
+
+Feature files are ``.npy`` matrices or raw binary (pass ``--dim`` and
+``--dtype``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _load_features(path: str, dim: Optional[int], dtype: str,
+                   mmap: bool) -> np.ndarray:
+    from repro.datasets.loaders import load_matrix
+
+    return load_matrix(path, dim=dim, dtype=dtype, mmap=mmap)
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.bilevel import BiLevelLSH
+    from repro.core.config import BiLevelConfig
+    from repro.core.outofcore import fit_bilevel_chunked
+    from repro.lsh.index import StandardLSH
+    from repro.persistence import save_index
+
+    data = _load_features(args.features, args.dim, args.dtype, args.mmap)
+    if args.index_type == "standard":
+        index = StandardLSH(n_hashes=args.hashes, n_tables=args.tables,
+                            bucket_width=args.width, lattice=args.lattice,
+                            n_probes=args.probes, hierarchy=args.hierarchy,
+                            seed=args.seed).fit(np.asarray(data, dtype=np.float64))
+    else:
+        config = BiLevelConfig(
+            n_groups=args.groups, n_hashes=args.hashes, n_tables=args.tables,
+            bucket_width=args.width, lattice=args.lattice,
+            n_probes=args.probes, hierarchy=args.hierarchy,
+            tune_params=args.tune, scale_widths=not args.tune,
+            seed=args.seed)
+        if args.mmap:
+            index = fit_bilevel_chunked(config, data,
+                                        sample_size=args.sample_size,
+                                        chunk_size=args.chunk_size)
+        else:
+            index = BiLevelLSH(config).fit(np.asarray(data, dtype=np.float64))
+    save_index(index, args.index)
+    n = data.shape[0]
+    print(f"indexed {n} points (dim {data.shape[1]}) -> {args.index}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.persistence import load_index
+
+    index = load_index(args.index)
+    queries = np.asarray(
+        _load_features(args.queries, args.dim, args.dtype, False),
+        dtype=np.float64)
+    ids, dists, stats = index.query_batch(queries, args.k)
+    if args.output:
+        np.savez(args.output, ids=ids, distances=dists,
+                 n_candidates=stats.n_candidates)
+        print(f"wrote {queries.shape[0]} results to {args.output}")
+    else:
+        for qi in range(min(queries.shape[0], args.show)):
+            pairs = ", ".join(f"{i}:{d:.4g}" for i, d in
+                              zip(ids[qi], dists[qi]) if i >= 0)
+            print(f"query {qi}: {pairs}")
+    sel = stats.n_candidates.mean() / max(index.n_points, 1)
+    print(f"mean short-list: {stats.n_candidates.mean():.1f} "
+          f"(selectivity {sel:.4f})")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.bilevel import BiLevelLSH
+    from repro.evaluation.diagnostics import bucket_statistics
+    from repro.persistence import load_index
+
+    index = load_index(args.index)
+    info = {"type": type(index).__name__, "n_points": index.n_points}
+    if isinstance(index, BiLevelLSH):
+        info["n_groups"] = index.n_groups_built
+        info["group_sizes"] = index.partitioner.leaf_sizes().tolist()
+        info["group_widths"] = [round(w, 4) for w in index.group_widths]
+        tables = index.group_indexes[0]._tables
+    else:
+        tables = getattr(index, "_tables", [])
+    if tables:
+        stats = bucket_statistics(tables[0])
+        info["table0_buckets"] = stats.n_buckets
+        info["table0_mean_bucket"] = round(stats.mean_size, 2)
+        info["table0_gini"] = round(stats.gini, 4)
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+    from repro.experiments.workloads import Scale
+
+    scale = {"smoke": Scale.smoke(), "default": Scale(),
+             "paper": Scale.paper()}[args.scale]
+    driver = getattr(figures, args.figure, None)
+    if driver is None:
+        names = [n for n in dir(figures) if n.startswith("fig")]
+        print(f"unknown figure {args.figure!r}; available: {names}",
+              file=sys.stderr)
+        return 2
+    driver(scale)
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import save_matrix
+    from repro.datasets.synthetic import labelme_like, tiny_like
+
+    maker = labelme_like if args.preset == "labelme" else tiny_like
+    kwargs = {}
+    if args.dim:
+        kwargs["dim"] = args.dim
+    data = maker(n_points=args.n, seed=args.seed, **kwargs)
+    save_matrix(args.output, data)
+    print(f"wrote {data.shape[0]} x {data.shape[1]} features to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-knn",
+        description="Bi-level LSH k-nearest-neighbor toolkit "
+                    "(Pan & Manocha, ICDE 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common_feat = argparse.ArgumentParser(add_help=False)
+    common_feat.add_argument("--dim", type=int, default=None,
+                             help="feature dim (raw binary files only)")
+    common_feat.add_argument("--dtype", default="float64",
+                             help="element dtype of raw binary files")
+
+    p = sub.add_parser("build", parents=[common_feat],
+                       help="build an index from a feature file")
+    p.add_argument("features")
+    p.add_argument("index")
+    p.add_argument("--index-type", choices=["bilevel", "standard"],
+                   default="bilevel")
+    p.add_argument("--groups", type=int, default=16)
+    p.add_argument("--hashes", type=int, default=8)
+    p.add_argument("--tables", type=int, default=10)
+    p.add_argument("--width", type=float, default=1.0)
+    p.add_argument("--lattice", choices=["zm", "e8", "dm"], default="zm")
+    p.add_argument("--probes", type=int, default=0)
+    p.add_argument("--hierarchy", action="store_true")
+    p.add_argument("--tune", action="store_true",
+                   help="tune per-group bucket widths (ignores --width)")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map the features and build out-of-core")
+    p.add_argument("--sample-size", type=int, default=4096)
+    p.add_argument("--chunk-size", type=int, default=8192)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", parents=[common_feat],
+                       help="answer KNN queries against a saved index")
+    p.add_argument("index")
+    p.add_argument("queries")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--output", default=None,
+                   help="write results to an .npz instead of printing")
+    p.add_argument("--show", type=int, default=5,
+                   help="queries to print when no --output is given")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("info", help="inspect a saved index")
+    p.add_argument("index")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("bench", help="run one paper-figure driver")
+    p.add_argument("--figure", default="fig05")
+    p.add_argument("--scale", choices=["smoke", "default", "paper"],
+                   default="smoke")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("synth", help="generate a synthetic feature file")
+    p.add_argument("output")
+    p.add_argument("--preset", choices=["labelme", "tiny"], default="labelme")
+    p.add_argument("--n", type=int, default=10_000)
+    p.add_argument("--dim", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_synth)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

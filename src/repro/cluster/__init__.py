@@ -1,0 +1,5 @@
+"""Alternative level-1 partitioners (baselines for the RP-tree)."""
+
+from repro.cluster.kmeans import KMeans, KMeansPartitioner
+
+__all__ = ["KMeans", "KMeansPartitioner"]

@@ -1,0 +1,178 @@
+"""Lloyd's K-means with k-means++ seeding.
+
+The paper compares the RP-tree level-1 partitioner against K-means
+(Fig. 13c) and argues RP-trees win on convergence guarantees, adaptation to
+intrinsic dimension, and insensitivity to initialization.  This module
+provides the K-means side of that comparison, plus a thin
+:class:`KMeansPartitioner` adapter exposing the same
+``fit`` / ``leaf_indices`` / ``assign`` interface as
+:class:`repro.rptree.tree.RPTree`, so :class:`~repro.core.bilevel.BiLevelLSH`
+can swap partitioners via a constructor flag.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import as_float_matrix, check_positive
+
+
+def _pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape ``(n_points, n_centers)``."""
+    p2 = np.einsum("ij,ij->i", points, points)
+    c2 = np.einsum("ij,ij->i", centers, centers)
+    d2 = p2[:, None] + c2[None, :] - 2.0 * (points @ centers.T)
+    return np.maximum(d2, 0.0)
+
+
+class KMeans:
+    """Lloyd iterations with k-means++ initialization.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    max_iter:
+        Cap on Lloyd iterations.
+    tol:
+        Relative center-shift threshold for early convergence.
+    seed:
+        Seed / generator for seeding and empty-cluster repair.
+    """
+
+    def __init__(self, n_clusters: int = 16, max_iter: int = 50,
+                 tol: float = 1e-6, seed: SeedLike = None):
+        check_positive(n_clusters, "n_clusters")
+        check_positive(max_iter, "max_iter")
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self._seed = seed
+        self.centers: Optional[np.ndarray] = None
+        self.labels: Optional[np.ndarray] = None
+        self.inertia: Optional[float] = None
+        self.n_iter: int = 0
+
+    def _init_centers(self, data: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centers by D^2 sampling."""
+        n = data.shape[0]
+        k = min(self.n_clusters, n)
+        centers = np.empty((k, data.shape[1]), dtype=np.float64)
+        first = int(rng.integers(n))
+        centers[0] = data[first]
+        closest_sq = _pairwise_sq_dists(data, centers[:1]).ravel()
+        for c in range(1, k):
+            total = closest_sq.sum()
+            if total <= 0:
+                idx = int(rng.integers(n))
+            else:
+                probs = closest_sq / total
+                idx = int(rng.choice(n, p=probs))
+            centers[c] = data[idx]
+            new_sq = _pairwise_sq_dists(data, centers[c:c + 1]).ravel()
+            np.minimum(closest_sq, new_sq, out=closest_sq)
+        return centers
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster ``data`` (shape ``(n, D)``)."""
+        data = as_float_matrix(data)
+        n = data.shape[0]
+        rng = ensure_rng(self._seed)
+        centers = self._init_centers(data, rng)
+        k = centers.shape[0]
+        labels = np.zeros(n, dtype=np.int64)
+        for iteration in range(self.max_iter):
+            d2 = _pairwise_sq_dists(data, centers)
+            labels = np.argmin(d2, axis=1)
+            new_centers = centers.copy()
+            for c in range(k):
+                members = data[labels == c]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its current center (standard repair).
+                    far = int(np.argmax(np.min(d2, axis=1)))
+                    new_centers[c] = data[far]
+                else:
+                    new_centers[c] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            scale = float(np.linalg.norm(centers)) or 1.0
+            centers = new_centers
+            self.n_iter = iteration + 1
+            if shift / scale < self.tol:
+                break
+        self.centers = centers
+        self.labels = labels
+        self.inertia = float(np.min(_pairwise_sq_dists(data, centers), axis=1).sum())
+        return self
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Nearest-center label for each query row."""
+        if self.centers is None:
+            raise RuntimeError("KMeans is not fitted; call fit(data) first")
+        queries = as_float_matrix(queries, name="queries")
+        return np.argmin(_pairwise_sq_dists(queries, self.centers), axis=1)
+
+
+class KMeansPartitioner:
+    """RP-tree-compatible adapter around :class:`KMeans`.
+
+    Exposes ``fit(data)``, ``leaf_indices()``, ``assign(queries)``,
+    ``assign_one(query)``, ``n_leaves`` and ``leaf_sizes()`` so Bi-level
+    LSH can use K-means as its first level (the Fig. 13c baseline).
+    """
+
+    def __init__(self, n_groups: int = 16, max_iter: int = 50,
+                 seed: SeedLike = None):
+        self.n_groups = int(n_groups)
+        self._kmeans = KMeans(n_clusters=n_groups, max_iter=max_iter, seed=seed)
+        self._leaf_indices: Optional[List[np.ndarray]] = None
+
+    def fit(self, data: np.ndarray) -> "KMeansPartitioner":
+        self._kmeans.fit(data)
+        labels = self._kmeans.labels
+        k = self._kmeans.centers.shape[0]
+        groups = [np.nonzero(labels == c)[0].astype(np.int64) for c in range(k)]
+        # Drop empty groups so leaf indices stay dense, remapping labels.
+        self._leaf_indices = [g for g in groups if g.size > 0]
+        nonempty = [c for c, g in enumerate(groups) if g.size > 0]
+        self._center_subset = self._kmeans.centers[nonempty]
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._leaf_indices is None:
+            raise RuntimeError("partitioner is not fitted; call fit(data) first")
+
+    @property
+    def n_leaves(self) -> int:
+        self._check_fitted()
+        return len(self._leaf_indices)
+
+    def leaf_indices(self) -> List[np.ndarray]:
+        self._check_fitted()
+        return self._leaf_indices
+
+    def leaf_sizes(self) -> np.ndarray:
+        self._check_fitted()
+        return np.array([g.size for g in self._leaf_indices], dtype=np.int64)
+
+    def assign(self, queries: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        return np.argmin(_pairwise_sq_dists(queries, self._center_subset), axis=1)
+
+    def assign_one(self, query: np.ndarray) -> int:
+        return int(self.assign(np.atleast_2d(query))[0])
+
+    def assign_multi(self, queries: np.ndarray, n_leaves: int) -> List[np.ndarray]:
+        """The ``n_leaves`` nearest clusters per query (spill routing)."""
+        self._check_fitted()
+        if n_leaves <= 0:
+            raise ValueError(f"n_leaves must be positive, got {n_leaves}")
+        queries = as_float_matrix(queries, name="queries")
+        d2 = _pairwise_sq_dists(queries, self._center_subset)
+        take = min(n_leaves, d2.shape[1])
+        order = np.argsort(d2, axis=1)[:, :take]
+        return [row.astype(np.int64) for row in order]

@@ -1,0 +1,6 @@
+"""The paper's primary contribution: the Bi-level LSH index."""
+
+from repro.core.config import BiLevelConfig
+from repro.core.bilevel import BiLevelLSH
+
+__all__ = ["BiLevelConfig", "BiLevelLSH"]

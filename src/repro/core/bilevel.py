@@ -1,0 +1,304 @@
+"""Bi-level LSH (Sections III-IV of the paper).
+
+The index composes the two levels:
+
+1. a first-level partitioner (RP-tree, or K-means for the baseline) splits
+   the dataset into ``g`` groups;
+2. each group gets its own single-level LSH index
+   (:class:`repro.lsh.index.StandardLSH`) over the group's points, with the
+   group's own (optionally tuned) bucket width.
+
+The conceptual Bi-level code ``H~(v) = (RPtree(v), H(v))`` is realized by
+routing: the group index selects which per-group index is consulted, which
+is exactly equivalent to prefixing the LSH code with the leaf id and storing
+everything in one table (the paper's GPU layout does the latter; the
+:mod:`repro.gpu` module reproduces that single-table form).
+
+A query first descends the tree to its group, then runs the group's LSH
+query (standard / multi-probe / hierarchical, ``Z^M`` or ``E8`` — every
+variant evaluated in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeansPartitioner
+from repro.core.config import BiLevelConfig
+from repro.lsh.index import QueryStats, StandardLSH
+from repro.lsh.params import CollisionModel, tune_bucket_width
+from repro.rptree.tree import RPTree
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import as_float_matrix, check_k
+
+
+class BiLevelLSH:
+    """The Bi-level LSH index.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.BiLevelConfig`; defaults reproduce the
+        paper's main setting (RP-tree mean rule, 16 groups, M=8, ``Z^M``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import BiLevelLSH, BiLevelConfig
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.standard_normal((500, 32))
+    >>> index = BiLevelLSH(BiLevelConfig(n_groups=4, bucket_width=4.0, seed=0))
+    >>> index.fit(data)                                   # doctest: +ELLIPSIS
+    BiLevelLSH(...)
+    >>> ids, dists = index.query(data[0], k=3)
+    >>> int(ids[0])
+    0
+    """
+
+    def __init__(self, config: Optional[BiLevelConfig] = None):
+        self.config = config if config is not None else BiLevelConfig()
+        self.partitioner = None
+        self.group_indexes: List[StandardLSH] = []
+        self.group_widths: List[float] = []
+        self._data: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fit
+
+    def _make_partitioner(self, seed):
+        cfg = self.config
+        if cfg.partitioner == "kmeans":
+            return KMeansPartitioner(n_groups=cfg.n_groups, seed=seed)
+        return RPTree(n_groups=cfg.n_groups, rule=cfg.tree_rule,
+                      diameter_sweeps=cfg.diameter_sweeps, seed=seed)
+
+    def fit(self, data: np.ndarray) -> "BiLevelLSH":
+        """Partition ``data`` and build one LSH index per group."""
+        data = as_float_matrix(data)
+        cfg = self.config
+        # One RNG stream for the partitioner, one per group index, one for
+        # the tuner samples — all derived from the master seed.
+        rngs = spawn_rngs(cfg.seed, cfg.n_groups + 2)
+        tree_rng, tuner_rng, group_rngs = rngs[0], rngs[1], rngs[2:]
+        if cfg.tree_seed is not None:
+            tree_rng = cfg.tree_seed
+        self.partitioner = self._make_partitioner(tree_rng)
+        self.partitioner.fit(data)
+        self._data = data
+        self.group_indexes = []
+        self.group_widths = []
+        scale_factors = (self._width_scales(data, tuner_rng)
+                         if cfg.scale_widths and not cfg.tune_params else None)
+        for g, indices in enumerate(self.partitioner.leaf_indices()):
+            group_data = data[indices]
+            width = cfg.bucket_width
+            if cfg.tune_params and group_data.shape[0] > 1:
+                model = CollisionModel(group_data, k=cfg.tuner_k,
+                                       sample_size=cfg.tuner_sample_size,
+                                       seed=tuner_rng)
+                params = tune_bucket_width(model, cfg.n_hashes, cfg.n_tables,
+                                           target_recall=cfg.target_recall)
+                width = params.bucket_width
+            elif scale_factors is not None:
+                width = cfg.bucket_width * scale_factors[g]
+            index = StandardLSH(n_hashes=cfg.n_hashes, n_tables=cfg.n_tables,
+                                bucket_width=width, lattice=cfg.lattice,
+                                n_probes=cfg.n_probes, hierarchy=cfg.hierarchy,
+                                adaptive_probing=cfg.adaptive_probing,
+                                probe_confidence=cfg.probe_confidence,
+                                seed=group_rngs[g % len(group_rngs)])
+            index.fit(group_data, ids=indices)
+            self.group_indexes.append(index)
+            self.group_widths.append(width)
+        return self
+
+    def _width_scales(self, data: np.ndarray, rng) -> np.ndarray:
+        """Per-group width multipliers from each group's distance scale.
+
+        Each group's scale is its median sampled kNN distance, normalized
+        by the across-group median so a sweep of the base ``W`` keeps its
+        meaning; factors are clamped to [1/4, 4] to stay in the sweep's
+        regime.
+        """
+        cfg = self.config
+        medians = []
+        for indices in self.partitioner.leaf_indices():
+            group_data = data[indices]
+            if group_data.shape[0] < 2:
+                medians.append(np.nan)
+                continue
+            model = CollisionModel(group_data, k=cfg.tuner_k,
+                                   sample_size=min(cfg.tuner_sample_size, 64),
+                                   seed=rng)
+            medians.append(float(np.median(model.knn_distances)))
+        medians = np.array(medians, dtype=np.float64)
+        valid = medians[np.isfinite(medians) & (medians > 0)]
+        reference = float(np.median(valid)) if valid.size else 1.0
+        if reference <= 0:
+            reference = 1.0
+        factors = medians / reference
+        factors[~np.isfinite(factors) | (factors <= 0)] = 1.0
+        return np.clip(factors, 0.25, 4.0)
+
+    def _check_fitted(self) -> None:
+        if self._data is None:
+            raise RuntimeError("index is not fitted; call fit(data) first")
+
+    @property
+    def n_points(self) -> int:
+        self._check_fitted()
+        return self._data.shape[0]
+
+    @property
+    def n_groups_built(self) -> int:
+        """Actual number of groups (may be below ``config.n_groups`` for tiny data)."""
+        self._check_fitted()
+        return len(self.group_indexes)
+
+    # -------------------------------------------------------------- updates
+
+    def insert(self, points: np.ndarray) -> np.ndarray:
+        """Add points to a fitted index; returns their (global) ids.
+
+        New points are routed down the existing first-level partition —
+        the tree is *not* re-split, matching the static-preprocessing role
+        it plays in the paper — and inserted into their group's LSH
+        tables, which rebuild automatically when their overlay grows.
+        """
+        self._check_fitted()
+        points = as_float_matrix(points, name="points")
+        if points.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"points have dim {points.shape[1]}, index has dim "
+                f"{self._data.shape[1]}")
+        start = self._data.shape[0]
+        new_ids = np.arange(start, start + points.shape[0], dtype=np.int64)
+        self._data = np.vstack([self._data, points])
+        groups = self.partitioner.assign(points)
+        for g, index in enumerate(self.group_indexes):
+            rows = np.nonzero(groups == g)[0]
+            if rows.size:
+                index.insert(points[rows], ids=new_ids[rows])
+        return new_ids
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Remove points by global id; returns how many were found."""
+        self._check_fitted()
+        return sum(index.delete(ids) for index in self.group_indexes)
+
+    # ---------------------------------------------------------------- query
+
+    def query(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """KNN for one query vector; returns ``(ids, distances)``."""
+        ids, dists, _ = self.query_batch(np.atleast_2d(query), k)
+        return ids[0], dists[0]
+
+    def query_batch(self, queries: np.ndarray, k: int,
+                    hierarchy_threshold: Union[str, int] = "median",
+                    ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """KNN for a batch; see :meth:`StandardLSH.query_batch`.
+
+        Queries are routed to their first-level group and answered by the
+        group's LSH index.  With ``hierarchy=True`` the median short-list
+        threshold is computed *within each group's* query sub-batch — the
+        per-group analogue of the paper's global median rule, consistent
+        with the scheme's per-group adaptivity.
+        """
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        k = check_k(k)
+        nq = queries.shape[0]
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        n_candidates = np.zeros(nq, dtype=np.int64)
+        escalated = np.zeros(nq, dtype=bool)
+        spill = min(self.config.multi_assign, len(self.group_indexes))
+        if spill <= 1:
+            groups = self.partitioner.assign(queries)
+            membership = [(g, np.nonzero(groups == g)[0])
+                          for g in range(len(self.group_indexes))]
+        else:
+            multi = self.partitioner.assign_multi(queries, spill)
+            per_group = [[] for _ in self.group_indexes]
+            for qi, leaves in enumerate(multi):
+                for g in leaves:
+                    per_group[g].append(qi)
+            membership = [(g, np.asarray(rows, dtype=np.int64))
+                          for g, rows in enumerate(per_group)]
+        for g, rows in membership:
+            if rows.size == 0:
+                continue
+            index = self.group_indexes[g]
+            ids_g, dists_g, stats_g = index.query_batch(
+                queries[rows], k, hierarchy_threshold=hierarchy_threshold)
+            if spill <= 1:
+                ids_out[rows] = ids_g
+                dists_out[rows] = dists_g
+                n_candidates[rows] = stats_g.n_candidates
+                escalated[rows] = stats_g.escalated
+            else:
+                for local, qi in enumerate(rows):
+                    self._merge_topk(ids_out, dists_out, qi,
+                                     ids_g[local], dists_g[local], k)
+                    n_candidates[qi] += stats_g.n_candidates[local]
+                    escalated[qi] |= bool(stats_g.escalated[local])
+        return ids_out, dists_out, QueryStats(n_candidates, escalated)
+
+    @staticmethod
+    def _merge_topk(ids_out: np.ndarray, dists_out: np.ndarray, qi: int,
+                    new_ids: np.ndarray, new_dists: np.ndarray, k: int) -> None:
+        """Merge a group's top-k into the query's running top-k (in place)."""
+        valid = new_ids >= 0
+        ids = np.concatenate([ids_out[qi][ids_out[qi] >= 0], new_ids[valid]])
+        dists = np.concatenate([dists_out[qi][ids_out[qi] >= 0],
+                                new_dists[valid]])
+        if ids.size == 0:
+            return
+        ids, first = np.unique(ids, return_index=True)
+        dists = dists[first]
+        order = np.argsort(dists, kind="stable")[:k]
+        ids_out[qi] = -1
+        dists_out[qi] = np.inf
+        ids_out[qi, :order.size] = ids[order]
+        dists_out[qi, :order.size] = dists[order]
+
+    def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
+        """Raw per-query candidate id sets (before short-list ranking)."""
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        groups = self.partitioner.assign(queries)
+        out: List[np.ndarray] = [np.empty(0, dtype=np.int64)] * queries.shape[0]
+        for g, index in enumerate(self.group_indexes):
+            rows = np.nonzero(groups == g)[0]
+            if rows.size == 0:
+                continue
+            sets_g = index.candidate_sets(queries[rows])
+            for local, row in enumerate(rows):
+                out[row] = sets_g[local]
+        return out
+
+    def bilevel_codes(self, data: np.ndarray) -> np.ndarray:
+        """The explicit Bi-level codes ``(group, H(v))`` for table 0.
+
+        Exposed mainly for the GPU single-table layout and for tests; shape
+        is ``(n, 1 + code_dim)`` with the group index in column 0.
+        """
+        self._check_fitted()
+        data = as_float_matrix(data)
+        groups = self.partitioner.assign(data)
+        first = self.group_indexes[0]
+        code_dim = first._lattice.code_dim
+        out = np.zeros((data.shape[0], 1 + code_dim), dtype=np.int64)
+        out[:, 0] = groups
+        for g, index in enumerate(self.group_indexes):
+            rows = np.nonzero(groups == g)[0]
+            if rows.size == 0:
+                continue
+            proj = index._families[0].project(data[rows])
+            out[rows, 1:] = index._lattice.quantize(proj)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fitted = "fitted" if self._data is not None else "unfitted"
+        return f"BiLevelLSH({self.config!r}, {fitted})"

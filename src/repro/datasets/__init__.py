@@ -1,0 +1,29 @@
+"""Datasets for the experiments.
+
+The paper evaluates on GIST descriptors of the LabelMe (dim 512) and Tiny
+Images (dim 384) collections.  Neither corpus is redistributable here, so
+:mod:`repro.datasets.synthetic` generates feature sets with the three
+distributional properties the paper's analysis depends on — clustering,
+low intrinsic dimension, and anisotropy — and
+:mod:`repro.datasets.loaders` handles on-disk matrices for users who have
+real feature files.
+"""
+
+from repro.datasets.synthetic import (
+    DatasetSpec,
+    clustered_manifold,
+    labelme_like,
+    tiny_like,
+    train_query_split,
+)
+from repro.datasets.loaders import load_matrix, save_matrix
+
+__all__ = [
+    "DatasetSpec",
+    "clustered_manifold",
+    "labelme_like",
+    "tiny_like",
+    "train_query_split",
+    "load_matrix",
+    "save_matrix",
+]

@@ -1,0 +1,66 @@
+"""On-disk feature matrices.
+
+Users with real descriptor files (e.g. GIST features extracted from
+LabelMe or Tiny Images) can store them as ``.npy`` or raw float32/float64
+binary and load them here, optionally memory-mapped so datasets larger
+than RAM still work for sequential scans.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_positive
+
+
+def save_matrix(path: str, data: np.ndarray) -> None:
+    """Save a 2-D float matrix to ``path`` (``.npy`` format)."""
+    data = as_float_matrix(data)
+    np.save(path, data)
+
+
+def load_matrix(path: str, dim: Optional[int] = None,
+                dtype: str = "float64", mmap: bool = False) -> np.ndarray:
+    """Load a 2-D feature matrix from disk.
+
+    Parameters
+    ----------
+    path:
+        ``.npy`` file, or a raw binary file of ``dtype`` values (in which
+        case ``dim`` is required to infer the row count).
+    dim:
+        Feature dimension for raw binary files.
+    dtype:
+        Element dtype of raw binary files.
+    mmap:
+        Memory-map instead of loading into RAM.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array (or memmap) of shape ``(n, dim)``.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    if path.endswith(".npy"):
+        arr = np.load(path, mmap_mode="r" if mmap else None)
+        if arr.ndim != 2:
+            raise ValueError(f"{path} holds a {arr.ndim}-D array, expected 2-D")
+        return arr
+    if dim is None:
+        raise ValueError("dim is required for raw binary files")
+    check_positive(dim, "dim")
+    dt = np.dtype(dtype)
+    size = os.path.getsize(path)
+    item = dt.itemsize * dim
+    if size % item != 0:
+        raise ValueError(
+            f"{path} has {size} bytes, not a multiple of {item} "
+            f"(dim={dim}, dtype={dtype})")
+    n = size // item
+    if mmap:
+        return np.memmap(path, dtype=dt, mode="r", shape=(n, dim))
+    return np.fromfile(path, dtype=dt).reshape(n, dim)

@@ -1,0 +1,36 @@
+"""Evaluation harness: ground truth, metrics, variance decomposition, sweeps.
+
+Implements the paper's measurement protocol (Section VI-B): recall ratio
+(Eq. (3)), error ratio (Eq. (4)) and selectivity (Eq. (5)), each evaluated
+over repeated runs with fresh random projections so that both the
+projection-wise standard deviation (``Std_r1 E_r2``) and the query-wise
+standard deviation (``Std_r2 E_r1``) can be reported.
+"""
+
+from repro.evaluation.groundtruth import GroundTruth, brute_force_knn
+from repro.evaluation.metrics import error_ratio, recall_ratio, selectivity
+from repro.evaluation.variance import VarianceSummary, decompose_variance
+from repro.evaluation.runner import (
+    ExperimentResult,
+    MethodSpec,
+    RunMeasurement,
+    evaluate_index,
+    run_method,
+    sweep_bucket_width,
+)
+
+__all__ = [
+    "GroundTruth",
+    "brute_force_knn",
+    "error_ratio",
+    "recall_ratio",
+    "selectivity",
+    "VarianceSummary",
+    "decompose_variance",
+    "ExperimentResult",
+    "MethodSpec",
+    "RunMeasurement",
+    "evaluate_index",
+    "run_method",
+    "sweep_bucket_width",
+]

@@ -1,0 +1,97 @@
+"""Selectivity-recall curve utilities.
+
+The paper's figures all plot quality against *selectivity* — the
+machine-independent runtime proxy — so comparing two methods fairly means
+comparing their curves at a *matched* selectivity, not at a matched
+bucket width (the same W puts different methods at different operating
+points).  This module centralizes that logic for the benchmark
+assertions, EXPERIMENTS.md and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.runner import ExperimentResult
+
+
+def selectivity_quality_curve(results: Sequence[ExperimentResult],
+                              metric: str = "recall",
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted (selectivity, quality) points of one method's sweep.
+
+    ``metric`` is ``'recall'`` or ``'error'``.
+    """
+    if metric not in ("recall", "error"):
+        raise ValueError(f"metric must be 'recall' or 'error', got {metric!r}")
+    sel = np.array([r.selectivity.mean for r in results], dtype=np.float64)
+    qual = np.array([getattr(r, metric).mean for r in results],
+                    dtype=np.float64)
+    order = np.argsort(sel)
+    return sel[order], qual[order]
+
+
+def quality_at_selectivity(results: Sequence[ExperimentResult],
+                           target: float, metric: str = "recall") -> float:
+    """Linear interpolation of the method's quality at ``target`` selectivity.
+
+    Targets outside the measured range clamp to the curve's endpoints
+    (``numpy.interp`` semantics), so callers should pick targets inside
+    the shared range — see :func:`shared_selectivity_range`.
+    """
+    sel, qual = selectivity_quality_curve(results, metric)
+    return float(np.interp(target, sel, qual))
+
+
+def shared_selectivity_range(*sweeps: Sequence[ExperimentResult],
+                             ) -> Tuple[float, float]:
+    """Overlap of the selectivity ranges of several sweeps.
+
+    Returns ``(lo, hi)``; ``hi <= lo`` means the sweeps do not overlap and
+    no fair matched-selectivity comparison exists in the measured data.
+    """
+    if not sweeps:
+        raise ValueError("at least one sweep is required")
+    lo = max(min(r.selectivity.mean for r in sweep) for sweep in sweeps)
+    hi = min(max(r.selectivity.mean for r in sweep) for sweep in sweeps)
+    return float(lo), float(hi)
+
+
+def compare_at_matched_selectivity(a: Sequence[ExperimentResult],
+                                   b: Sequence[ExperimentResult],
+                                   metric: str = "recall",
+                                   n_points: int = 5) -> float:
+    """Mean quality advantage of sweep ``a`` over sweep ``b``.
+
+    Evaluates both curves at ``n_points`` selectivities spread over their
+    shared range and returns the mean of ``quality_a - quality_b`` —
+    positive means ``a`` dominates.  Returns ``nan`` when the sweeps'
+    selectivity ranges do not overlap.
+    """
+    lo, hi = shared_selectivity_range(a, b)
+    if hi <= lo:
+        return float("nan")
+    targets = np.linspace(lo, hi, n_points)
+    diffs = [quality_at_selectivity(a, t, metric)
+             - quality_at_selectivity(b, t, metric) for t in targets]
+    return float(np.mean(diffs))
+
+
+def area_under_curve(results: Sequence[ExperimentResult],
+                     metric: str = "recall",
+                     max_selectivity: float = 0.4) -> float:
+    """Trapezoidal area under the selectivity-quality curve.
+
+    Clipped at ``max_selectivity`` (the paper notes only selectivities
+    below ~0.4 are practically interesting — beyond that brute force is
+    competitive).  A scalar summary of "quality per candidate budget".
+    """
+    sel, qual = selectivity_quality_curve(results, metric)
+    mask = sel <= max_selectivity
+    sel, qual = sel[mask], qual[mask]
+    if sel.size < 2:
+        return 0.0
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(qual, sel))

@@ -1,0 +1,149 @@
+"""Index and partition diagnostics.
+
+Tools for inspecting *why* the Bi-level scheme behaves as it does:
+
+- :func:`aspect_ratio` / :func:`partition_roundness` quantify the paper's
+  central geometric claim (Section IV-A.3, Fig. 2): RP-tree leaves have
+  bounded aspect ratio, which is what makes a single bucket width work
+  for all projection directions inside a leaf.
+- :func:`bucket_statistics` summarizes the bucket-size distribution of an
+  LSH table (skew drives short-list imbalance — the motivation for the
+  GPU work-queue design).
+- :func:`routing_loss` measures the fraction of true k-nearest neighbors
+  a query loses *solely* because they live outside its level-1 group —
+  the quantity that caps Bi-level recall and dominates its query-wise
+  variance at small scale (see EXPERIMENTS.md, Figs. 11/12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix
+
+
+def aspect_ratio(points: np.ndarray) -> float:
+    """Singular-value aspect ratio of a point set (1.0 = perfectly round).
+
+    Computed as the ratio of the largest to smallest non-negligible
+    singular value of the centered data; degenerate sets (rank < 2 or
+    fewer than 3 points) return ``inf``.
+    """
+    points = as_float_matrix(points, name="points")
+    if points.shape[0] < 3:
+        return float("inf")
+    centered = points - points.mean(axis=0)
+    s = np.linalg.svd(centered, compute_uv=False)
+    tol = s[0] * 1e-9 if s.size and s[0] > 0 else 0.0
+    significant = s[s > tol]
+    if significant.size < 2:
+        return float("inf")
+    return float(significant[0] / significant[-1])
+
+
+def partition_roundness(data: np.ndarray,
+                        leaf_indices: Sequence[np.ndarray]) -> np.ndarray:
+    """Aspect ratio of each partition cell (lower = rounder).
+
+    Pass ``RPTree.leaf_indices()`` (or the K-means adapter's) to compare
+    partitioners; the paper's claim is that RP-tree max-rule cells have
+    *bounded* aspect ratio, so their distribution should be tighter than
+    both the unpartitioned dataset's and K-means cells'.
+    """
+    data = as_float_matrix(data)
+    out = np.empty(len(leaf_indices), dtype=np.float64)
+    for i, idx in enumerate(leaf_indices):
+        out[i] = aspect_ratio(data[np.asarray(idx, dtype=np.int64)])
+    return out
+
+
+@dataclass(frozen=True)
+class BucketStatistics:
+    """Summary of one LSH table's bucket-size distribution."""
+
+    n_buckets: int
+    n_points: int
+    mean_size: float
+    max_size: int
+    gini: float
+
+    @property
+    def occupancy(self) -> float:
+        """Average points per bucket relative to a uniform spread."""
+        return self.mean_size
+
+
+def _gini(sizes: np.ndarray) -> float:
+    """Gini coefficient of a non-negative size distribution (0 = even)."""
+    sizes = np.sort(np.asarray(sizes, dtype=np.float64))
+    n = sizes.size
+    total = sizes.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * sizes) / (n * total)) - (n + 1) / n)
+
+
+def bucket_statistics(table) -> BucketStatistics:
+    """Summarize a :class:`~repro.lsh.table.LSHTable`'s bucket sizes."""
+    sizes = table.bucket_sizes()
+    return BucketStatistics(
+        n_buckets=int(sizes.size),
+        n_points=int(sizes.sum()),
+        mean_size=float(sizes.mean()) if sizes.size else 0.0,
+        max_size=int(sizes.max()) if sizes.size else 0,
+        gini=_gini(sizes),
+    )
+
+
+def routing_loss(index, queries: np.ndarray, exact_ids: np.ndarray) -> np.ndarray:
+    """Fraction of each query's true neighbors outside its level-1 group.
+
+    Parameters
+    ----------
+    index:
+        A fitted :class:`~repro.core.bilevel.BiLevelLSH`.
+    queries:
+        ``(q, D)`` query batch.
+    exact_ids:
+        ``(q, k)`` exact neighbor ids (from the ground truth).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(q,)`` loss values in ``[0, 1]``; this is a hard ceiling on
+        ``1 - recall`` no matter how wide the second-level buckets are.
+    """
+    queries = as_float_matrix(queries, name="queries")
+    exact_ids = np.atleast_2d(np.asarray(exact_ids, dtype=np.int64))
+    groups = index.partitioner.assign(queries)
+    # Map every training point to its group once.
+    n = index.n_points
+    point_group = np.empty(n, dtype=np.int64)
+    for g, idx in enumerate(index.partitioner.leaf_indices()):
+        point_group[idx] = g
+    q, k = exact_ids.shape
+    out = np.empty(q, dtype=np.float64)
+    for qi in range(q):
+        neighbor_groups = point_group[exact_ids[qi]]
+        out[qi] = float(np.mean(neighbor_groups != groups[qi]))
+    return out
+
+
+def escalation_report(stats) -> dict:
+    """Summarize a :class:`~repro.lsh.index.QueryStats` escalation pass."""
+    return {
+        "n_queries": int(stats.escalated.size),
+        "n_escalated": int(stats.escalated.sum()),
+        "escalated_fraction": float(stats.escalated.mean())
+        if stats.escalated.size else 0.0,
+        "candidates_mean": float(stats.n_candidates.mean())
+        if stats.n_candidates.size else 0.0,
+        "candidates_min": int(stats.n_candidates.min())
+        if stats.n_candidates.size else 0,
+        "candidates_max": int(stats.n_candidates.max())
+        if stats.n_candidates.size else 0,
+    }

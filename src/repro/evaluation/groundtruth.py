@@ -1,0 +1,93 @@
+"""Exact k-nearest-neighbor ground truth via brute force.
+
+The recall and error metrics compare approximate results against the exact
+neighbor set ``N(v)`` "computed using any exact k-nearest neighbor
+approach" (Section II-A).  Brute force is ``O(n)`` per query — the very
+cost LSH exists to avoid — but it is the gold standard, so the evaluation
+harness computes it once per (train, query) pair and caches it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_k
+
+
+def brute_force_knn(data: np.ndarray, queries: np.ndarray, k: int,
+                    block_size: int = 1024) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact KNN by blocked distance computation.
+
+    Parameters
+    ----------
+    data:
+        Indexed points ``(n, D)``.
+    queries:
+        Query points ``(q, D)``.
+    k:
+        Neighborhood size (``k <= n``).
+    block_size:
+        Queries processed per block, bounding peak memory at
+        ``block_size * n`` floats.
+
+    Returns
+    -------
+    ids, distances:
+        Both ``(q, k)``; rows sorted by ascending distance (ties broken by
+        id for determinism).
+    """
+    data = as_float_matrix(data)
+    queries = as_float_matrix(queries, name="queries")
+    if data.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"dim mismatch: data {data.shape[1]}, queries {queries.shape[1]}")
+    n = data.shape[0]
+    k = check_k(k, n)
+    q = queries.shape[0]
+    ids = np.empty((q, k), dtype=np.int64)
+    dists = np.empty((q, k), dtype=np.float64)
+    data_sq = np.einsum("ij,ij->i", data, data)
+    for start in range(0, q, block_size):
+        stop = min(start + block_size, q)
+        block = queries[start:stop]
+        block_sq = np.einsum("ij,ij->i", block, block)
+        d2 = block_sq[:, None] + data_sq[None, :] - 2.0 * (block @ data.T)
+        np.maximum(d2, 0.0, out=d2)
+        if k < n:
+            part = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            part = np.tile(np.arange(n), (stop - start, 1))
+        rows = np.arange(stop - start)[:, None]
+        part_d = d2[rows, part]
+        order = np.lexsort((part, part_d), axis=1)
+        sorted_ids = part[rows, order]
+        ids[start:stop] = sorted_ids
+        dists[start:stop] = np.sqrt(d2[rows, sorted_ids])
+    return ids, dists
+
+
+class GroundTruth:
+    """Cached exact KNN for one (train, query) pair.
+
+    Computes the exact neighbors once for the largest ``k`` requested and
+    serves any smaller ``k`` by slicing.
+    """
+
+    def __init__(self, data: np.ndarray, queries: np.ndarray, k: int):
+        self.data = as_float_matrix(data)
+        self.queries = as_float_matrix(queries, name="queries")
+        self.k = check_k(k, self.data.shape[0])
+        self._ids: Optional[np.ndarray] = None
+        self._dists: Optional[np.ndarray] = None
+
+    def _ensure(self) -> None:
+        if self._ids is None:
+            self._ids, self._dists = brute_force_knn(self.data, self.queries, self.k)
+
+    def neighbors(self, k: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact ``(ids, distances)`` for the first ``k`` neighbors."""
+        self._ensure()
+        k = self.k if k is None else check_k(k, self.k)
+        return self._ids[:, :k], self._dists[:, :k]

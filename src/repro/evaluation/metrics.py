@@ -1,0 +1,80 @@
+"""Quality and cost metrics for approximate KNN (Section II-A).
+
+Three metrics, one per equation of the paper:
+
+- **recall ratio** (Eq. (3)): fraction of the exact neighbors present in
+  the returned set;
+- **error ratio** (Eq. (4)): mean, over ranks ``i``, of the ratio between
+  the distance to the exact ``i``-th neighbor and the distance to the
+  returned ``i``-th neighbor (1.0 means distance-perfect results);
+- **selectivity** (Eq. (5)): short-list size as a fraction of the dataset
+  — a machine-independent proxy for the short-list search cost, since
+  selecting ``k`` best among ``|A(v)|`` candidates is ``O(|A(v)| + k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def recall_ratio(exact_ids: np.ndarray, returned_ids: np.ndarray) -> np.ndarray:
+    """Per-query recall ``|N(v) ∩ I(v)| / |N(v)|``.
+
+    Parameters
+    ----------
+    exact_ids:
+        ``(q, k)`` exact neighbor ids.
+    returned_ids:
+        ``(q, k')`` returned ids; entries ``< 0`` mark padding and never
+        match.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(q,)`` recall values in ``[0, 1]``.
+    """
+    exact_ids = np.atleast_2d(np.asarray(exact_ids, dtype=np.int64))
+    returned_ids = np.atleast_2d(np.asarray(returned_ids, dtype=np.int64))
+    if exact_ids.shape[0] != returned_ids.shape[0]:
+        raise ValueError("exact and returned id arrays disagree on query count")
+    q, k = exact_ids.shape
+    out = np.empty(q, dtype=np.float64)
+    for i in range(q):
+        valid = returned_ids[i][returned_ids[i] >= 0]
+        out[i] = np.isin(exact_ids[i], valid, assume_unique=False).sum() / k
+    return out
+
+
+def error_ratio(exact_dists: np.ndarray, returned_dists: np.ndarray) -> np.ndarray:
+    """Per-query error ratio (Eq. (4)): mean of exact/returned distances.
+
+    Both inputs are ``(q, k)`` rank-sorted distance arrays.  Ranks where
+    the returned distance is infinite (padding) contribute 0 — the worst
+    possible score — and ranks where both distances are zero contribute 1.
+    Values lie in ``[0, 1]``; 1.0 means the returned neighbors are exactly
+    as close as the true ones.
+    """
+    exact = np.atleast_2d(np.asarray(exact_dists, dtype=np.float64))
+    returned = np.atleast_2d(np.asarray(returned_dists, dtype=np.float64))
+    if exact.shape != returned.shape:
+        raise ValueError(
+            f"shape mismatch: exact {exact.shape}, returned {returned.shape}")
+    ratio = np.zeros_like(exact)
+    finite = np.isfinite(returned)
+    pos = finite & (returned > 0)
+    ratio[pos] = exact[pos] / returned[pos]
+    both_zero = finite & (returned == 0) & (exact == 0)
+    ratio[both_zero] = 1.0
+    np.clip(ratio, 0.0, 1.0, out=ratio)
+    return ratio.mean(axis=1)
+
+
+def selectivity(n_candidates: np.ndarray, dataset_size: int) -> np.ndarray:
+    """Per-query selectivity ``tau(v) = |A(v)| / |S|`` (Eq. (5))."""
+    check_positive(dataset_size, "dataset_size")
+    counts = np.asarray(n_candidates, dtype=np.float64)
+    if np.any(counts < 0):
+        raise ValueError("candidate counts must be non-negative")
+    return counts / float(dataset_size)

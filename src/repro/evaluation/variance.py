@@ -1,0 +1,59 @@
+"""Variance decomposition over random projections and queries.
+
+The paper's experiments (Section VI-B.2) treat every measurement as a
+random variable of two sources of randomness: ``r1``, the randomly drawn
+projections (a fresh seed per repetition), and ``r2``, the query identity.
+Two standard deviations are reported:
+
+- ``Std_r1(E_r2(.))`` — deviation *across repetitions* of the per-run mean:
+  how much does re-rolling the projections move the average result?  This
+  is the ellipse radius in Figs. 5-10.
+- ``Std_r2(E_r1(.))`` — deviation *across queries* of the per-query mean
+  over repetitions: how unevenly does the method treat different queries?
+  This is the error bar in Figs. 11-12.
+
+Both are estimated from a ``(n_runs, n_queries)`` measurement matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VarianceSummary:
+    """Mean and the two deviations of one metric.
+
+    Attributes
+    ----------
+    mean:
+        Grand mean ``E_{r1,r2}``.
+    std_projections:
+        ``Std_r1(E_r2)`` — deviation caused by random projections.
+    std_queries:
+        ``Std_r2(E_r1)`` — deviation caused by query identity.
+    """
+
+    mean: float
+    std_projections: float
+    std_queries: float
+
+
+def decompose_variance(matrix: np.ndarray) -> VarianceSummary:
+    """Decompose a ``(n_runs, n_queries)`` measurement matrix.
+
+    Rows index repetitions with independent random projections (``r1``),
+    columns index queries (``r2``).
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got ndim={matrix.ndim}")
+    per_run_mean = matrix.mean(axis=1)    # E_r2 for each r1
+    per_query_mean = matrix.mean(axis=0)  # E_r1 for each r2
+    return VarianceSummary(
+        mean=float(matrix.mean()),
+        std_projections=float(per_run_mean.std(ddof=0)),
+        std_queries=float(per_query_mean.std(ddof=0)),
+    )

@@ -1,0 +1,223 @@
+"""Cover tree for exact k-nearest-neighbor search.
+
+The cover tree (Beygelzimer, Kakade & Langford, ICML 2006 — the paper's
+reference [2]) organizes points into nested *levels*: a node at level
+``i`` covers descendants within radius ``2^i``, and nodes at the same
+level are pairwise more than ``2^i`` apart.  Queries descend level by
+level, keeping exactly the cover-set nodes that could still contain one
+of the k nearest neighbors.
+
+This implementation uses the standard simplified insertion algorithm:
+
+- a node is a (point, level) pair; children live at ``level - 1``;
+- ``insert`` descends while some candidate covers the point, attaching it
+  one level below the deepest cover;
+- ``query`` maintains a candidate cover set ``Q_i`` and the running k-th
+  best distance ``d_k``; a child survives iff
+  ``d(q, child) <= d_k + 2^i`` (its subtree reaches within ``d_k``).
+
+Distance evaluations are counted (``last_distance_evals``) for the
+curse-of-dimensionality benchmark: in high dimension the survival test
+prunes almost nothing and the scan approaches brute force, which is the
+behaviour the paper's introduction leans on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_k
+
+
+class _Node:
+    __slots__ = ("row", "level", "children")
+
+    def __init__(self, row: int, level: int):
+        self.row = row
+        self.level = level
+        self.children: List["_Node"] = []
+
+
+class CoverTree:
+    """Cover tree over Euclidean points with exact KNN queries."""
+
+    def __init__(self):
+        self._data: Optional[np.ndarray] = None
+        self._root: Optional[_Node] = None
+        self.last_distance_evals = 0
+
+    # ------------------------------------------------------------------ fit
+
+    def _dist(self, row: int, q: np.ndarray) -> float:
+        self.last_distance_evals += 1
+        diff = self._data[row] - q
+        return float(math.sqrt(diff @ diff))
+
+    def fit(self, data: np.ndarray) -> "CoverTree":
+        """Build the tree by repeated insertion."""
+        data = as_float_matrix(data)
+        self._data = data
+        self._root = None
+        self._cached_min_level = None
+        self.last_distance_evals = 0
+        for row in range(data.shape[0]):
+            self._insert(row)
+        return self
+
+    def _insert(self, row: int) -> None:
+        point = self._data[row]
+        if self._root is None:
+            self._root = _Node(row, level=0)
+            return
+        d_root = self._dist(self._root.row, point)
+        if d_root == 0.0:
+            # Duplicate point: attach directly below the matching node.
+            self._root.children.append(_Node(row, self._root.level - 1))
+            return
+        # Raise the root level until it covers the new point.
+        needed = int(math.ceil(math.log2(d_root))) if d_root > 0 else 0
+        if needed > self._root.level:
+            self._root.level = needed
+        if not self._insert_rec([(self._root, d_root)], point, row,
+                                self._root.level):
+            # Not covered even at the root level (shouldn't happen after
+            # raising it); raise once more and attach to the root.
+            self._root.level += 1
+            self._root.children.append(_Node(row, self._root.level - 1))
+
+    def _insert_rec(self, cover: List[Tuple[_Node, float]], point: np.ndarray,
+                    row: int, level: int) -> bool:
+        """Insert below the cover set ``Q_level``; True on success."""
+        # Exact duplicate: attach directly, no further descent.
+        nearest, d_near = min(cover, key=lambda t: t[1])
+        if d_near == 0.0:
+            nearest.children.append(_Node(row, nearest.level - 1))
+            return True
+        radius = 2.0 ** level
+        # Q_{level-1}: children of the cover set at level - 1 (the cover
+        # nodes act as their own implicit self-children), kept if within
+        # the level's radius.
+        next_cover: List[Tuple[_Node, float]] = []
+        for node, d in cover:
+            if d <= radius:
+                next_cover.append((node, d))
+            for child in node.children:
+                if child.level == level - 1:
+                    dc = self._dist(child.row, point)
+                    if dc <= radius:
+                        next_cover.append((child, dc))
+        if next_cover and self._insert_rec(next_cover, point, row, level - 1):
+            return True
+        # No deeper parent: attach under a Q_level node within the radius,
+        # as a child at level - 1 (BKL's attach step — the parent is drawn
+        # from Q_level, which guarantees d <= 2^(child.level + 1)).
+        if d_near <= radius:
+            nearest.children.append(_Node(row, level - 1))
+            return True
+        return False
+
+    # ---------------------------------------------------------------- query
+
+    def _check_fitted(self) -> None:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit(data) first")
+
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact KNN; returns ``(ids, distances)`` of shape ``(q, k)``."""
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        if queries.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"queries have dim {queries.shape[1]}, tree has dim "
+                f"{self._data.shape[1]}")
+        k = check_k(k, self._data.shape[0])
+        nq = queries.shape[0]
+        ids = np.empty((nq, k), dtype=np.int64)
+        dists = np.empty((nq, k), dtype=np.float64)
+        self.last_distance_evals = 0
+        for qi in range(nq):
+            ids[qi], dists[qi] = self._query_one(queries[qi], k)
+        return ids, dists
+
+    def _query_one(self, q: np.ndarray, k: int):
+        root_d = self._dist(self._root.row, q)
+        cover: Dict[int, float] = {id(self._root): root_d}
+        nodes: Dict[int, _Node] = {id(self._root): self._root}
+        # Track distances of every point met (rows can appear once as a
+        # node; duplicates resolved by the dict).
+        met: Dict[int, float] = {self._root.row: root_d}
+        level = self._root.level
+        while cover:
+            radius = 2.0 ** level
+            # Expand children at this level.
+            expanded: Dict[int, float] = dict(cover)
+            for key in list(cover):
+                node = nodes[key]
+                for child in node.children:
+                    if child.level == level - 1 and id(child) not in expanded:
+                        d = met.get(child.row)
+                        if d is None:
+                            d = self._dist(child.row, q)
+                            met[child.row] = d
+                        expanded[id(child)] = d
+                        nodes[id(child)] = child
+            # k-th best distance among everything met so far.
+            best = sorted(met.values())
+            d_k = best[min(k, len(best)) - 1]
+            # Prune: with the attachment rule d(parent, child@j) <= 2^(j+1),
+            # a cover node's remaining subtree reaches at most 2^(level+2)
+            # below it, so keep nodes with d <= d_k + 4 * radius (a safe,
+            # slightly loose bound — looseness costs evaluations, never
+            # correctness).
+            cover = {key: d for key, d in expanded.items()
+                     if d <= d_k + 4.0 * radius}
+            level -= 1
+            if level < self._min_child_level():
+                # Below the deepest explicit level nothing remains.
+                break
+        pairs = sorted((d, row) for row, d in met.items())[:k]
+        ids = np.full(k, -1, dtype=np.int64)
+        dists = np.full(k, np.inf)
+        for rank, (d, row) in enumerate(pairs):
+            ids[rank] = row
+            dists[rank] = d
+        return ids, dists
+
+    def _min_child_level(self) -> int:
+        """Smallest level of any explicit node (cached after fit)."""
+        if not hasattr(self, "_cached_min_level") or self._cached_min_level is None:
+            lo = self._root.level
+
+            def visit(node: _Node):
+                nonlocal lo
+                lo = min(lo, node.level)
+                for child in node.children:
+                    visit(child)
+
+            visit(self._root)
+            self._cached_min_level = lo
+        return self._cached_min_level
+
+    def invariants_ok(self) -> bool:
+        """Check the covering invariant ``d(parent, child) <= 2^(child.level+1)``.
+
+        (In the implicit representation a parent participates at every
+        level down to its deepest child, so the bound is expressed in the
+        child's level, not the parent's stored level.)
+        """
+        self._check_fitted()
+
+        def visit(node: _Node) -> bool:
+            for child in node.children:
+                radius = 2.0 ** (child.level + 1)
+                diff = self._data[node.row] - self._data[child.row]
+                if math.sqrt(float(diff @ diff)) > radius + 1e-9:
+                    return False
+                if not visit(child):
+                    return False
+            return True
+
+        return visit(self._root)

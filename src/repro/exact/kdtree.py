@@ -1,0 +1,152 @@
+"""Kd-tree for exact k-nearest-neighbor search.
+
+Classic construction: split on the coordinate with the largest spread at
+the median, recursing until leaves hold at most ``leaf_size`` points.
+Queries run best-first over the tree with the standard hyperplane bound:
+a subtree is visited only if the distance from the query to the subtree's
+splitting slab is below the current k-th best distance.
+
+The tree counts its distance evaluations (``last_distance_evals``) so the
+motivation benchmark can show the pruning collapse in high dimensions:
+in low dimension the bound prunes almost everything; past ``D ~ 10`` the
+k-th-best ball intersects nearly every slab and the search degenerates to
+a slow brute force — the Weber et al. observation the paper builds on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import as_float_matrix, check_k, check_positive
+
+
+@dataclass
+class _Node:
+    """One Kd-tree node; leaves carry point rows, internals a split."""
+
+    indices: Optional[np.ndarray] = None  # leaves only
+    axis: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+
+class KDTree:
+    """Median-split Kd-tree with best-first exact KNN queries.
+
+    Parameters
+    ----------
+    leaf_size:
+        Maximum points per leaf; leaves are scanned linearly.
+    """
+
+    def __init__(self, leaf_size: int = 16):
+        check_positive(leaf_size, "leaf_size")
+        self.leaf_size = int(leaf_size)
+        self._data: Optional[np.ndarray] = None
+        self._root: Optional[_Node] = None
+        self.last_distance_evals = 0
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, data: np.ndarray) -> "KDTree":
+        """Build the tree over ``data`` (shape ``(n, D)``)."""
+        data = as_float_matrix(data)
+        self._data = data
+        self._root = self._build(np.arange(data.shape[0], dtype=np.int64))
+        return self
+
+    def _build(self, indices: np.ndarray) -> _Node:
+        if indices.size <= self.leaf_size:
+            return _Node(indices=indices)
+        points = self._data[indices]
+        spreads = points.max(axis=0) - points.min(axis=0)
+        axis = int(np.argmax(spreads))
+        if spreads[axis] == 0.0:  # all points identical: leaf
+            return _Node(indices=indices)
+        values = points[:, axis]
+        threshold = float(np.median(values))
+        left_mask = values <= threshold
+        # A heavy tie mass at the median can unbalance the split.
+        if left_mask.all() or not left_mask.any():
+            order = np.argsort(values, kind="stable")
+            half = indices.size // 2
+            left_mask = np.zeros(indices.size, dtype=bool)
+            left_mask[order[:half]] = True
+            threshold = float(values[order[half - 1]])
+        node = _Node(axis=axis, threshold=threshold)
+        node.left = self._build(indices[left_mask])
+        node.right = self._build(indices[~left_mask])
+        return node
+
+    # ---------------------------------------------------------------- query
+
+    def _check_fitted(self) -> None:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted; call fit(data) first")
+
+    def query(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact KNN; returns ``(ids, distances)`` of shape ``(q, k)``.
+
+        Resets and accumulates :attr:`last_distance_evals` over the batch.
+        """
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        if queries.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"queries have dim {queries.shape[1]}, tree has dim "
+                f"{self._data.shape[1]}")
+        k = check_k(k, self._data.shape[0])
+        nq = queries.shape[0]
+        ids = np.empty((nq, k), dtype=np.int64)
+        dists = np.empty((nq, k), dtype=np.float64)
+        self.last_distance_evals = 0
+        for qi in range(nq):
+            ids[qi], dists[qi] = self._query_one(queries[qi], k)
+        return ids, dists
+
+    def _query_one(self, q: np.ndarray, k: int):
+        # Max-heap of the k best (negated distance, negated id).
+        best: List[Tuple[float, int]] = []
+        # Min-heap of (bound, tiebreak, node) frontier entries.
+        frontier = [(0.0, 0, self._root)]
+        counter = 1
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if len(best) == k and bound * bound >= -best[0][0]:
+                break  # every remaining subtree is provably too far
+            if node.is_leaf:
+                rows = node.indices
+                diffs = self._data[rows] - q
+                d2 = np.einsum("ij,ij->i", diffs, diffs)
+                self.last_distance_evals += rows.size
+                for dist_sq, row in zip(d2, rows):
+                    item = (-float(dist_sq), -int(row))
+                    if len(best) < k:
+                        heapq.heappush(best, item)
+                    elif item > best[0]:
+                        heapq.heapreplace(best, item)
+                continue
+            delta = q[node.axis] - node.threshold
+            near, far = ((node.left, node.right) if delta <= 0
+                         else (node.right, node.left))
+            heapq.heappush(frontier, (bound, counter, near))
+            counter += 1
+            far_bound = max(bound, abs(delta))
+            heapq.heappush(frontier, (far_bound, counter, far))
+            counter += 1
+        pairs = sorted((-d2, -row) for d2, row in best)
+        ids = np.full(k, -1, dtype=np.int64)
+        dists = np.full(k, np.inf)
+        for rank, (d2, row) in enumerate(pairs):
+            ids[rank] = row
+            dists[rank] = np.sqrt(max(d2, 0.0))
+        return ids, dists

@@ -1,0 +1,24 @@
+"""Experiment drivers reproducing every figure of the paper.
+
+Each ``fig*`` function in :mod:`repro.experiments.figures` regenerates one
+figure's data series at a configurable scale (the paper's full scale —
+100k train / 100k query / k=500 / 10 repetitions — is reachable by passing
+a bigger :class:`~repro.experiments.workloads.Scale`, but the defaults are
+sized for minutes, not days, of pure-Python runtime).
+
+The benchmark harness under ``benchmarks/`` is a thin pytest-benchmark
+wrapper over these drivers; the examples call them too.
+"""
+
+from repro.experiments.workloads import Scale, Workload, make_workload
+from repro.experiments.methods import METHOD_NAMES, method_spec
+from repro.experiments import figures
+
+__all__ = [
+    "Scale",
+    "Workload",
+    "make_workload",
+    "METHOD_NAMES",
+    "method_spec",
+    "figures",
+]

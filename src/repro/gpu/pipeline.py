@@ -1,0 +1,175 @@
+"""End-to-end query pipelines for the Fig. 4 comparison.
+
+Three configurations of (hash-table lookup, short-list search):
+
+- ``cpu_lshkit``   — serial lookups + serial short-list (the LSHKIT
+  single-core baseline);
+- ``cpu_shortlist``— parallel cuckoo-table lookups on the GPU, short-list
+  still on the CPU (the paper's intermediate configuration);
+- ``gpu``          — parallel lookups + per-thread parallel short-list;
+- ``gpu_workqueue``— parallel lookups + the work-queue short-list (the
+  further 2-5x the paper reports over the per-thread method).
+
+The pipeline stores the single-table Bi-level layout of Section V-A: one
+sorted linear array of all (group-prefixed) codes plus one cuckoo hash
+table over the compressed unique codes, regardless of the number of
+groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.gpu.cuckoo import CuckooHashTable, compress_code
+from repro.gpu.device import CPUModel, DeviceModel, ExecutionTimer
+from repro.gpu.shortlist import (
+    ShortListResult,
+    per_thread_shortlist,
+    serial_shortlist,
+    work_queue_shortlist,
+)
+from repro.lsh.table import LSHTable
+from repro.utils.validation import as_float_matrix, check_k
+
+MODES = ("cpu_lshkit", "cpu_shortlist", "gpu", "gpu_workqueue")
+
+
+@dataclass
+class PipelineTiming:
+    """Simulated timing breakdown of one batch query."""
+
+    lookup_seconds: float
+    shortlist_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.lookup_seconds + self.shortlist_seconds
+
+
+class GPUPipeline:
+    """Single-table GPU layout of a (Bi-level) LSH index.
+
+    Parameters
+    ----------
+    index:
+        A fitted :class:`~repro.core.bilevel.BiLevelLSH` or
+        :class:`~repro.lsh.index.StandardLSH`; the pipeline reuses its
+        hash functions via :meth:`candidate_sets` and re-stores the layout
+        GPU-style (the algorithms, not the index structures, are what the
+        timing model charges).
+    device / cpu:
+        Cost models for the two processors.
+    """
+
+    def __init__(self, index, device: DeviceModel = DeviceModel(),
+                 cpu: CPUModel = CPUModel()):
+        self.index = index
+        self.device = device
+        self.cpu = cpu
+        self._cuckoo: CuckooHashTable | None = None
+        self._n_codes = 0
+
+    def build_table(self, codes: np.ndarray, seed: int = 0) -> CuckooHashTable:
+        """Build the cuckoo index over unique (compressed) codes.
+
+        Mirrors Section V-A: sort all Bi-level codes, compress each unique
+        code to a scalar key, and store bucket intervals in a cuckoo table.
+        """
+        table = LSHTable(codes)
+        keys = compress_code(table.bucket_codes)
+        # Key collisions after compression merge distinct buckets; keep the
+        # first (paper's GPU layout tolerates this as a hash-table detail).
+        uniq_keys, first = np.unique(keys, return_index=True)
+        self._cuckoo = CuckooHashTable(seed=seed).build(
+            uniq_keys, np.arange(uniq_keys.size, dtype=np.int64))
+        self._n_codes = codes.shape[0]
+        return self._cuckoo
+
+    def _lookup_seconds(self, n_queries: int, n_lookups_per_query: int,
+                        n_tables: int, dim: int, n_hashes: int,
+                        parallel: bool) -> float:
+        """Modeled time for the hash phase: code computation + table access.
+
+        Computing the codes costs ``L * M * D`` multiply-adds per query
+        (the dominant hash cost at GIST dimensions); each probe then pays a
+        table access (``H`` slots for the cuckoo table).
+        """
+        if self._cuckoo is None:
+            probe_cycles = 3 * (self.cpu.mem_cycles if not parallel
+                                else self.device.global_mem_cycles)
+        else:
+            probe_cycles = (self._cuckoo.lookup_cost_cycles(self.device)
+                            if parallel
+                            else self._cuckoo.n_functions * self.cpu.mem_cycles)
+        hash_ops = 2.0 * n_tables * n_hashes * dim  # multiply + add
+        per_query = hash_ops + n_lookups_per_query * probe_cycles
+        total = n_queries * per_query
+        if parallel:
+            return self.device.seconds(self.device.parallel_cycles(total))
+        return self.cpu.seconds(total)
+
+    def run(self, data: np.ndarray, queries: np.ndarray, k: int,
+            mode: str = "gpu_workqueue") -> tuple:
+        """Answer ``queries`` under ``mode``; returns (result, timing).
+
+        ``result`` is a :class:`~repro.gpu.shortlist.ShortListResult`;
+        ``timing`` a :class:`PipelineTiming` with the lookup/short-list
+        split the paper's Fig. 4 compares.
+        """
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        data = as_float_matrix(data)
+        queries = as_float_matrix(queries, name="queries")
+        k = check_k(k)
+        candidate_sets = self.index.candidate_sets(queries)
+        config = getattr(self.index, "config", None)
+        n_tables = getattr(self.index, "n_tables",
+                           getattr(config, "n_tables",
+                                   getattr(self.index, "n_trees", 1)))
+        n_probes = getattr(self.index, "n_probes",
+                           getattr(config, "n_probes", 0))
+        n_hashes = getattr(self.index, "n_hashes",
+                           getattr(config, "n_hashes",
+                                   getattr(self.index, "max_depth", 8)))
+        lookups_per_query = n_tables * (1 + n_probes)
+        parallel_lookup = mode != "cpu_lshkit"
+        lookup_seconds = self._lookup_seconds(queries.shape[0],
+                                              lookups_per_query,
+                                              n_tables, data.shape[1],
+                                              n_hashes, parallel_lookup)
+        if mode in ("cpu_lshkit", "cpu_shortlist"):
+            result = serial_shortlist(data, queries, candidate_sets, k,
+                                      cpu=self.cpu)
+        elif mode == "gpu":
+            result = per_thread_shortlist(data, queries, candidate_sets, k,
+                                          device=self.device)
+        else:
+            result = work_queue_shortlist(data, queries, candidate_sets, k,
+                                          device=self.device)
+        timing = PipelineTiming(lookup_seconds=lookup_seconds,
+                                shortlist_seconds=result.seconds)
+        return result, timing
+
+    def compare_modes(self, data: np.ndarray, queries: np.ndarray, k: int,
+                      modes: Sequence[str] = MODES) -> Dict[str, PipelineTiming]:
+        """Run every mode on the same batch; verify results agree.
+
+        Raises ``AssertionError`` if any mode returns different neighbor
+        sets — the three short-list algorithms are exact over the same
+        candidates, so their outputs must match.
+        """
+        timings: Dict[str, PipelineTiming] = {}
+        reference_ids = None
+        for mode in modes:
+            result, timing = self.run(data, queries, k, mode=mode)
+            timings[mode] = timing
+            ids_sorted = np.sort(result.ids, axis=1)
+            if reference_ids is None:
+                reference_ids = ids_sorted
+            elif not np.array_equal(reference_ids, ids_sorted):
+                raise AssertionError(
+                    f"mode {mode!r} returned different neighbors")
+        return timings

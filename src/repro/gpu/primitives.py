@@ -1,0 +1,137 @@
+"""Parallel primitives of the simulated GPU pipeline.
+
+Each primitive computes its real result with numpy and charges a modeled
+cycle count to an :class:`~repro.gpu.device.ExecutionTimer`.  The cost
+formulas follow the standard work/depth analyses of the corresponding GPU
+kernels: a scan or compact does ``O(n)`` work at ``O(log n)`` depth; a
+radix sort of ``b``-bit keys does ``O(b/r)`` passes of scan + scatter;
+*clustered sort* — the paper's key short-list primitive, a sort by key
+that preserves the relative order of the clusters — is realized as one
+radix sort over (cluster, key) composite keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceModel, ExecutionTimer
+
+#: Radix bits retired per sorting pass (typical GPU radix sort).
+_RADIX_BITS_PER_PASS = 8
+
+#: Global-memory accesses of these kernels are coalesced: a 32-thread warp
+#: retires its loads in a handful of transactions, amortizing latency.
+_COALESCE_FACTOR = 8.0
+
+
+def _charge_parallel(timer: ExecutionTimer, device: DeviceModel, phase: str,
+                     work_ops: float, mem_accesses: float,
+                     depth: float = 0.0) -> None:
+    """Charge a data-parallel kernel: work spread over cores plus depth."""
+    mem_cost = mem_accesses * device.global_mem_cycles / _COALESCE_FACTOR
+    cycles = device.parallel_cycles(work_ops * device.alu_cycles + mem_cost)
+    cycles += depth * device.alu_cycles
+    timer.charge(phase, cycles)
+
+
+def exclusive_scan(values: np.ndarray, device: DeviceModel,
+                   timer: ExecutionTimer, phase: str = "scan") -> np.ndarray:
+    """Exclusive prefix sum; work O(n), depth O(log n)."""
+    values = np.asarray(values)
+    n = values.size
+    out = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        np.cumsum(values[:-1], out=out[1:])
+    _charge_parallel(timer, device, phase, work_ops=2.0 * n,
+                     mem_accesses=2.0 * n,
+                     depth=np.log2(n + 1))
+    return out
+
+
+def compact(values: np.ndarray, mask: np.ndarray, device: DeviceModel,
+            timer: ExecutionTimer, phase: str = "compact") -> np.ndarray:
+    """Keep the entries where ``mask`` holds; scan + scatter cost."""
+    values = np.asarray(values)
+    mask = np.asarray(mask, dtype=bool)
+    if values.shape[0] != mask.shape[0]:
+        raise ValueError("values and mask must align on axis 0")
+    n = mask.size
+    _charge_parallel(timer, device, phase, work_ops=2.0 * n,
+                     mem_accesses=2.0 * n, depth=np.log2(n + 1))
+    return values[mask]
+
+
+def radix_sort_pairs(keys: np.ndarray, values: np.ndarray,
+                     device: DeviceModel, timer: ExecutionTimer,
+                     key_bits: int = 32, phase: str = "sort"):
+    """Stable sort of (key, value) pairs; cost of ``key_bits/r`` passes."""
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if keys.shape[0] != values.shape[0]:
+        raise ValueError("keys and values must align on axis 0")
+    order = np.argsort(keys, kind="stable")
+    n = keys.size
+    passes = max(int(np.ceil(key_bits / _RADIX_BITS_PER_PASS)), 1)
+    _charge_parallel(timer, device, phase,
+                     work_ops=4.0 * n * passes,
+                     mem_accesses=3.0 * n * passes,
+                     depth=passes * np.log2(n + 1))
+    return keys[order], values[order]
+
+
+def clustered_sort(cluster_ids: np.ndarray, keys: np.ndarray,
+                   values: np.ndarray, device: DeviceModel,
+                   timer: ExecutionTimer, key_bits: int = 32,
+                   phase: str = "clustered_sort"):
+    """Sort by ``keys`` within each cluster, keeping cluster order.
+
+    This is the paper's *clustered-sort* (Fig. 3): candidates belonging to
+    the same query are sorted by distance while queries keep their relative
+    order, so the first ``k`` entries of every cluster are that query's
+    current best.  Realized as a single stable sort on (cluster, key)
+    composite keys; the cost model charges the composite key width.
+    """
+    cluster_ids = np.asarray(cluster_ids)
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if not (cluster_ids.shape[0] == keys.shape[0] == values.shape[0]):
+        raise ValueError("cluster_ids, keys and values must align on axis 0")
+    order = np.lexsort((keys, cluster_ids))
+    n = keys.size
+    composite_bits = key_bits + max(int(np.ceil(np.log2(cluster_ids.max() + 2)))
+                                    if n else 1, 1)
+    passes = max(int(np.ceil(composite_bits / _RADIX_BITS_PER_PASS)), 1)
+    _charge_parallel(timer, device, phase,
+                     work_ops=4.0 * n * passes,
+                     mem_accesses=3.0 * n * passes,
+                     depth=passes * np.log2(n + 1))
+    return cluster_ids[order], keys[order], values[order]
+
+
+def segmented_take_first_k(cluster_ids: np.ndarray, keys: np.ndarray,
+                           values: np.ndarray, k: int, device: DeviceModel,
+                           timer: ExecutionTimer, phase: str = "take_first_k"):
+    """Keep the first ``k`` entries of each cluster (after clustered sort).
+
+    Implemented as a rank-within-cluster computation plus a compact — the
+    paper's "compact operation to obtain updated k-nearest neighbors".
+    Requires ``cluster_ids`` to be grouped (as clustered_sort leaves them).
+    """
+    cluster_ids = np.asarray(cluster_ids)
+    n = cluster_ids.size
+    if n == 0:
+        return cluster_ids, np.asarray(keys), np.asarray(values)
+    # Rank of each element within its (contiguous) cluster run.
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = cluster_ids[1:] != cluster_ids[:-1]
+    starts = np.nonzero(boundary)[0]
+    run_start = np.repeat(starts, np.diff(np.append(starts, n)))
+    ranks = np.arange(n) - run_start
+    mask = ranks < k
+    _charge_parallel(timer, device, phase, work_ops=3.0 * n,
+                     mem_accesses=2.0 * n, depth=np.log2(n + 1))
+    keep_keys = compact(np.asarray(keys), mask, device, timer, phase=phase)
+    keep_vals = compact(np.asarray(values), mask, device, timer, phase=phase)
+    keep_ids = cluster_ids[mask]
+    return keep_ids, keep_keys, keep_vals

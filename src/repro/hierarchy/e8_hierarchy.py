@@ -1,0 +1,136 @@
+"""Scaled-lattice hierarchy over ``E8`` LSH buckets.
+
+Morton curves need an orthogonal lattice, so the paper instead exploits the
+*scaling* property of ``E8`` (an integer scaling of ``E8`` is still an
+``E8`` lattice): the ``k``-th ancestor of a code is obtained by ``k``
+applications of ``c -> 2 * DECODE(c / 2)`` (Eq. (10)).  The structure is
+"a linear array along with an index hierarchy" (Section IV-B.2b):
+
+1. start from the distinct level-0 bucket codes;
+2. repeatedly map every bucket to its next ancestor, grouping buckets whose
+   ancestor codes coincide, until a level where all buckets share one code
+   (or a configured cap is reached);
+3. each tree node stores its level, its common ancestor code and the set of
+   level-0 buckets below it.
+
+A query walks down from the root through the child whose code equals the
+query's ancestor code at that level; when no matching child exists (or a
+bigger short-list is needed) all buckets rooted at the current node are
+probed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.lattice.base import Lattice
+from repro.lsh.table import LSHTable
+
+
+class E8Hierarchy:
+    """Ancestor hierarchy over the buckets of one ``E8`` :class:`LSHTable`.
+
+    Parameters
+    ----------
+    table:
+        Table whose buckets to organize.
+    lattice:
+        The :class:`~repro.lattice.e8.E8Lattice` that produced the codes
+        (provides the :meth:`ancestor` map).
+    max_levels:
+        Safety cap on the number of ancestor applications; the paper's
+        construction stops when all buckets merge, which for well-scaled
+        codes happens after ``O(log extent)`` levels.
+    """
+
+    def __init__(self, table: LSHTable, lattice: Lattice, max_levels: int = 24):
+        if max_levels <= 0:
+            raise ValueError(f"max_levels must be positive, got {max_levels}")
+        self.table = table
+        self.lattice = lattice
+        # levels[k] maps ancestor-code bytes -> array of level-0 bucket indices.
+        self.levels: List[Dict[bytes, np.ndarray]] = []
+        codes = table.bucket_codes
+        for _, level_codes in self.lattice.ancestor_chain(codes, max_levels):
+            self.levels.append(self._group_buckets(level_codes))
+            if len(self.levels[-1]) <= 1:
+                break
+        self.n_levels = len(self.levels)
+
+    @staticmethod
+    def _group_buckets(level_codes: np.ndarray) -> Dict[bytes, np.ndarray]:
+        """Group bucket indices by identical ancestor code (vectorized)."""
+        uniq, inverse = np.unique(level_codes, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        order = np.argsort(inverse, kind="stable")
+        counts = np.bincount(inverse, minlength=uniq.shape[0])
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        return {
+            uniq[g].tobytes(): order[bounds[g]:bounds[g + 1]].astype(np.int64)
+            for g in range(uniq.shape[0])
+        }
+
+    def _bucket_ids(self, buckets: np.ndarray) -> np.ndarray:
+        parts = []
+        for b in buckets:
+            s, e = self.table.bucket_bounds(int(b))
+            parts.append(self.table.sorted_ids[s:e])
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def ids_at_level(self, code: np.ndarray, level: int) -> Optional[np.ndarray]:
+        """Point ids under the node matching ``code``'s ancestor at ``level``.
+
+        Returns ``None`` when no bucket shares that ancestor.
+        """
+        if not 0 <= level < self.n_levels:
+            raise ValueError(f"level must be in [0, {self.n_levels}), got {level}")
+        code = np.asarray(code, dtype=np.int64).reshape(1, -1)
+        key = self.lattice.ancestor(code, level)[0].tobytes()
+        buckets = self.levels[level].get(key)
+        if buckets is None:
+            return None
+        return self._bucket_ids(buckets)
+
+    def candidates(self, code: np.ndarray, min_count: int) -> np.ndarray:
+        """Candidate ids for ``code``, escalating levels until ``min_count``.
+
+        Walks up from level 0; returns the first matching ancestor group
+        holding at least ``min_count`` points, else the largest matching
+        group found (possibly empty when the query's ancestors never meet a
+        populated branch within the built levels).
+        """
+        code = np.asarray(code, dtype=np.int64).reshape(1, -1)
+        best = np.empty(0, dtype=np.int64)
+        for level, anc in self.lattice.ancestor_chain(code, self.n_levels):
+            buckets = self.levels[level].get(anc[0].tobytes())
+            if buckets is None:
+                continue
+            ids = self._bucket_ids(buckets)
+            if ids.size >= min_count:
+                return np.unique(ids)
+            if ids.size > best.size:
+                best = ids
+        return np.unique(best) if best.size else best
+
+    def deepest_match(self, code: np.ndarray) -> Optional[int]:
+        """The smallest level at which ``code``'s ancestor is populated.
+
+        This mirrors the paper's recursive traversal: descend while a child
+        with the query's code exists; the returned level is where the
+        descent stops (``None`` if even the coarsest built level misses).
+        """
+        code = np.asarray(code, dtype=np.int64).reshape(1, -1)
+        matches = []
+        for level, anc in self.lattice.ancestor_chain(code, self.n_levels):
+            matches.append(anc[0].tobytes() in self.levels[level])
+        found = None
+        for level in range(self.n_levels - 1, -1, -1):
+            if matches[level]:
+                found = level
+            else:
+                break
+        return found

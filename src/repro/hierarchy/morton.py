@@ -1,0 +1,196 @@
+"""Morton-curve hierarchy over ``Z^M`` LSH buckets.
+
+The paper builds its ``Z^M`` hierarchy by interleaving the binary
+representations of each bucket's LSH code into a Morton (Z-order /
+Lebesgue) code and sorting buckets along the resulting one-dimensional
+curve (Section IV-B.2a).  Two facts make this a usable hierarchy:
+
+- nearby cells in ``Z^M`` tend to be nearby on the curve, so the buckets
+  adjacent to a query's *insertion position* are good extra probes;
+- all cells sharing the top ``b`` Morton bits form an aligned power-of-two
+  box in ``Z^M`` *and* a contiguous run of the sorted curve, so "go one
+  level up the hierarchy" is just "widen the shared-prefix window", found
+  with two binary searches.
+
+Codes may be negative (floor of a centered projection), so each hierarchy
+instance shifts codes by the per-table coordinate-wise minimum before
+interleaving; queries falling outside the table's code bounding box are
+clamped to it, which maps them to the nearest populated region of the
+curve.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.lsh.table import LSHTable
+
+
+def morton_encode(codes: np.ndarray, bits: int) -> List[int]:
+    """Interleave the binary digits of each row of ``codes``.
+
+    Parameters
+    ----------
+    codes:
+        Non-negative ``(n, M)`` integer array; every entry must fit in
+        ``bits`` bits.
+    bits:
+        Number of bits taken from each coordinate.
+
+    Returns
+    -------
+    list of int
+        Python integers (arbitrary precision, so any ``M * bits`` fits).
+        Bit ``b`` of coordinate ``j`` lands at position ``b * M + j`` with
+        higher positions more significant — coordinate-0 bits are the most
+        significant within each bit plane.
+    """
+    codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+    if codes.size and (codes.min() < 0 or (bits < 63 and codes.max() >= (1 << bits))):
+        raise ValueError("codes must be non-negative and fit in the bit budget")
+    n, m = codes.shape
+    if bits * m <= 62:
+        # Fast path: the interleaved code fits a uint64; place bit b of
+        # coordinate j at position b*m + (m-1-j) with vectorized shifts.
+        cu = codes.astype(np.uint64)
+        out_u = np.zeros(n, dtype=np.uint64)
+        for b in range(bits):
+            for j in range(m):
+                bitvals = (cu[:, j] >> np.uint64(b)) & np.uint64(1)
+                out_u |= bitvals << np.uint64(b * m + (m - 1 - j))
+        return [int(v) for v in out_u]
+    out = [0] * n
+    for b in range(bits - 1, -1, -1):
+        for j in range(m):
+            bitvals = (codes[:, j] >> b) & 1
+            for i in range(n):
+                out[i] = (out[i] << 1) | int(bitvals[i])
+    return out
+
+
+class MortonHierarchy:
+    """Hierarchy over the buckets of one ``Z^M`` :class:`LSHTable`.
+
+    Parameters
+    ----------
+    table:
+        The table whose buckets to organize.  The hierarchy keeps a
+        reference and reads bucket membership through it.
+    """
+
+    def __init__(self, table: LSHTable):
+        self.table = table
+        codes = table.bucket_codes  # (B, M), lexicographically sorted
+        self.m = codes.shape[1]
+        self.offset = codes.min(axis=0)
+        shifted = codes - self.offset
+        span = int(shifted.max()) if shifted.size else 0
+        self.bits = max(int(span).bit_length(), 1)
+        self.total_bits = self.bits * self.m
+        mortons = morton_encode(shifted, self.bits)
+        order = np.argsort(np.array([float(v) for v in mortons]))
+        # Sorting via float can collide for > 2^53 codes; fall back to exact
+        # Python-int sort when the bit budget is large.
+        if self.total_bits > 50:
+            order = np.array(sorted(range(len(mortons)), key=mortons.__getitem__),
+                             dtype=np.int64)
+        self._sorted_mortons = [mortons[i] for i in order]
+        self._bucket_order = order  # curve position -> bucket index
+        sizes = table.bucket_sizes()
+        self._cum_sizes = np.concatenate(
+            ([0], np.cumsum(sizes[order]))).astype(np.int64)
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self._sorted_mortons)
+
+    def _encode_query(self, code: np.ndarray) -> int:
+        code = np.asarray(code, dtype=np.int64).reshape(1, -1)
+        shifted = code - self.offset
+        limit = (1 << self.bits) - 1
+        shifted = np.clip(shifted, 0, limit)
+        return morton_encode(shifted, self.bits)[0]
+
+    def _insertion_position(self, morton: int) -> int:
+        lo, hi = 0, len(self._sorted_mortons)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sorted_mortons[mid] < morton:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _prefix_window(self, morton: int, dropped_bits: int) -> tuple:
+        """Curve positions of buckets sharing the top bits with ``morton``.
+
+        ``dropped_bits`` low-order Morton bits are ignored; the matching
+        buckets form the half-open range returned as ``(lo, hi)``.
+        """
+        prefix = morton >> dropped_bits
+        low = prefix << dropped_bits
+        high = (prefix + 1) << dropped_bits
+        return self._insertion_position(low), self._insertion_position(high)
+
+    def _ids_in_window(self, lo: int, hi: int) -> np.ndarray:
+        if lo >= hi:
+            return np.empty(0, dtype=np.int64)
+        parts = []
+        for pos in range(lo, hi):
+            b = int(self._bucket_order[pos])
+            s, e = self.table.bucket_bounds(b)
+            parts.append(self.table.sorted_ids[s:e])
+        return np.concatenate(parts)
+
+    def window_size(self, lo: int, hi: int) -> int:
+        """Number of points stored in curve positions ``[lo, hi)``."""
+        return int(self._cum_sizes[hi] - self._cum_sizes[lo])
+
+    def candidates(self, code: np.ndarray, min_count: int) -> np.ndarray:
+        """Candidate ids near ``code``, escalating until ``min_count``.
+
+        Starts from the exact-prefix window (``dropped_bits = 0``: only the
+        query's own bucket, if populated, plus the curve neighbors below)
+        and drops one more Morton bit per step — halving the shared prefix
+        — until the window holds at least ``min_count`` points or covers
+        the whole curve.  Single-bit steps keep the escalation fine-grained
+        (a full bit plane would grow the window by ``2^M`` at once and
+        overshoot the candidate budget).  The immediate
+        predecessor/successor buckets on the curve are always included,
+        mirroring the paper's insert-position probing.
+        """
+        morton = self._encode_query(code)
+        pos = self._insertion_position(morton)
+        neighbor_lo = max(pos - 1, 0)
+        neighbor_hi = min(pos + 1, self.n_buckets)
+        dropped = 0
+        lo, hi = self._prefix_window(morton, dropped)
+        lo = min(lo, neighbor_lo)
+        hi = max(hi, neighbor_hi)
+        while (self.window_size(lo, hi) < min_count
+               and (lo > 0 or hi < self.n_buckets)
+               and dropped < self.total_bits):
+            dropped += 1
+            lo2, hi2 = self._prefix_window(morton, dropped)
+            lo = min(lo, lo2)
+            hi = max(hi, hi2)
+        return np.unique(self._ids_in_window(lo, hi))
+
+    def shared_msb(self, code: np.ndarray) -> int:
+        """Most-significant bits shared with the nearest curve neighbors.
+
+        The paper uses this count to decide how far up the hierarchy a
+        query must travel: few shared bits means the query sits in a sparse
+        region and should use a coarse (large) bucket.
+        """
+        morton = self._encode_query(code)
+        pos = self._insertion_position(morton)
+        best = 0
+        for neighbor_pos in (pos - 1, pos):
+            if 0 <= neighbor_pos < self.n_buckets:
+                diff = morton ^ self._sorted_mortons[neighbor_pos]
+                shared = self.total_bits - diff.bit_length()
+                best = max(best, shared)
+        return best

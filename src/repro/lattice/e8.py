@@ -1,0 +1,255 @@
+"""The ``E8`` lattice quantizer.
+
+``E8 = D8 U (D8 + (1/2)^8)`` where ``D8`` is the set of integer vectors with
+even coordinate sum (Section IV-B.2b of the paper).  ``E8`` is the densest
+lattice in dimension 8, so its Voronoi cells are much closer to spheres than
+``Z^8`` cells, which makes the items that share a bucket with a query better
+k-nearest-neighbor candidates.
+
+Codes are represented in **half-integer units** (real coordinates multiplied
+by 2) so they can be stored as exact ``int64`` vectors: a ``D8`` point becomes
+an all-even vector, a ``D8 + (1/2)^8`` point an all-odd vector.
+
+For projected dimensions ``M > 8`` the quantizer uses ``ceil(M/8)``
+independent E8 blocks (the paper's "combination of ceil(M/8) E8 lattices");
+the final block is zero-padded when ``M`` is not a multiple of 8.
+
+The decoder is the classic Conway--Sloane nearest-point algorithm: decode to
+the nearest ``D8`` point and to the nearest ``D8 + (1/2)^8`` point, keep the
+closer of the two (104 scalar operations in the paper's counting).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.lattice.base import Lattice
+
+BLOCK = 8
+
+
+def _round_nearest(x: np.ndarray) -> np.ndarray:
+    """Round half away from zero (plain nearest-integer rounding).
+
+    ``np.rint`` uses banker's rounding; for lattice decoding any nearest
+    point is acceptable at ties, but a fixed convention keeps the decoder
+    deterministic across numpy versions.
+    """
+    return np.floor(x + 0.5)
+
+
+def decode_d8(x: np.ndarray) -> np.ndarray:
+    """Decode points to the nearest ``D8`` lattice point.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(n, 8)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Float array of shape ``(n, 8)`` whose rows are integer vectors with
+        even coordinate sums.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    if x.shape[1] != BLOCK:
+        raise ValueError(f"decode_d8 expects dim-8 input, got dim {x.shape[1]}")
+    f = _round_nearest(x)
+    parity = np.mod(f.sum(axis=1), 2.0)
+    odd = parity != 0
+    if np.any(odd):
+        f = f.copy()
+        err = x[odd] - f[odd]
+        worst = np.argmax(np.abs(err), axis=1)
+        rows = np.nonzero(odd)[0]
+        # Re-round the worst coordinate the other way; for an exact integer
+        # (err == 0) both directions are equidistant, step up by convention.
+        step = np.where(err[np.arange(rows.size), worst] >= 0.0, 1.0, -1.0)
+        f[rows, worst] += step
+    return f
+
+
+def decode_e8(x: np.ndarray) -> np.ndarray:
+    """Decode points to the nearest ``E8`` lattice point (real coordinates).
+
+    Returns a float array of shape ``(n, 8)``: rows are either all-integer
+    (``D8``) or all-half-integer (``D8 + (1/2)^8``) vectors.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    d8 = decode_d8(x)
+    half = decode_d8(x - 0.5) + 0.5
+    dist_d8 = np.sum((x - d8) ** 2, axis=1)
+    dist_half = np.sum((x - half) ** 2, axis=1)
+    take_half = dist_half < dist_d8
+    out = np.where(take_half[:, None], half, d8)
+    return out
+
+
+@lru_cache(maxsize=1)
+def _minimal_vectors_cached() -> np.ndarray:
+    """The 240 minimal vectors of ``E8`` in half-integer units (int64).
+
+    They come in two families (squared norm 2 in real units, i.e. 8 in
+    half-integer units):
+
+    - permutations of ``(+-1, +-1, 0^6)`` — in half-units ``(+-2, +-2, 0^6)``:
+      ``C(8,2) * 4 = 112`` vectors;
+    - ``(+-1/2)^8`` with an even number of minus signs — in half-units
+      ``(+-1)^8`` with even minus count: ``2^7 = 128`` vectors.
+    """
+    vecs = []
+    for i in range(BLOCK):
+        for j in range(i + 1, BLOCK):
+            for si in (2, -2):
+                for sj in (2, -2):
+                    v = np.zeros(BLOCK, dtype=np.int64)
+                    v[i] = si
+                    v[j] = sj
+                    vecs.append(v)
+    for mask in range(1 << BLOCK):
+        if bin(mask).count("1") % 2 == 0:
+            v = np.ones(BLOCK, dtype=np.int64)
+            for bit in range(BLOCK):
+                if mask & (1 << bit):
+                    v[bit] = -1
+            vecs.append(v)
+    out = np.array(vecs, dtype=np.int64)
+    assert out.shape == (240, BLOCK)
+    out.setflags(write=False)
+    return out
+
+
+def e8_minimal_vectors() -> np.ndarray:
+    """Return the 240 minimal vectors of ``E8`` in half-integer units."""
+    return _minimal_vectors_cached()
+
+
+class E8Lattice(Lattice):
+    """Quantizer onto (blocks of) the ``E8`` lattice.
+
+    Parameters
+    ----------
+    dim:
+        Projected dimension ``M``.  Internally handled as
+        ``ceil(M/8)`` blocks of 8; the last block is zero-padded.
+    """
+
+    def __init__(self, dim: int):
+        super().__init__(dim)
+        self.n_blocks = (self.dim + BLOCK - 1) // BLOCK
+        self.padded_dim = self.n_blocks * BLOCK
+
+    @property
+    def code_dim(self) -> int:
+        return self.padded_dim
+
+    def _pad(self, y: np.ndarray) -> np.ndarray:
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if y.shape[1] != self.dim:
+            raise ValueError(f"expected projected dim {self.dim}, got {y.shape[1]}")
+        if self.padded_dim == self.dim:
+            return y
+        padded = np.zeros((y.shape[0], self.padded_dim), dtype=np.float64)
+        padded[:, : self.dim] = y
+        return padded
+
+    def quantize(self, y: np.ndarray) -> np.ndarray:
+        padded = self._pad(y)
+        codes = np.empty((padded.shape[0], self.padded_dim), dtype=np.int64)
+        for b in range(self.n_blocks):
+            sl = slice(b * BLOCK, (b + 1) * BLOCK)
+            real = decode_e8(padded[:, sl])
+            scaled = np.round(real * 2.0)
+            codes[:, sl] = scaled.astype(np.int64)
+        return codes
+
+    def probe_codes(self, y: np.ndarray, code: np.ndarray, n_probes: int) -> np.ndarray:
+        """Neighboring ``E8`` cells ordered by distance to the query.
+
+        For each block, candidate codes are ``code_block + m`` for each of
+        the 240 minimal vectors ``m``; candidates across blocks are merged
+        and sorted by the squared distance between the query's (scaled)
+        projection and the perturbed lattice point.
+        """
+        if n_probes <= 0:
+            return np.empty((0, self.padded_dim), dtype=np.int64)
+        y2 = self._pad(np.asarray(y, dtype=np.float64))[0] * 2.0  # half-integer units
+        code = np.asarray(code, dtype=np.int64)
+        if code.shape != (self.padded_dim,):
+            raise ValueError(
+                f"code must have shape ({self.padded_dim},), got {code.shape}"
+            )
+        minimal = e8_minimal_vectors()
+        scores = []
+        perturbations = []
+        for b in range(self.n_blocks):
+            sl = slice(b * BLOCK, (b + 1) * BLOCK)
+            block_code = code[sl]
+            candidates = block_code[None, :] + minimal  # (240, 8)
+            d = np.sum((y2[sl][None, :] - candidates) ** 2, axis=1)
+            scores.append(d)
+            perturbations.extend((b, idx) for idx in range(minimal.shape[0]))
+        scores = np.concatenate(scores)
+        order = np.argsort(scores, kind="stable")[:n_probes]
+        out = np.tile(code, (order.size, 1))
+        for row, flat_idx in enumerate(order):
+            b, m_idx = perturbations[flat_idx]
+            sl = slice(b * BLOCK, (b + 1) * BLOCK)
+            out[row, sl] = code[sl] + minimal[m_idx]
+        return out
+
+    def ancestor(self, codes: np.ndarray, k: int) -> np.ndarray:
+        """Eq. (10): ``H^k = 2^k * DECODE(1/2 * DECODE(1/2 * ... c))``.
+
+        The inner iteration is ``d_{i+1} = DECODE(d_i / 2)`` (each step
+        halves the point and re-snaps it to ``E8``); the ``2^k`` scaling is
+        applied once at the end, so the level-``k`` codes are points of the
+        ``2^k``-scaled ``E8`` lattice.  Unlike ``Z^M`` (Eq. (8)) the decode
+        function does not telescope, so the ``k`` levels must be applied
+        one at a time.
+        """
+        if k < 0:
+            raise ValueError(f"ancestor level must be non-negative, got {k}")
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        if codes.shape[1] != self.padded_dim:
+            raise ValueError(
+                f"codes must have {self.padded_dim} columns, got {codes.shape[1]}"
+            )
+        current = codes.astype(np.float64) / 2.0  # real units: d_0 = c
+        for _ in range(k):
+            current = self._decode_blocks(current / 2.0)
+        real = current * float(2 ** k)
+        return np.round(real * 2.0).astype(np.int64)
+
+    def _decode_blocks(self, points: np.ndarray) -> np.ndarray:
+        """Blockwise E8 decode of an ``(n, padded_dim)`` real array."""
+        out = np.empty_like(points)
+        for b in range(self.n_blocks):
+            sl = slice(b * BLOCK, (b + 1) * BLOCK)
+            out[:, sl] = decode_e8(points[:, sl])
+        return out
+
+    def ancestor_chain(self, codes: np.ndarray, max_k: int):
+        """Incremental Eq. (10) iteration: one decode pass per level.
+
+        Yields ``(k, ancestor(codes, k))`` while reusing the previous
+        level's half-point, turning the naive ``O(max_k^2)`` decode count
+        of repeated :meth:`ancestor` calls into ``O(max_k)``.
+        """
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        if codes.shape[1] != self.padded_dim:
+            raise ValueError(
+                f"codes must have {self.padded_dim} columns, got {codes.shape[1]}"
+            )
+        current = codes.astype(np.float64) / 2.0  # real units: d_0 = c
+        for k in range(max_k):
+            if k > 0:
+                current = self._decode_blocks(current / 2.0)
+            real = current * float(2 ** k)
+            yield k, np.round(real * 2.0).astype(np.int64)
+
+    def cell_center(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes, dtype=np.float64) / 2.0

@@ -1,0 +1,47 @@
+"""The integer lattice ``Z^M`` quantizer (standard p-stable LSH).
+
+Quantization is the floor function of Eq. (2) in the paper; the hierarchy
+ancestor follows Eq. (7)/(8): ``H^k(v) = 2^k * floor(c / 2^k)``.  Probe
+sequences delegate to the query-directed multi-probe algorithm of Lv et al.
+(VLDB 2007), implemented in :mod:`repro.lsh.multiprobe`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lattice.base import Lattice
+
+
+class ZMLattice(Lattice):
+    """Quantizer onto ``Z^M`` via the coordinate-wise floor function."""
+
+    @property
+    def code_dim(self) -> int:
+        return self.dim
+
+    def quantize(self, y: np.ndarray) -> np.ndarray:
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if y.shape[1] != self.dim:
+            raise ValueError(f"expected projected dim {self.dim}, got {y.shape[1]}")
+        return np.floor(y).astype(np.int64)
+
+    def probe_codes(self, y: np.ndarray, code: np.ndarray, n_probes: int) -> np.ndarray:
+        # Imported lazily to avoid a cycle: repro.lsh imports repro.lattice.
+        from repro.lsh.multiprobe import query_directed_probes
+
+        if n_probes <= 0:
+            return np.empty((0, self.dim), dtype=np.int64)
+        return query_directed_probes(np.asarray(y, dtype=np.float64),
+                                     np.asarray(code, dtype=np.int64),
+                                     n_probes)
+
+    def ancestor(self, codes: np.ndarray, k: int) -> np.ndarray:
+        if k < 0:
+            raise ValueError(f"ancestor level must be non-negative, got {k}")
+        codes = np.asarray(codes, dtype=np.int64)
+        if k == 0:
+            return codes.copy()
+        scale = np.int64(1) << k
+        # numpy's // floors toward -inf, matching Eq. (7) for negative codes.
+        return (codes // scale) * scale

@@ -1,0 +1,215 @@
+"""LSH Forest (Bawa, Condie & Ganesan, WWW 2005).
+
+The paper cites LSH Forest as the classic answer to tuning the code
+length ``M``: instead of a fixed-length code, each of ``L`` trees stores
+points under *variable-length* hash-bit prefixes, and a query descends to
+the deepest non-empty prefix and then ascends synchronously across trees
+until it has enough candidates.  This module provides it as an additional
+baseline index with the same ``fit`` / ``query_batch`` interface as
+:class:`~repro.lsh.index.StandardLSH`, so it slots directly into the
+experiment runner.
+
+Implementation notes
+--------------------
+- Each tree draws ``max_depth`` sign-random-projection bits (SimHash);
+  the training mean is subtracted first so the sign test is informative
+  for Euclidean data.
+- A tree is stored as a sorted ``uint64`` array of codes: all points
+  sharing the top ``d`` bits form a contiguous range found with two
+  binary searches, which is exactly the logical prefix-tree descent.
+- The query ascends depth ``max_depth .. 0``, unioning the per-tree
+  ranges, and stops once ``candidate_target`` points are gathered (the
+  "synchronous ascending" strategy of the original paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.lsh.index import QueryStats
+from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.validation import as_float_matrix, check_k, check_positive
+
+MAX_DEPTH_LIMIT = 62  # codes are packed into uint64
+
+
+class LSHForest:
+    """Prefix-tree LSH over sign random projections.
+
+    Parameters
+    ----------
+    n_trees:
+        Number of independent prefix trees ``L``.
+    max_depth:
+        Maximum prefix length ``k_max`` (bits per tree).
+    candidate_target:
+        Candidate-gathering budget per query, as a multiple of the query's
+        ``k``; ascent stops once ``candidate_target * k`` distinct points
+        are collected (the original paper's ``m = c * L`` knob).
+    seed:
+        Seed / generator for the projection directions.
+    """
+
+    def __init__(self, n_trees: int = 10, max_depth: int = 32,
+                 candidate_target: int = 10, seed: SeedLike = None):
+        check_positive(n_trees, "n_trees")
+        check_positive(max_depth, "max_depth")
+        check_positive(candidate_target, "candidate_target")
+        if max_depth > MAX_DEPTH_LIMIT:
+            raise ValueError(
+                f"max_depth must be <= {MAX_DEPTH_LIMIT}, got {max_depth}")
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.candidate_target = int(candidate_target)
+        self._seed = seed
+        self._data: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._center: Optional[np.ndarray] = None
+        self._directions: List[np.ndarray] = []
+        self._sorted_codes: List[np.ndarray] = []
+        self._sorted_rows: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------ fit
+
+    def _encode(self, data: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        """Pack ``max_depth`` sign bits into one uint64 per row."""
+        bits = (data - self._center) @ directions > 0  # (n, depth) bool
+        codes = np.zeros(data.shape[0], dtype=np.uint64)
+        for b in range(self.max_depth):
+            codes = (codes << np.uint64(1)) | bits[:, b].astype(np.uint64)
+        return codes
+
+    def fit(self, data: np.ndarray, ids: Optional[np.ndarray] = None) -> "LSHForest":
+        """Index ``data``; optional ``ids`` label the rows externally."""
+        data = as_float_matrix(data)
+        n, dim = data.shape
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids must have shape ({n},), got {ids.shape}")
+        self._data = data
+        self._ids = ids
+        self._center = data.mean(axis=0)
+        rngs = spawn_rngs(self._seed, self.n_trees)
+        self._directions = []
+        self._sorted_codes = []
+        self._sorted_rows = []
+        for rng in rngs:
+            directions = rng.standard_normal((dim, self.max_depth))
+            codes = self._encode(data, directions)
+            order = np.argsort(codes, kind="stable")
+            self._directions.append(directions)
+            self._sorted_codes.append(codes[order])
+            self._sorted_rows.append(order.astype(np.int64))
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._data is None:
+            raise RuntimeError("forest is not fitted; call fit(data) first")
+
+    @property
+    def n_points(self) -> int:
+        self._check_fitted()
+        return self._data.shape[0]
+
+    # ---------------------------------------------------------------- query
+
+    def _prefix_range(self, tree: int, code: np.uint64,
+                      depth: int) -> Tuple[int, int]:
+        """Sorted-array range of points sharing ``depth`` leading bits."""
+        shift = np.uint64(self.max_depth - depth)
+        if depth <= 0:
+            return 0, self._sorted_codes[tree].shape[0]
+        prefix = code >> shift
+        low = prefix << shift
+        high = (prefix + np.uint64(1)) << shift if depth > 0 else None
+        arr = self._sorted_codes[tree]
+        lo = int(np.searchsorted(arr, low, side="left"))
+        if depth == self.max_depth:
+            hi = int(np.searchsorted(arr, low, side="right"))
+        else:
+            hi = int(np.searchsorted(arr, high, side="left"))
+        return lo, hi
+
+    def _gather(self, codes: np.ndarray, qi: int, want: int) -> np.ndarray:
+        """Synchronous ascent: widen prefixes until ``want`` candidates."""
+        collected: List[np.ndarray] = []
+        seen = 0
+        for depth in range(self.max_depth, -1, -1):
+            parts = []
+            for tree in range(self.n_trees):
+                lo, hi = self._prefix_range(tree, codes[tree][qi], depth)
+                if hi > lo:
+                    parts.append(self._sorted_rows[tree][lo:hi])
+            if not parts:
+                continue
+            merged = np.unique(np.concatenate(parts))
+            seen = merged.size
+            collected = [merged]
+            if seen >= want:
+                break
+        return collected[0] if collected else np.empty(0, dtype=np.int64)
+
+    def query(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """KNN for a single query vector; returns ``(ids, distances)``."""
+        ids, dists, _ = self.query_batch(np.atleast_2d(query), k)
+        return ids[0], dists[0]
+
+    def query_batch(self, queries: np.ndarray, k: int,
+                    hierarchy_threshold=None,
+                    ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """KNN for a batch; mirrors :meth:`StandardLSH.query_batch`.
+
+        ``hierarchy_threshold`` is accepted (and ignored) for interface
+        compatibility with the experiment runner.
+        """
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        if queries.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"queries have dim {queries.shape[1]}, index has dim "
+                f"{self._data.shape[1]}")
+        k = check_k(k)
+        nq = queries.shape[0]
+        codes = [self._encode(queries, d) for d in self._directions]
+        want = self.candidate_target * k
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        n_candidates = np.zeros(nq, dtype=np.int64)
+        for qi in range(nq):
+            cand = self._gather(codes, qi, want)
+            n_candidates[qi] = cand.size
+            if cand.size == 0:
+                continue
+            diffs = self._data[cand] - queries[qi]
+            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            take = min(k, cand.size)
+            top = np.argpartition(dists, take - 1)[:take]
+            top = top[np.argsort(dists[top], kind="stable")]
+            ids_out[qi, :take] = self._ids[cand[top]]
+            dists_out[qi, :take] = dists[top]
+        return ids_out, dists_out, QueryStats(
+            n_candidates, np.zeros(nq, dtype=bool))
+
+    def candidate_sets(self, queries: np.ndarray):
+        """Raw candidate id sets per query (for the GPU pipeline benches).
+
+        Uses a nominal ``k = 1`` gathering budget of ``candidate_target``
+        points per query, mirroring what :meth:`query_batch` would gather.
+        """
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        codes = [self._encode(queries, d) for d in self._directions]
+        out = []
+        for qi in range(queries.shape[0]):
+            local = self._gather(codes, qi, self.candidate_target)
+            out.append(self._ids[local])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LSHForest(n_trees={self.n_trees}, max_depth={self.max_depth}, "
+                f"candidate_target={self.candidate_target})")

@@ -1,0 +1,379 @@
+"""Single-level LSH index: the paper's baseline family of methods.
+
+:class:`StandardLSH` implements standard LSH (Datar et al.) plus the two
+query-adaptive enhancements the paper evaluates:
+
+- *multi-probe* (``n_probes > 0``): probe nearby buckets in each table,
+  using the Lv et al. sequence for ``Z^M`` or the 240 minimal-vector
+  neighbors for ``E8``;
+- *hierarchical table* (``hierarchy=True``): escalate queries whose
+  short-list is smaller than the batch median to coarser bucket levels
+  (Morton prefix levels for ``Z^M``, scaled-lattice levels for ``E8``).
+
+The same class indexes one RP-tree leaf group inside
+:class:`repro.core.bilevel.BiLevelLSH` (with external ids), so baseline and
+contribution share every line of hashing/probing/short-list code — exactly
+the apples-to-apples setup of the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.lattice.base import Lattice
+from repro.lattice.e8 import E8Lattice
+from repro.lattice.zm import ZMLattice
+from repro.lsh.functions import PStableHashFamily
+from repro.lsh.table import LSHTable
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.utils.validation import as_float_matrix, check_k, check_positive
+
+
+def make_lattice(kind: str, dim: int) -> Lattice:
+    """Instantiate a lattice quantizer by name: ``'zm'``, ``'e8'`` or ``'dm'``."""
+    kind = kind.lower()
+    if kind == "zm":
+        return ZMLattice(dim)
+    if kind == "e8":
+        return E8Lattice(dim)
+    if kind == "dm":
+        from repro.lattice.dm import DMLattice
+
+        return DMLattice(dim)
+    raise ValueError(
+        f"unknown lattice kind {kind!r}; expected 'zm', 'e8' or 'dm'")
+
+
+@dataclass
+class QueryStats:
+    """Per-query diagnostics from a batch query.
+
+    Attributes
+    ----------
+    n_candidates:
+        Size of the deduplicated short-list ``|A(v)|`` per query — the
+        numerator of the paper's selectivity metric (Eq. (5)).
+    escalated:
+        Whether the hierarchical table escalated this query.
+    """
+
+    n_candidates: np.ndarray
+    escalated: np.ndarray
+
+    def selectivity(self, dataset_size: int) -> np.ndarray:
+        """Selectivity ``tau(v) = |A(v)| / |S|`` per query."""
+        check_positive(dataset_size, "dataset_size")
+        return self.n_candidates / float(dataset_size)
+
+
+class StandardLSH:
+    """Single-level p-stable LSH index over ``Z^M`` or ``E8``.
+
+    Parameters
+    ----------
+    n_hashes:
+        Code length ``M`` per table.
+    n_tables:
+        Number of independent tables ``L``.
+    bucket_width:
+        Quantization width ``W`` shared by all tables.
+    lattice:
+        ``'zm'`` or ``'e8'`` — the space quantizer.
+    n_probes:
+        Extra buckets probed per table per query (0 disables multi-probe).
+    hierarchy:
+        Build the hierarchical bucket structure and escalate thin queries.
+    adaptive_probing:
+        Query-adaptive probe budgets (Joly & Buisson style, ``Z^M`` only):
+        ``n_probes`` becomes the per-query *maximum* and each query stops
+        once ``probe_confidence`` of the probe-likelihood mass is covered.
+    probe_confidence:
+        Likelihood-mass threshold for adaptive probing, in ``(0, 1]``.
+    seed:
+        Seed / generator driving projection sampling.
+    """
+
+    def __init__(self, n_hashes: int = 8, n_tables: int = 10,
+                 bucket_width: float = 1.0, lattice: str = "zm",
+                 n_probes: int = 0, hierarchy: bool = False,
+                 adaptive_probing: bool = False,
+                 probe_confidence: float = 0.9,
+                 seed: SeedLike = None):
+        check_positive(n_hashes, "n_hashes")
+        check_positive(n_tables, "n_tables")
+        check_positive(bucket_width, "bucket_width")
+        if n_probes < 0:
+            raise ValueError(f"n_probes must be non-negative, got {n_probes}")
+        if adaptive_probing and lattice.lower() != "zm":
+            raise ValueError("adaptive_probing requires the 'zm' lattice")
+        if not 0.0 < probe_confidence <= 1.0:
+            raise ValueError(
+                f"probe_confidence must be in (0, 1], got {probe_confidence}")
+        self.n_hashes = int(n_hashes)
+        self.n_tables = int(n_tables)
+        self.bucket_width = float(bucket_width)
+        self.lattice_kind = lattice
+        self.n_probes = int(n_probes)
+        self.use_hierarchy = bool(hierarchy)
+        self.adaptive_probing = bool(adaptive_probing)
+        self.probe_confidence = float(probe_confidence)
+        self._seed = seed
+        self._families: List[PStableHashFamily] = []
+        self._tables: List[LSHTable] = []
+        self._hierarchies: list = []
+        self._lattice: Optional[Lattice] = None
+        self._data: Optional[np.ndarray] = None
+        self._ids: Optional[np.ndarray] = None
+        self._deleted: Optional[np.ndarray] = None  # bool mask over rows
+
+    #: Overlay fraction beyond which insert() rebuilds the sorted tables.
+    REBUILD_FRACTION = 0.2
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, data: np.ndarray, ids: Optional[np.ndarray] = None) -> "StandardLSH":
+        """Index ``data``; optional ``ids`` label the rows externally.
+
+        Distances during short-list search are computed against ``data``
+        rows, but the ids returned by queries are the supplied ``ids``.
+        """
+        data = as_float_matrix(data)
+        n, dim = data.shape
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids must have shape ({n},), got {ids.shape}")
+        self._data = data
+        self._ids = ids
+        self._deleted = None
+        self._lattice = make_lattice(self.lattice_kind, self.n_hashes)
+        rngs = spawn_rngs(self._seed, self.n_tables)
+        self._families = [
+            PStableHashFamily(dim, self.n_hashes, self.bucket_width, seed=rng)
+            for rng in rngs
+        ]
+        self._rebuild_tables()
+        return self
+
+    def _rebuild_tables(self) -> None:
+        """(Re)build the sorted tables and hierarchies from current data."""
+        self._tables = []
+        self._hierarchies = []
+        local_ids = np.arange(self._data.shape[0], dtype=np.int64)
+        for family in self._families:
+            codes = self._lattice.quantize(family.project(self._data))
+            table = LSHTable(codes, ids=local_ids)
+            self._tables.append(table)
+            if self.use_hierarchy:
+                self._hierarchies.append(self._build_hierarchy(table))
+
+    # -------------------------------------------------------------- updates
+
+    def insert(self, points: np.ndarray,
+               ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Add points to a fitted index; returns their external ids.
+
+        New points go into a per-table overlay; once the overlay exceeds
+        ``REBUILD_FRACTION`` of the base layout, the sorted tables (and
+        bucket hierarchies) are rebuilt so escalation sees the inserts.
+        """
+        self._check_fitted()
+        points = as_float_matrix(points, name="points")
+        if points.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"points have dim {points.shape[1]}, index has dim "
+                f"{self._data.shape[1]}")
+        m = points.shape[0]
+        if ids is None:
+            base = int(self._ids.max()) + 1 if self._ids.size else 0
+            ids = np.arange(base, base + m, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (m,):
+                raise ValueError(f"ids must have shape ({m},), got {ids.shape}")
+        start = self._data.shape[0]
+        self._data = np.vstack([self._data, points])
+        self._ids = np.concatenate([self._ids, ids])
+        if self._deleted is not None:
+            self._deleted = np.concatenate(
+                [self._deleted, np.zeros(m, dtype=bool)])
+        local = np.arange(start, start + m, dtype=np.int64)
+        for family, table in zip(self._families, self._tables):
+            codes = self._lattice.quantize(family.project(points))
+            table.add(codes, local)
+        overlay = self._tables[0].n_extra if self._tables else 0
+        if overlay > self.REBUILD_FRACTION * max(start, 1):
+            self._rebuild_tables()
+        return ids
+
+    def delete(self, ids: np.ndarray) -> int:
+        """Remove points by external id; returns how many were found.
+
+        Deletion is logical (tombstones filtered from every candidate
+        set); unknown ids are ignored so callers can broadcast deletes.
+        """
+        self._check_fitted()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        mask = np.isin(self._ids, ids)
+        found = int(mask.sum())
+        if found:
+            if self._deleted is None:
+                self._deleted = np.zeros(self._data.shape[0], dtype=bool)
+            self._deleted |= mask
+        return found
+
+    def _filter_deleted(self, local_ids: np.ndarray) -> np.ndarray:
+        if self._deleted is None or local_ids.size == 0:
+            return local_ids
+        return local_ids[~self._deleted[local_ids]]
+
+    def _build_hierarchy(self, table: LSHTable):
+        if self.lattice_kind.lower() == "zm":
+            from repro.hierarchy.morton import MortonHierarchy
+
+            return MortonHierarchy(table)
+        from repro.hierarchy.e8_hierarchy import E8Hierarchy
+
+        return E8Hierarchy(table, self._lattice)
+
+    # ---------------------------------------------------------------- query
+
+    @property
+    def n_points(self) -> int:
+        self._check_fitted()
+        return self._data.shape[0]
+
+    def _check_fitted(self) -> None:
+        if self._data is None:
+            raise RuntimeError("index is not fitted; call fit(data) first")
+
+    def _gather_candidates(self, projections: List[np.ndarray],
+                           codes: List[np.ndarray], qi: int) -> np.ndarray:
+        """Union of bucket hits for query ``qi`` across all tables (local ids)."""
+        parts = []
+        for t in range(self.n_tables):
+            code = codes[t][qi]
+            parts.append(self._tables[t].lookup(code))
+            if self.n_probes > 0:
+                if self.adaptive_probing:
+                    from repro.lsh.multiprobe import adaptive_probes
+
+                    probes = adaptive_probes(projections[t][qi], code,
+                                             self.n_probes,
+                                             confidence=self.probe_confidence)
+                else:
+                    probes = self._lattice.probe_codes(projections[t][qi],
+                                                       code, self.n_probes)
+                for probe in probes:
+                    parts.append(self._tables[t].lookup(probe))
+        merged = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        merged = np.unique(merged) if merged.size else merged
+        return self._filter_deleted(merged)
+
+    def _escalate(self, codes: List[np.ndarray], qi: int, min_count: int,
+                  base: np.ndarray) -> np.ndarray:
+        """Grow query ``qi``'s candidate set via the bucket hierarchies."""
+        parts = [base]
+        for t in range(self.n_tables):
+            extra = self._hierarchies[t].candidates(codes[t][qi], min_count)
+            if extra.size:
+                parts.append(extra)
+        merged = np.concatenate(parts)
+        merged = np.unique(merged) if merged.size else merged
+        return self._filter_deleted(merged)
+
+    def query(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """KNN for a single query vector; returns ``(ids, distances)``."""
+        ids, dists, _ = self.query_batch(np.atleast_2d(query), k)
+        return ids[0], dists[0]
+
+    def query_batch(self, queries: np.ndarray, k: int,
+                    hierarchy_threshold: Union[str, int] = "median",
+                    ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """KNN for a batch of queries.
+
+        Parameters
+        ----------
+        queries:
+            Array ``(q, D)``.
+        k:
+            Neighborhood size.  Queries with fewer than ``k`` candidates
+            pad the result with id ``-1`` / distance ``inf``.
+        hierarchy_threshold:
+            Only with ``hierarchy=True``.  ``'median'`` reproduces the
+            paper: compute the median short-list size over the batch, then
+            escalate the queries below it.  An integer sets a fixed
+            threshold.
+
+        Returns
+        -------
+        ids, distances, stats:
+            ``ids``/``distances`` of shape ``(q, k)``; :class:`QueryStats`
+            with per-query candidate counts (for selectivity) and
+            escalation flags.
+        """
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        if queries.shape[1] != self._data.shape[1]:
+            raise ValueError(
+                f"queries have dim {queries.shape[1]}, index has dim "
+                f"{self._data.shape[1]}")
+        k = check_k(k)
+        nq = queries.shape[0]
+        projections = [family.project(queries) for family in self._families]
+        codes = [self._lattice.quantize(proj) for proj in projections]
+        candidate_sets = [self._gather_candidates(projections, codes, qi)
+                          for qi in range(nq)]
+        escalated = np.zeros(nq, dtype=bool)
+        if self.use_hierarchy and nq > 0:
+            sizes = np.array([c.size for c in candidate_sets])
+            if hierarchy_threshold == "median":
+                threshold = int(np.median(sizes))
+            else:
+                threshold = int(hierarchy_threshold)
+            threshold = max(threshold, k)
+            for qi in range(nq):
+                if candidate_sets[qi].size < threshold:
+                    candidate_sets[qi] = self._escalate(
+                        codes, qi, threshold, candidate_sets[qi])
+                    escalated[qi] = True
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        n_candidates = np.zeros(nq, dtype=np.int64)
+        for qi in range(nq):
+            cand = candidate_sets[qi]
+            n_candidates[qi] = cand.size
+            if cand.size == 0:
+                continue
+            diffs = self._data[cand] - queries[qi]
+            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            take = min(k, cand.size)
+            top = np.argpartition(dists, take - 1)[:take]
+            top = top[np.argsort(dists[top], kind="stable")]
+            ids_out[qi, :take] = self._ids[cand[top]]
+            dists_out[qi, :take] = dists[top]
+        return ids_out, dists_out, QueryStats(n_candidates, escalated)
+
+    def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
+        """Raw candidate id sets (before short-list ranking), per query.
+
+        Exposed for the GPU short-list benchmarks, which consume candidate
+        sets directly.
+        """
+        self._check_fitted()
+        queries = as_float_matrix(queries, name="queries")
+        projections = [family.project(queries) for family in self._families]
+        codes = [self._lattice.quantize(proj) for proj in projections]
+        local = [self._gather_candidates(projections, codes, qi)
+                 for qi in range(queries.shape[0])]
+        return [self._ids[c] for c in local]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"StandardLSH(M={self.n_hashes}, L={self.n_tables}, "
+                f"W={self.bucket_width:g}, lattice={self.lattice_kind!r}, "
+                f"n_probes={self.n_probes}, hierarchy={self.use_hierarchy})")

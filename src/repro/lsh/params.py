@@ -1,0 +1,173 @@
+"""LSH parameter estimation (the Dong et al., CIKM 2008 approach).
+
+The paper tunes per-group LSH parameters with "an automatic parameter
+tuning approach [10]" (Section IV-B): fit a statistical model of recall and
+selectivity on a small sample of the data, then pick the bucket width ``W``
+(given ``M`` and ``L``) that meets a recall target at minimal selectivity.
+
+The model rests on the exact collision probability of a 2-stable hash for
+two points at Euclidean distance ``d`` with bucket width ``W`` (Datar et
+al., SoCG 2004):
+
+    p(d; W) = 1 - 2 Phi(-W/d) - (2 d / (sqrt(2 pi) W)) (1 - exp(-W^2 / (2 d^2)))
+
+A point at distance ``d`` then survives an ``M``-dimensional code with
+probability ``p^M`` and is retrieved by at least one of ``L`` tables with
+probability ``1 - (1 - p^M)^L``.  Averaging that quantity over the sampled
+*k-NN distance* distribution estimates recall; averaging it over the sampled
+*random pair* distance distribution estimates selectivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import as_float_matrix, check_positive, check_probability
+
+
+def _std_normal_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (avoids a scipy dependency in core)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * (1.0 + np.vectorize(math.erf)(x / math.sqrt(2.0)))
+
+
+def collision_probability(dist: np.ndarray, bucket_width: float) -> np.ndarray:
+    """P[h(u) = h(v)] for one 2-stable hash, given ``||u - v|| = dist``.
+
+    Vectorized over ``dist``; ``dist = 0`` maps to probability 1.
+    """
+    check_positive(bucket_width, "bucket_width")
+    d = np.asarray(dist, dtype=np.float64)
+    out = np.ones_like(d)
+    pos = d > 0
+    if np.any(pos):
+        t = bucket_width / d[pos]
+        term1 = 1.0 - 2.0 * _std_normal_cdf(-t)
+        term2 = (2.0 / (math.sqrt(2.0 * math.pi) * t)) * (1.0 - np.exp(-(t ** 2) / 2.0))
+        out[pos] = np.clip(term1 - term2, 0.0, 1.0)
+    return out
+
+
+@dataclass(frozen=True)
+class LSHParams:
+    """A resolved set of LSH parameters.
+
+    Attributes
+    ----------
+    n_hashes:
+        Code length ``M``.
+    n_tables:
+        Number of independent hash tables ``L``.
+    bucket_width:
+        Quantization width ``W``.
+    expected_recall / expected_selectivity:
+        Model predictions at these parameters (``None`` if not estimated).
+    """
+
+    n_hashes: int
+    n_tables: int
+    bucket_width: float
+    expected_recall: Optional[float] = None
+    expected_selectivity: Optional[float] = None
+
+
+class CollisionModel:
+    """Sample-based recall/selectivity model for p-stable LSH.
+
+    Parameters
+    ----------
+    data:
+        The (group's) data matrix ``(n, D)`` to sample from.
+    k:
+        Neighborhood size the index will be asked for.
+    sample_size:
+        Number of sample points used to estimate the distance
+        distributions; capped at ``n``.
+    seed:
+        RNG for sampling.
+    """
+
+    def __init__(self, data: np.ndarray, k: int = 10, sample_size: int = 200,
+                 seed: SeedLike = None):
+        data = as_float_matrix(data)
+        check_positive(k, "k")
+        check_positive(sample_size, "sample_size")
+        rng = ensure_rng(seed)
+        n = data.shape[0]
+        m = min(int(sample_size), n)
+        idx = rng.choice(n, size=m, replace=False)
+        sample = data[idx]
+        # Pairwise distances within the sample.
+        sq = np.sum(sample ** 2, axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (sample @ sample.T)
+        np.fill_diagonal(d2, np.inf)
+        d2 = np.maximum(d2, 0.0)
+        dists = np.sqrt(d2)
+        kk = min(k, m - 1) if m > 1 else 0
+        if kk > 0:
+            knn = np.partition(dists, kk - 1, axis=1)[:, :kk]
+            self.knn_distances = knn.ravel()
+        else:
+            self.knn_distances = np.array([0.0])
+        finite = dists[np.isfinite(dists)]
+        self.pair_distances = finite if finite.size else np.array([0.0])
+
+    def expected_recall(self, n_hashes: int, n_tables: int, bucket_width: float) -> float:
+        """Model estimate of recall for parameters ``(M, L, W)``."""
+        p = collision_probability(self.knn_distances, bucket_width)
+        hit = 1.0 - (1.0 - p ** n_hashes) ** n_tables
+        return float(np.mean(hit))
+
+    def expected_selectivity(self, n_hashes: int, n_tables: int, bucket_width: float) -> float:
+        """Model estimate of selectivity (candidate fraction) for ``(M, L, W)``."""
+        p = collision_probability(self.pair_distances, bucket_width)
+        hit = 1.0 - (1.0 - p ** n_hashes) ** n_tables
+        return float(np.mean(hit))
+
+
+def tune_bucket_width(model: CollisionModel, n_hashes: int, n_tables: int,
+                      target_recall: float = 0.9,
+                      candidates: Optional[Sequence[float]] = None) -> LSHParams:
+    """Pick the smallest ``W`` whose modeled recall reaches the target.
+
+    Smaller ``W`` means smaller buckets and therefore lower selectivity, so
+    the smallest recall-feasible ``W`` is the cheapest one.  If no candidate
+    reaches the target, the candidate with the highest modeled recall is
+    returned (the model saturates for wide buckets, so this is the best the
+    grid offers).
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`CollisionModel` for the (group's) data.
+    n_hashes, n_tables:
+        Fixed ``M`` and ``L``.
+    target_recall:
+        Desired modeled recall in ``(0, 1]``.
+    candidates:
+        Grid of ``W`` values to search.  Defaults to a geometric grid
+        spanning ``[0.05, 8] * median(knn distance)``.
+    """
+    check_probability(target_recall, "target_recall")
+    if candidates is None:
+        scale = float(np.median(model.knn_distances))
+        if scale <= 0:
+            scale = 1.0
+        candidates = scale * np.geomspace(0.05, 8.0, 40)
+    best: Optional[LSHParams] = None
+    fallback: Optional[LSHParams] = None
+    for w in sorted(float(c) for c in candidates):
+        recall = model.expected_recall(n_hashes, n_tables, w)
+        selectivity = model.expected_selectivity(n_hashes, n_tables, w)
+        params = LSHParams(n_hashes, n_tables, w, recall, selectivity)
+        if fallback is None or recall > fallback.expected_recall:
+            fallback = params
+        if recall >= target_recall:
+            best = params
+            break
+    return best if best is not None else fallback

@@ -1,0 +1,147 @@
+"""Bucketed LSH hash table.
+
+Maps discrete lattice codes (optionally prefixed by an RP-tree group index —
+the Bi-level code ``H~(v) = (RPtree(v), H(v))``) to buckets of point ids.
+Unlike an ordinary hash table, an LSH table *wants* collisions: all points
+whose code matches share a bucket and become short-list candidates for any
+query landing in that bucket (Section IV-B.1 of the paper).
+
+Internally buckets are stored CSR-style (one sorted id array plus per-bucket
+start/end offsets) after :meth:`build`, mirroring the paper's GPU layout of
+"a linear array along with an indexing table"; the index table here is a
+Python dict keyed by the code bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+def codes_to_keys(codes: np.ndarray) -> List[bytes]:
+    """Convert an ``(n, M)`` int code array to hashable byte keys."""
+    codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
+    return [row.tobytes() for row in codes]
+
+
+class LSHTable:
+    """One LSH hash table: code -> bucket of point ids.
+
+    Parameters
+    ----------
+    codes:
+        ``(n, M)`` integer array, the full (possibly group-prefixed) code of
+        every indexed point.  Row ``i`` is the code of point id ``ids[i]``.
+    ids:
+        Optional ``(n,)`` integer ids; defaults to ``arange(n)``.
+    """
+
+    def __init__(self, codes: np.ndarray, ids: Optional[np.ndarray] = None):
+        codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
+        n = codes.shape[0]
+        if ids is None:
+            ids = np.arange(n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids must have shape ({n},), got {ids.shape}")
+        self.code_dim = codes.shape[1]
+        self.n_points = n
+        # Sort by code (lexicographically) to collect equal codes together —
+        # the "sorted linear array" layout of Section V-A.
+        order = np.lexsort(codes.T[::-1])
+        sorted_codes = codes[order]
+        self._sorted_ids = ids[order]
+        # Boundaries between runs of identical codes.
+        if n == 1:
+            change = np.array([], dtype=np.int64)
+        else:
+            change = np.nonzero(np.any(sorted_codes[1:] != sorted_codes[:-1], axis=1))[0] + 1
+        self._starts = np.concatenate(([0], change)).astype(np.int64)
+        self._ends = np.concatenate((change, [n])).astype(np.int64)
+        self._bucket_codes = sorted_codes[self._starts]
+        self._index: Dict[bytes, int] = {
+            row.tobytes(): i for i, row in enumerate(self._bucket_codes)
+        }
+
+        # Dynamic overlay for post-build insertions (code bytes -> id list).
+        self._extra: Dict[bytes, List[int]] = {}
+        self._n_extra = 0
+
+    @property
+    def n_buckets(self) -> int:
+        return self._starts.shape[0]
+
+    @property
+    def n_extra(self) -> int:
+        """Points inserted after the initial build (overlay, not CSR)."""
+        return self._n_extra
+
+    def add(self, codes: np.ndarray, ids: np.ndarray) -> None:
+        """Insert points after the initial build.
+
+        Additions land in a per-code overlay; :meth:`lookup` merges them
+        with the sorted base layout.  Callers that care about the CSR
+        invariants (e.g. the bucket hierarchies) should rebuild the table
+        once :attr:`n_extra` grows past their tolerance.
+        """
+        codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if codes.shape[0] != ids.shape[0]:
+            raise ValueError("codes and ids must have matching lengths")
+        if codes.shape[1] != self.code_dim:
+            raise ValueError(
+                f"codes must have {self.code_dim} columns, got {codes.shape[1]}")
+        for row, pid in zip(codes, ids):
+            self._extra.setdefault(row.tobytes(), []).append(int(pid))
+        self._n_extra += ids.shape[0]
+        self.n_points += ids.shape[0]
+
+    @property
+    def bucket_codes(self) -> np.ndarray:
+        """The distinct codes, one row per bucket (lexicographically sorted)."""
+        return self._bucket_codes
+
+    @property
+    def sorted_ids(self) -> np.ndarray:
+        """Point ids in bucket-grouped order (the linear array)."""
+        return self._sorted_ids
+
+    def bucket_bounds(self, bucket_index: int) -> Tuple[int, int]:
+        """Start/end offsets of one bucket inside :attr:`sorted_ids`."""
+        return int(self._starts[bucket_index]), int(self._ends[bucket_index])
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of all buckets."""
+        return (self._ends - self._starts).astype(np.int64)
+
+    def lookup(self, code: np.ndarray) -> np.ndarray:
+        """Return the ids in the bucket matching ``code`` (empty if none)."""
+        key = np.ascontiguousarray(code, dtype=np.int64).tobytes()
+        idx = self._index.get(key)
+        base = (self._sorted_ids[self._starts[idx]:self._ends[idx]]
+                if idx is not None else np.empty(0, dtype=np.int64))
+        extra = self._extra.get(key)
+        if extra is None:
+            return base
+        return np.concatenate([base, np.asarray(extra, dtype=np.int64)])
+
+    def lookup_many(self, codes: Iterable[np.ndarray]) -> np.ndarray:
+        """Union of the buckets matching each code (deduplicated ids)."""
+        parts = [self.lookup(c) for c in np.atleast_2d(np.asarray(codes, dtype=np.int64))]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        merged = np.concatenate(parts)
+        if merged.size == 0:
+            return merged
+        return np.unique(merged)
+
+    def bucket_index(self, code: np.ndarray) -> Optional[int]:
+        """Index of the bucket holding ``code``, or ``None``."""
+        key = np.ascontiguousarray(code, dtype=np.int64).tobytes()
+        return self._index.get(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LSHTable(n_points={self.n_points}, n_buckets={self.n_buckets}, "
+                f"code_dim={self.code_dim})")

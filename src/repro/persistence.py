@@ -1,0 +1,359 @@
+"""Index persistence: save fitted indexes to a single ``.npz`` file.
+
+Building an index costs RP-tree construction, ``L`` hash passes and table
+sorts; persisting it makes query-only deployments cheap.  Supported:
+:class:`~repro.lsh.index.StandardLSH`,
+:class:`~repro.core.bilevel.BiLevelLSH` and
+:class:`~repro.lsh.forest.LSHForest`.
+
+Format: one compressed ``.npz`` archive holding every array under a
+path-like key (``group3/family2/directions``) plus a ``__meta__`` JSON
+blob with the scalars, so no pickle is involved and files are portable
+across Python versions.  Hash tables and bucket hierarchies are *rebuilt*
+on load from the stored projection arrays — reconstruction is
+deterministic and cheaper than serializing the derived structures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.cluster.kmeans import KMeansPartitioner
+from repro.lsh.forest import LSHForest
+from repro.lsh.functions import PStableHashFamily
+from repro.lsh.index import StandardLSH
+from repro.lsh.table import LSHTable
+from repro.rptree.rules import SplitResult
+from repro.rptree.tree import RPTree, RPTreeNode
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------- families
+
+def _family_arrays(prefix: str, family: PStableHashFamily,
+                   arrays: Dict[str, np.ndarray]) -> dict:
+    arrays[f"{prefix}/directions"] = family.directions
+    arrays[f"{prefix}/offsets_unit"] = family.offsets_unit
+    return {"bucket_width": family.bucket_width}
+
+
+def _family_restore(prefix: str, meta: dict, arrays) -> PStableHashFamily:
+    family = object.__new__(PStableHashFamily)
+    family.directions = np.asarray(arrays[f"{prefix}/directions"])
+    family.offsets_unit = np.asarray(arrays[f"{prefix}/offsets_unit"])
+    family.dim = family.directions.shape[0]
+    family._n_hashes = family.directions.shape[1]
+    family.bucket_width = float(meta["bucket_width"])
+    return family
+
+
+# ------------------------------------------------------------- standard LSH
+
+def _standard_arrays(prefix: str, index: StandardLSH,
+                     arrays: Dict[str, np.ndarray],
+                     include_data: bool = True) -> dict:
+    index._check_fitted()
+    meta = {
+        "n_hashes": index.n_hashes,
+        "n_tables": index.n_tables,
+        "bucket_width": index.bucket_width,
+        "lattice": index.lattice_kind,
+        "n_probes": index.n_probes,
+        "hierarchy": index.use_hierarchy,
+        "adaptive_probing": index.adaptive_probing,
+        "probe_confidence": index.probe_confidence,
+        "families": [],
+    }
+    if include_data:
+        arrays[f"{prefix}/data"] = index._data
+    arrays[f"{prefix}/ids"] = index._ids
+    for t, family in enumerate(index._families):
+        meta["families"].append(
+            _family_arrays(f"{prefix}/family{t}", family, arrays))
+    return meta
+
+
+def _standard_restore(prefix: str, meta: dict, arrays,
+                      data: Optional[np.ndarray] = None) -> StandardLSH:
+    index = StandardLSH(n_hashes=int(meta["n_hashes"]),
+                        n_tables=int(meta["n_tables"]),
+                        bucket_width=float(meta["bucket_width"]),
+                        lattice=str(meta["lattice"]),
+                        n_probes=int(meta["n_probes"]),
+                        hierarchy=bool(meta["hierarchy"]),
+                        adaptive_probing=bool(meta.get("adaptive_probing",
+                                                       False)),
+                        probe_confidence=float(meta.get("probe_confidence",
+                                                        0.9)))
+    index._data = (np.asarray(arrays[f"{prefix}/data"])
+                   if data is None else data)
+    index._ids = np.asarray(arrays[f"{prefix}/ids"])
+    from repro.lsh.index import make_lattice
+
+    index._lattice = make_lattice(index.lattice_kind, index.n_hashes)
+    index._families = [
+        _family_restore(f"{prefix}/family{t}", fam_meta, arrays)
+        for t, fam_meta in enumerate(meta["families"])
+    ]
+    index._tables = []
+    index._hierarchies = []
+    local_ids = np.arange(index._data.shape[0], dtype=np.int64)
+    for family in index._families:
+        codes = index._lattice.quantize(family.project(index._data))
+        table = LSHTable(codes, ids=local_ids)
+        index._tables.append(table)
+        if index.use_hierarchy:
+            index._hierarchies.append(index._build_hierarchy(table))
+    return index
+
+
+# ------------------------------------------------------------------ RP-tree
+
+def _tree_arrays(prefix: str, tree: RPTree,
+                 arrays: Dict[str, np.ndarray]) -> dict:
+    """Flatten the tree in preorder: per-node split data + child links."""
+    nodes = []
+    vectors = []
+    leaf_blocks = []
+
+    def visit(node: RPTreeNode) -> int:
+        my_id = len(nodes)
+        nodes.append(None)  # reserve slot
+        if node.is_leaf:
+            leaf_blocks.append(node.indices)
+            nodes[my_id] = {
+                "leaf": True,
+                "leaf_index": node.leaf_index,
+                "block": len(leaf_blocks) - 1,
+                "depth": node.depth,
+            }
+        else:
+            split = node.split
+            vectors.append(split.direction if split.kind == "projection"
+                           else split.center)
+            vec_id = len(vectors) - 1
+            left_id = visit(node.left)
+            right_id = visit(node.right)
+            nodes[my_id] = {
+                "leaf": False,
+                "kind": split.kind,
+                "threshold": split.threshold,
+                "vector": vec_id,
+                "left": left_id,
+                "right": right_id,
+                "depth": node.depth,
+            }
+        return my_id
+
+    visit(tree.root)
+    arrays[f"{prefix}/vectors"] = (np.vstack(vectors) if vectors
+                                   else np.zeros((0, 1)))
+    sizes = [blk.size for blk in leaf_blocks]
+    arrays[f"{prefix}/leaf_concat"] = (np.concatenate(leaf_blocks)
+                                       if leaf_blocks
+                                       else np.zeros(0, dtype=np.int64))
+    arrays[f"{prefix}/leaf_sizes"] = np.asarray(sizes, dtype=np.int64)
+    return {
+        "partitioner": "rptree",
+        "n_groups": tree.n_groups,
+        "rule": tree.rule,
+        "diameter_sweeps": tree.diameter_sweeps,
+        "nodes": nodes,
+        "dim": tree._dim,
+    }
+
+
+def _tree_restore(prefix: str, meta: dict, arrays) -> RPTree:
+    tree = RPTree(n_groups=int(meta["n_groups"]), rule=str(meta["rule"]),
+                  diameter_sweeps=int(meta["diameter_sweeps"]))
+    vectors = np.asarray(arrays[f"{prefix}/vectors"])
+    leaf_concat = np.asarray(arrays[f"{prefix}/leaf_concat"])
+    leaf_sizes = np.asarray(arrays[f"{prefix}/leaf_sizes"])
+    offsets = np.concatenate(([0], np.cumsum(leaf_sizes)))
+    nodes_meta = meta["nodes"]
+
+    def build(node_id: int) -> RPTreeNode:
+        info = nodes_meta[node_id]
+        if info["leaf"]:
+            block = int(info["block"])
+            indices = leaf_concat[offsets[block]:offsets[block + 1]]
+            return RPTreeNode(indices=np.asarray(indices, dtype=np.int64),
+                              leaf_index=int(info["leaf_index"]),
+                              depth=int(info["depth"]))
+        vec = vectors[int(info["vector"])]
+        kind = str(info["kind"])
+        # The stored mask is irrelevant for routing; reconstruct the split
+        # with an empty placeholder mask.
+        split = SplitResult(kind=kind,
+                            left_mask=np.zeros(0, dtype=bool),
+                            threshold=float(info["threshold"]),
+                            direction=vec if kind == "projection" else None,
+                            center=vec if kind == "distance" else None)
+        node = RPTreeNode(split=split, depth=int(info["depth"]))
+        node.left = build(int(info["left"]))
+        node.right = build(int(info["right"]))
+        return node
+
+    tree.root = build(0)
+    tree._dim = int(meta["dim"])
+    tree.leaves = []
+    tree._collect_leaves(tree.root)
+    tree.leaves.sort(key=lambda leaf: leaf.leaf_index)
+    return tree
+
+
+def _kmeans_arrays(prefix: str, part: KMeansPartitioner,
+                   arrays: Dict[str, np.ndarray]) -> dict:
+    part._check_fitted()
+    arrays[f"{prefix}/centers"] = part._center_subset
+    blocks = part.leaf_indices()
+    arrays[f"{prefix}/leaf_concat"] = np.concatenate(blocks)
+    arrays[f"{prefix}/leaf_sizes"] = np.asarray([b.size for b in blocks],
+                                                dtype=np.int64)
+    return {"partitioner": "kmeans", "n_groups": part.n_groups}
+
+
+def _kmeans_restore(prefix: str, meta: dict, arrays) -> KMeansPartitioner:
+    part = KMeansPartitioner(n_groups=int(meta["n_groups"]))
+    part._center_subset = np.asarray(arrays[f"{prefix}/centers"])
+    leaf_concat = np.asarray(arrays[f"{prefix}/leaf_concat"])
+    leaf_sizes = np.asarray(arrays[f"{prefix}/leaf_sizes"])
+    offsets = np.concatenate(([0], np.cumsum(leaf_sizes)))
+    part._leaf_indices = [
+        np.asarray(leaf_concat[offsets[i]:offsets[i + 1]], dtype=np.int64)
+        for i in range(leaf_sizes.size)
+    ]
+    return part
+
+
+# ------------------------------------------------------------------ bilevel
+
+def _bilevel_arrays(index: BiLevelLSH, arrays: Dict[str, np.ndarray]) -> dict:
+    index._check_fitted()
+    cfg = index.config
+    meta = {
+        "config": {
+            "n_groups": cfg.n_groups, "partitioner": cfg.partitioner,
+            "tree_rule": cfg.tree_rule, "diameter_sweeps": cfg.diameter_sweeps,
+            "multi_assign": cfg.multi_assign,
+            "n_hashes": cfg.n_hashes, "n_tables": cfg.n_tables,
+            "bucket_width": cfg.bucket_width, "lattice": cfg.lattice,
+            "n_probes": cfg.n_probes, "hierarchy": cfg.hierarchy,
+            "adaptive_probing": cfg.adaptive_probing,
+            "probe_confidence": cfg.probe_confidence,
+            "tune_params": cfg.tune_params, "scale_widths": cfg.scale_widths,
+            "target_recall": cfg.target_recall,
+            "tuner_sample_size": cfg.tuner_sample_size,
+            "tuner_k": cfg.tuner_k, "seed": cfg.seed,
+            "tree_seed": cfg.tree_seed,
+        },
+        "group_widths": list(index.group_widths),
+    }
+    arrays["data"] = index._data
+    if isinstance(index.partitioner, RPTree):
+        meta["tree"] = _tree_arrays("tree", index.partitioner, arrays)
+    else:
+        meta["tree"] = _kmeans_arrays("tree", index.partitioner, arrays)
+    meta["groups"] = [
+        _standard_arrays(f"group{g}", sub, arrays, include_data=False)
+        for g, sub in enumerate(index.group_indexes)
+    ]
+    return meta
+
+
+def _bilevel_restore(meta: dict, arrays) -> BiLevelLSH:
+    cfg = BiLevelConfig(**meta["config"])
+    index = BiLevelLSH(cfg)
+    index._data = np.asarray(arrays["data"])
+    if meta["tree"]["partitioner"] == "rptree":
+        index.partitioner = _tree_restore("tree", meta["tree"], arrays)
+    else:
+        index.partitioner = _kmeans_restore("tree", meta["tree"], arrays)
+    index.group_widths = [float(w) for w in meta["group_widths"]]
+    index.group_indexes = []
+    for g, group_meta in enumerate(meta["groups"]):
+        ids = np.asarray(arrays[f"group{g}/ids"])
+        sub = _standard_restore(f"group{g}", group_meta, arrays,
+                                data=index._data[ids])
+        index.group_indexes.append(sub)
+    return index
+
+
+# ------------------------------------------------------------------- forest
+
+def _forest_arrays(index: LSHForest, arrays: Dict[str, np.ndarray]) -> dict:
+    index._check_fitted()
+    arrays["data"] = index._data
+    arrays["ids"] = index._ids
+    arrays["center"] = index._center
+    for t, directions in enumerate(index._directions):
+        arrays[f"tree{t}/directions"] = directions
+    return {
+        "n_trees": index.n_trees,
+        "max_depth": index.max_depth,
+        "candidate_target": index.candidate_target,
+    }
+
+
+def _forest_restore(meta: dict, arrays) -> LSHForest:
+    forest = LSHForest(n_trees=int(meta["n_trees"]),
+                       max_depth=int(meta["max_depth"]),
+                       candidate_target=int(meta["candidate_target"]))
+    forest._data = np.asarray(arrays["data"])
+    forest._ids = np.asarray(arrays["ids"])
+    forest._center = np.asarray(arrays["center"])
+    forest._directions = []
+    forest._sorted_codes = []
+    forest._sorted_rows = []
+    for t in range(forest.n_trees):
+        directions = np.asarray(arrays[f"tree{t}/directions"])
+        codes = forest._encode(forest._data, directions)
+        order = np.argsort(codes, kind="stable")
+        forest._directions.append(directions)
+        forest._sorted_codes.append(codes[order])
+        forest._sorted_rows.append(order.astype(np.int64))
+    return forest
+
+
+# --------------------------------------------------------------- public API
+
+def save_index(index, path: str) -> None:
+    """Persist a fitted index to ``path`` (a ``.npz`` archive)."""
+    arrays: Dict[str, np.ndarray] = {}
+    if isinstance(index, BiLevelLSH):
+        meta = {"type": "bilevel", "body": _bilevel_arrays(index, arrays)}
+    elif isinstance(index, StandardLSH):
+        meta = {"type": "standard",
+                "body": _standard_arrays("index", index, arrays)}
+    elif isinstance(index, LSHForest):
+        meta = {"type": "forest", "body": _forest_arrays(index, arrays)}
+    else:
+        raise TypeError(f"cannot persist index of type {type(index)!r}")
+    meta["version"] = FORMAT_VERSION
+    np.savez_compressed(path, __meta__=np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays)
+
+
+def load_index(path: str):
+    """Load an index previously written by :func:`save_index`."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index file version {meta.get('version')!r}")
+        arrays = {key: archive[key] for key in archive.files
+                  if key != "__meta__"}
+    kind = meta["type"]
+    if kind == "bilevel":
+        return _bilevel_restore(meta["body"], arrays)
+    if kind == "standard":
+        return _standard_restore("index", meta["body"], arrays)
+    if kind == "forest":
+        return _forest_restore(meta["body"], arrays)
+    raise ValueError(f"unknown index type {kind!r} in {path}")

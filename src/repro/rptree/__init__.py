@@ -1,0 +1,23 @@
+"""Random projection trees (level 1 of the Bi-level scheme).
+
+The RP-tree (Dasgupta & Freund, STOC 2008) partitions the dataset into leaf
+groups with bounded aspect ratio before any hashing happens.  Two split
+rules are provided (Section IV-A of the paper): *max* (random projection,
+jittered median split) and *mean* (projection split or distance-to-mean
+split, chosen by comparing the squared diameter against the average squared
+interpoint distance).  Diameters are approximated with the iterative
+Egecioglu--Kalantari algorithm.
+"""
+
+from repro.rptree.diameter import approximate_diameter
+from repro.rptree.rules import SplitResult, split_max, split_mean
+from repro.rptree.tree import RPTree, RPTreeNode
+
+__all__ = [
+    "approximate_diameter",
+    "SplitResult",
+    "split_max",
+    "split_mean",
+    "RPTree",
+    "RPTreeNode",
+]

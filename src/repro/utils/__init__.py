@@ -1,0 +1,20 @@
+"""Shared utilities: random-number handling and input validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_k,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "as_float_matrix",
+    "as_float_vector",
+    "check_k",
+    "check_positive",
+    "check_probability",
+]

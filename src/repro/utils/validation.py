@@ -1,0 +1,70 @@
+"""Input validation helpers shared across the library.
+
+These helpers normalize user-facing array inputs into the canonical shapes
+and dtypes used internally (C-contiguous ``float64`` matrices), and raise
+uniform, descriptive errors for invalid parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_float_matrix(data, name: str = "data") -> np.ndarray:
+    """Coerce ``data`` to a 2-D C-contiguous float64 array.
+
+    Raises ``ValueError`` for empty input, wrong dimensionality, or
+    non-finite entries.
+    """
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (n_points, dim), got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_float_vector(vec, dim: int = None, name: str = "query") -> np.ndarray:
+    """Coerce ``vec`` to a 1-D float64 array, optionally checking its length."""
+    arr = np.ascontiguousarray(vec, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got ndim={arr.ndim}")
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(f"{name} has dimension {arr.shape[0]}, expected {dim}")
+    if not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_k(k: int, n_points: int = None) -> int:
+    """Validate a neighbor count ``k`` (positive integer, optionally <= n)."""
+    if not isinstance(k, (int, np.integer)) or isinstance(k, bool):
+        raise TypeError(f"k must be an integer, got {type(k)!r}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n_points is not None and k > n_points:
+        raise ValueError(f"k={k} exceeds the number of indexed points ({n_points})")
+    return int(k)
+
+
+def check_positive(value, name: str, strict: bool = True):
+    """Validate that a numeric parameter is positive (or non-negative)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be numeric, got {type(value)!r}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    check_positive(value, name, strict=False)
+    if value > 1:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return float(value)

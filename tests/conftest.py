@@ -1,0 +1,37 @@
+"""Shared fixtures: small deterministic datasets reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import clustered_manifold
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gaussian_data():
+    """800 isotropic Gaussian points in dim 32."""
+    return np.random.default_rng(7).standard_normal((800, 32))
+
+
+@pytest.fixture(scope="session")
+def gaussian_queries():
+    """30 isotropic Gaussian queries in dim 32."""
+    return np.random.default_rng(8).standard_normal((30, 32))
+
+
+@pytest.fixture(scope="session")
+def clustered_data():
+    """Clustered anisotropic dataset (the regime the paper targets)."""
+    return clustered_manifold(n_points=1200, dim=48, n_clusters=8,
+                              intrinsic_dim=4, anisotropy=6.0,
+                              noise_fraction=0.02, seed=42)
+
+
+@pytest.fixture(scope="session")
+def clustered_split(clustered_data):
+    """(train, query) split of the clustered dataset."""
+    return clustered_data[:1000], clustered_data[1000:1050]

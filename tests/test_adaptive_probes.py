@@ -1,0 +1,92 @@
+"""Unit tests for adaptive (a-posteriori) multi-probe."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.index import StandardLSH
+from repro.lsh.multiprobe import adaptive_probes, query_directed_probes
+
+
+class TestAdaptiveProbes:
+    def test_subset_of_best_first_order(self):
+        y = np.random.default_rng(0).uniform(0, 1, 6)
+        code = np.floor(y).astype(np.int64)
+        adaptive = adaptive_probes(y, code, 40, confidence=0.9)
+        fixed = query_directed_probes(y, code, 40)
+        # Adaptive output is a prefix of the fixed best-first sequence.
+        assert adaptive.shape[0] <= fixed.shape[0]
+        np.testing.assert_array_equal(adaptive, fixed[: adaptive.shape[0]])
+
+    def test_center_query_needs_few_probes(self):
+        # Query at the cell center: all boundaries at distance 0.5; the
+        # best probes dominate quickly and the budget stays small.
+        y = np.full(8, 0.5)
+        code = np.zeros(8, dtype=np.int64)
+        probes = adaptive_probes(y, code, 100, confidence=0.5)
+        assert probes.shape[0] < 100
+
+    def test_corner_query_needs_more_probes(self):
+        # Query at a corner: many boundaries essentially tied at ~0; the
+        # likelihood mass spreads and more probes are needed than for a
+        # center query at the same confidence.
+        center = np.full(8, 0.5)
+        corner = np.full(8, 0.999)
+        code = np.zeros(8, dtype=np.int64)
+        n_center = adaptive_probes(center, code, 100, confidence=0.9).shape[0]
+        n_corner = adaptive_probes(corner, code, 100, confidence=0.9).shape[0]
+        assert n_corner >= n_center
+
+    def test_confidence_one_uses_full_budget(self):
+        y = np.random.default_rng(1).uniform(0, 1, 4)
+        code = np.floor(y).astype(np.int64)
+        full = adaptive_probes(y, code, 20, confidence=1.0)
+        fixed = query_directed_probes(y, code, 20)
+        assert full.shape == fixed.shape
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            adaptive_probes(np.zeros(2), np.zeros(2, dtype=np.int64), 5,
+                            confidence=0.0)
+        with pytest.raises(ValueError):
+            adaptive_probes(np.zeros(2), np.zeros(2, dtype=np.int64), 5,
+                            confidence=1.5)
+
+    def test_zero_budget(self):
+        out = adaptive_probes(np.zeros(3), np.zeros(3, dtype=np.int64), 0)
+        assert out.shape == (0, 3)
+
+
+class TestAdaptiveIndex:
+    def test_reduces_candidates_vs_fixed(self, gaussian_data, gaussian_queries):
+        fixed = StandardLSH(bucket_width=4.0, n_tables=3, n_probes=30,
+                            seed=2).fit(gaussian_data)
+        adaptive = StandardLSH(bucket_width=4.0, n_tables=3, n_probes=30,
+                               adaptive_probing=True, probe_confidence=0.7,
+                               seed=2).fit(gaussian_data)
+        _, _, s_fixed = fixed.query_batch(gaussian_queries, 5)
+        _, _, s_adaptive = adaptive.query_batch(gaussian_queries, 5)
+        assert s_adaptive.n_candidates.mean() <= s_fixed.n_candidates.mean()
+
+    def test_quality_retained(self, gaussian_data, gaussian_queries):
+        from repro.evaluation.groundtruth import brute_force_knn
+        from repro.evaluation.metrics import recall_ratio
+
+        exact_ids, _ = brute_force_knn(gaussian_data, gaussian_queries, 10)
+        fixed = StandardLSH(bucket_width=4.0, n_tables=3, n_probes=30,
+                            seed=3).fit(gaussian_data)
+        adaptive = StandardLSH(bucket_width=4.0, n_tables=3, n_probes=30,
+                               adaptive_probing=True, probe_confidence=0.95,
+                               seed=3).fit(gaussian_data)
+        ids_f, _, _ = fixed.query_batch(gaussian_queries, 10)
+        ids_a, _, _ = adaptive.query_batch(gaussian_queries, 10)
+        rec_f = recall_ratio(exact_ids, ids_f).mean()
+        rec_a = recall_ratio(exact_ids, ids_a).mean()
+        assert rec_a >= rec_f - 0.1  # high confidence: little quality loss
+
+    def test_requires_zm(self):
+        with pytest.raises(ValueError, match="zm"):
+            StandardLSH(lattice="e8", adaptive_probing=True)
+
+    def test_invalid_confidence_in_index(self):
+        with pytest.raises(ValueError):
+            StandardLSH(probe_confidence=2.0)

@@ -1,0 +1,99 @@
+"""Unit tests for the cuckoo hash table."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cuckoo import CuckooHashTable, compress_code
+from repro.gpu.device import DeviceModel
+
+
+class TestCompressCode:
+    def test_equal_codes_equal_keys(self):
+        codes = np.array([[1, 2, 3], [1, 2, 3]])
+        keys = compress_code(codes)
+        assert keys[0] == keys[1]
+
+    def test_distinct_codes_distinct_keys(self):
+        rng = np.random.default_rng(0)
+        codes = np.unique(rng.integers(-100, 100, size=(5000, 8)), axis=0)
+        keys = compress_code(codes)
+        assert np.unique(keys).size == codes.shape[0]
+
+    def test_order_sensitive(self):
+        a = compress_code(np.array([[1, 2]]))
+        b = compress_code(np.array([[2, 1]]))
+        assert a[0] != b[0]
+
+    def test_negative_coordinates(self):
+        keys = compress_code(np.array([[-1, -2], [-1, -2], [1, 2]]))
+        assert keys[0] == keys[1] != keys[2]
+
+
+class TestCuckooTable:
+    def _build(self, n=1000, seed=0):
+        rng = np.random.default_rng(seed)
+        keys = np.unique(rng.integers(1, 1 << 60, size=n * 2,
+                                      dtype=np.int64)).astype(np.uint64)[:n]
+        values = np.arange(keys.size, dtype=np.int64) * 3
+        table = CuckooHashTable(seed=seed).build(keys, values)
+        return keys, values, table
+
+    def test_all_keys_found(self):
+        keys, values, table = self._build()
+        for i in range(0, keys.size, 37):
+            assert table.lookup(int(keys[i])) == int(values[i])
+
+    def test_missing_key_none(self):
+        keys, _, table = self._build()
+        missing = int(keys.max()) + 12345
+        assert table.lookup(missing) is None
+
+    def test_lookup_batch(self):
+        keys, values, table = self._build(n=200, seed=1)
+        probe = np.concatenate([keys[:5], [np.uint64(keys.max() + 99)]])
+        out = table.lookup_batch(probe)
+        np.testing.assert_array_equal(out[:5], values[:5])
+        assert out[5] == -1
+
+    def test_load_factor_below_one(self):
+        _, _, table = self._build(n=500, seed=2)
+        assert 0 < table.load_factor < 1
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CuckooHashTable(seed=0).build(np.array([1, 1], dtype=np.uint64),
+                                          np.array([0, 1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(seed=0).build(np.array([1], dtype=np.uint64),
+                                          np.array([0, 1]))
+
+    def test_small_tables(self):
+        for n in (1, 2, 3, 5):
+            keys = np.arange(1, n + 1, dtype=np.uint64) * 7
+            table = CuckooHashTable(seed=3).build(keys, np.arange(n))
+            for i, key in enumerate(keys):
+                assert table.lookup(int(key)) == i
+
+    def test_unbuilt_lookup_raises(self):
+        with pytest.raises(RuntimeError):
+            CuckooHashTable().lookup(1)
+
+    def test_lookup_cost(self):
+        _, _, table = self._build(n=50, seed=4)
+        dev = DeviceModel(global_mem_cycles=100.0)
+        assert table.lookup_cost_cycles(dev) == table.n_functions * 100.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(n_functions=1)
+        with pytest.raises(ValueError):
+            CuckooHashTable(max_rebuilds=0)
+
+    def test_large_build_succeeds(self):
+        # Stress the eviction/rebuild machinery.
+        keys, values, table = self._build(n=20_000, seed=5)
+        idx = np.random.default_rng(6).integers(0, keys.size, 100)
+        for i in idx:
+            assert table.lookup(int(keys[i])) == int(values[i])

@@ -1,0 +1,117 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    clustered_manifold,
+    labelme_like,
+    tiny_like,
+    train_query_split,
+)
+
+
+class TestClusteredManifold:
+    def test_shape_and_dtype(self):
+        data = clustered_manifold(n_points=500, dim=24, seed=0)
+        assert data.shape == (500, 24)
+        assert data.dtype == np.float64
+
+    def test_deterministic_with_seed(self):
+        a = clustered_manifold(n_points=200, dim=8, seed=5)
+        b = clustered_manifold(n_points=200, dim=8, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_labels_cover_clusters(self):
+        data, labels = clustered_manifold(n_points=600, dim=16, n_clusters=5,
+                                          noise_fraction=0.1, seed=1,
+                                          return_labels=True)
+        assert set(np.unique(labels)) <= set(range(-1, 5))
+        assert (labels == -1).sum() == 60  # 10% noise
+
+    def test_intrinsic_dimension_low(self):
+        # Each cluster should have most variance in ~intrinsic_dim axes.
+        data, labels = clustered_manifold(n_points=800, dim=32, n_clusters=3,
+                                          intrinsic_dim=3, anisotropy=1.0,
+                                          noise_fraction=0.0, seed=2,
+                                          return_labels=True)
+        members = data[labels == 0]
+        centered = members - members.mean(axis=0)
+        s = np.linalg.svd(centered, compute_uv=False)
+        var = s ** 2
+        assert var[:3].sum() / var.sum() > 0.9
+
+    def test_anisotropy_controls_elongation(self):
+        def top_axis_ratio(aniso):
+            data, labels = clustered_manifold(
+                n_points=800, dim=16, n_clusters=2, intrinsic_dim=4,
+                anisotropy=aniso, noise_fraction=0.0, seed=3,
+                return_labels=True)
+            members = data[labels == 0]
+            s = np.linalg.svd(members - members.mean(axis=0),
+                              compute_uv=False)
+            return s[0] / s[3]
+
+        assert top_axis_ratio(10.0) > top_axis_ratio(1.0) * 2
+
+    def test_clusters_separated(self):
+        data, labels = clustered_manifold(n_points=400, dim=16, n_clusters=4,
+                                          center_spread=60.0, cluster_spread=0.5,
+                                          noise_fraction=0.0, seed=4,
+                                          return_labels=True)
+        centers = np.array([data[labels == c].mean(axis=0) for c in range(4)])
+        within = max(np.linalg.norm(data[labels == c]
+                                    - centers[c], axis=1).mean()
+                     for c in range(4))
+        between = min(np.linalg.norm(centers[i] - centers[j])
+                      for i in range(4) for j in range(i + 1, 4))
+        assert between > 3 * within
+
+    def test_sizes_imbalanced(self):
+        data, labels = clustered_manifold(n_points=1000, dim=8, n_clusters=10,
+                                          size_exponent=1.0,
+                                          noise_fraction=0.0, seed=5,
+                                          return_labels=True)
+        sizes = np.bincount(labels[labels >= 0])
+        assert sizes.max() > 2 * sizes.min()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            clustered_manifold(n_points=10, dim=4, intrinsic_dim=8)
+        with pytest.raises(ValueError):
+            clustered_manifold(n_points=10, noise_fraction=1.5)
+        with pytest.raises(ValueError):
+            clustered_manifold(n_points=0)
+
+    def test_more_clusters_than_points(self):
+        data = clustered_manifold(n_points=5, dim=4, n_clusters=50,
+                                  intrinsic_dim=2, noise_fraction=0.0, seed=6)
+        assert data.shape == (5, 4)
+
+
+class TestPresets:
+    def test_labelme_dim(self):
+        assert labelme_like(n_points=50, seed=0).shape == (50, 512)
+
+    def test_tiny_dim(self):
+        assert tiny_like(n_points=50, seed=0).shape == (50, 384)
+
+    def test_overrides(self):
+        data = labelme_like(n_points=40, dim=32, n_clusters=4, seed=1)
+        assert data.shape == (40, 32)
+
+
+class TestTrainQuerySplit:
+    def test_disjoint_and_complete(self):
+        data = np.arange(40, dtype=np.float64).reshape(20, 2)
+        train, query = train_query_split(data, 6, seed=0)
+        assert train.shape == (14, 2) and query.shape == (6, 2)
+        combined = np.vstack([train, query])
+        assert np.unique(combined[:, 0]).size == 20
+
+    def test_invalid_query_count(self):
+        data = np.zeros((5, 2)) + 1.0
+        with pytest.raises(ValueError):
+            train_query_split(data, 5)
+        with pytest.raises(ValueError):
+            train_query_split(data, 0)

@@ -1,0 +1,139 @@
+"""Unit tests for the diagnostics module."""
+
+import numpy as np
+import pytest
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.cluster.kmeans import KMeansPartitioner
+from repro.evaluation.diagnostics import (
+    aspect_ratio,
+    bucket_statistics,
+    escalation_report,
+    partition_roundness,
+    routing_loss,
+)
+from repro.evaluation.groundtruth import brute_force_knn
+from repro.lsh.table import LSHTable
+from repro.rptree.tree import RPTree
+
+
+class TestAspectRatio:
+    def test_sphere_near_one(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((2000, 8))
+        ratio = aspect_ratio(pts)
+        assert 1.0 <= ratio < 1.3
+
+    def test_elongated_large(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((500, 4))
+        pts[:, 0] *= 50.0
+        assert aspect_ratio(pts) > 20.0
+
+    def test_degenerate_inf(self):
+        line = np.outer(np.arange(10, dtype=float), np.ones(3))
+        assert aspect_ratio(line) == float("inf")
+        assert aspect_ratio(np.zeros((2, 3)) + 1.0) == float("inf")
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(2)
+        pts = rng.standard_normal((300, 5))
+        assert aspect_ratio(pts) == pytest.approx(aspect_ratio(pts * 7.0))
+
+
+class TestPartitionRoundness:
+    def test_rptree_max_rounder_than_whole(self):
+        # The paper's claim: max-rule leaves have bounded aspect ratio.
+        rng = np.random.default_rng(3)
+        pts = rng.standard_normal((2000, 6))
+        pts[:, 0] *= 20.0  # elongated dataset
+        whole = aspect_ratio(pts)
+        tree = RPTree(n_groups=8, rule="max", seed=4).fit(pts)
+        leaf_ratios = partition_roundness(pts, tree.leaf_indices())
+        assert np.median(leaf_ratios) < whole
+
+    def test_returns_one_value_per_leaf(self):
+        rng = np.random.default_rng(5)
+        pts = rng.standard_normal((400, 4))
+        tree = RPTree(n_groups=5, seed=6).fit(pts)
+        assert partition_roundness(pts, tree.leaf_indices()).shape == (5,)
+
+
+class TestBucketStatistics:
+    def test_uniform_buckets_zero_gini(self):
+        codes = np.repeat(np.arange(10), 5).reshape(-1, 1)
+        stats = bucket_statistics(LSHTable(codes))
+        assert stats.n_buckets == 10
+        assert stats.mean_size == 5.0
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_skewed_buckets_positive_gini(self):
+        codes = np.concatenate([np.zeros(90), np.arange(1, 11)]).reshape(-1, 1)
+        stats = bucket_statistics(LSHTable(codes.astype(np.int64)))
+        assert stats.max_size == 90
+        assert stats.gini > 0.5
+
+    def test_counts_consistent(self):
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 20, size=(200, 2))
+        stats = bucket_statistics(LSHTable(codes))
+        assert stats.n_points == 200
+        assert stats.n_buckets <= 200
+
+
+class TestRoutingLoss:
+    def test_zero_when_one_group(self, gaussian_data, gaussian_queries):
+        idx = BiLevelLSH(BiLevelConfig(n_groups=1, bucket_width=8.0,
+                                       seed=8)).fit(gaussian_data)
+        exact_ids, _ = brute_force_knn(gaussian_data, gaussian_queries, 5)
+        loss = routing_loss(idx, gaussian_queries, exact_ids)
+        np.testing.assert_allclose(loss, 0.0)
+
+    def test_bounds_recall(self, clustered_split):
+        # 1 - routing_loss upper-bounds achievable recall; with a huge W
+        # the measured recall should approach that ceiling.
+        train, queries = clustered_split
+        idx = BiLevelLSH(BiLevelConfig(n_groups=8, bucket_width=1e6,
+                                       n_tables=2, seed=9)).fit(train)
+        exact_ids, _ = brute_force_knn(train, queries, 5)
+        loss = routing_loss(idx, queries, exact_ids)
+        ids, _, _ = idx.query_batch(queries, 5)
+        from repro.evaluation.metrics import recall_ratio
+
+        rec = recall_ratio(exact_ids, ids)
+        ceiling = 1.0 - loss
+        assert np.all(rec <= ceiling + 1e-9)
+        assert rec.mean() >= ceiling.mean() - 0.05  # W huge: ceiling reached
+
+    def test_grows_with_groups(self, gaussian_data, gaussian_queries):
+        exact_ids, _ = brute_force_knn(gaussian_data, gaussian_queries, 10)
+        losses = []
+        for g in (2, 16):
+            idx = BiLevelLSH(BiLevelConfig(n_groups=g, bucket_width=8.0,
+                                           seed=10)).fit(gaussian_data)
+            losses.append(routing_loss(idx, gaussian_queries,
+                                       exact_ids).mean())
+        assert losses[1] >= losses[0]
+
+    def test_works_with_kmeans_partitioner(self, gaussian_data,
+                                           gaussian_queries):
+        idx = BiLevelLSH(BiLevelConfig(n_groups=4, partitioner="kmeans",
+                                       bucket_width=8.0,
+                                       seed=11)).fit(gaussian_data)
+        exact_ids, _ = brute_force_knn(gaussian_data, gaussian_queries, 5)
+        loss = routing_loss(idx, gaussian_queries, exact_ids)
+        assert np.all((loss >= 0) & (loss <= 1))
+
+
+class TestEscalationReport:
+    def test_summary_fields(self, gaussian_data, gaussian_queries):
+        from repro.lsh.index import StandardLSH
+
+        idx = StandardLSH(bucket_width=2.0, n_tables=3, hierarchy=True,
+                          seed=12).fit(gaussian_data)
+        _, _, stats = idx.query_batch(gaussian_queries, 5)
+        report = escalation_report(stats)
+        assert report["n_queries"] == 30
+        assert 0 <= report["escalated_fraction"] <= 1
+        assert report["candidates_min"] <= report["candidates_max"]

@@ -1,0 +1,100 @@
+"""Unit tests for the E8 scaled-lattice hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.e8_hierarchy import E8Hierarchy
+from repro.lattice.e8 import E8Lattice
+from repro.lsh.table import LSHTable
+
+
+def _make(points_scale=4.0, n=150, seed=0, max_levels=24):
+    rng = np.random.default_rng(seed)
+    lat = E8Lattice(8)
+    y = rng.uniform(-points_scale, points_scale, size=(n, 8))
+    codes = lat.quantize(y)
+    table = LSHTable(codes)
+    return y, codes, lat, table, E8Hierarchy(table, lat, max_levels=max_levels)
+
+
+class TestConstruction:
+    def test_level_zero_is_buckets(self):
+        _, codes, lat, table, hier = _make()
+        assert len(hier.levels[0]) == table.n_buckets
+
+    def test_levels_coarsen(self):
+        _, _, _, _, hier = _make()
+        sizes = [len(level) for level in hier.levels]
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_terminates_at_single_root_or_cap(self):
+        _, _, _, _, hier = _make(points_scale=2.0, n=80)
+        assert len(hier.levels[-1]) == 1 or hier.n_levels == 24
+
+    def test_max_levels_respected(self):
+        _, _, _, _, hier = _make(max_levels=3)
+        assert hier.n_levels <= 3
+
+    def test_invalid_max_levels(self):
+        _, codes, lat, table, _ = _make()
+        with pytest.raises(ValueError):
+            E8Hierarchy(table, lat, max_levels=0)
+
+    def test_every_level_partitions_buckets(self):
+        _, _, _, table, hier = _make()
+        for level in hier.levels:
+            buckets = np.concatenate(list(level.values()))
+            np.testing.assert_array_equal(np.sort(buckets),
+                                          np.arange(table.n_buckets))
+
+
+class TestQueries:
+    def test_exact_bucket_at_level_zero(self):
+        y, codes, lat, table, hier = _make()
+        ids = hier.ids_at_level(codes[0], 0)
+        own = table.lookup(codes[0])
+        np.testing.assert_array_equal(np.sort(ids), np.sort(own))
+
+    def test_candidates_meet_min_count_when_possible(self):
+        y, codes, lat, table, hier = _make(points_scale=2.0, n=200)
+        got = hier.candidates(codes[0], min_count=50)
+        assert got.size >= 50 or got.size == 200
+
+    def test_candidates_grow_with_level(self):
+        y, codes, lat, table, hier = _make()
+        prev_size = 0
+        for level in range(hier.n_levels):
+            ids = hier.ids_at_level(codes[0], level)
+            if ids is not None:
+                assert ids.size >= prev_size
+                prev_size = ids.size
+
+    def test_candidate_supersets_across_levels(self):
+        # Level k+1's group must contain level k's group for the same code.
+        y, codes, lat, table, hier = _make()
+        prev = None
+        for level in range(hier.n_levels):
+            ids = hier.ids_at_level(codes[3], level)
+            if ids is None:
+                continue
+            cur = set(ids.tolist())
+            if prev is not None:
+                assert prev.issubset(cur)
+            prev = cur
+
+    def test_deepest_match_for_indexed_code(self):
+        y, codes, lat, table, hier = _make()
+        assert hier.deepest_match(codes[0]) == 0
+
+    def test_level_out_of_range(self):
+        _, codes, _, _, hier = _make()
+        with pytest.raises(ValueError):
+            hier.ids_at_level(codes[0], hier.n_levels)
+
+    def test_unseen_code_escalates(self):
+        # A code far outside the data may match only coarse levels (or
+        # none); candidates() must not crash and returns an array.
+        _, codes, lat, _, hier = _make()
+        rogue = lat.quantize(np.full((1, 8), 1e4))[0]
+        got = hier.candidates(rogue, min_count=5)
+        assert isinstance(got, np.ndarray)

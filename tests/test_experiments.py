@@ -1,0 +1,122 @@
+"""Unit tests for the experiments layer (workloads, methods, drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.methods import METHOD_NAMES, method_spec
+from repro.experiments.workloads import Scale, Workload, make_workload
+
+
+MICRO = Scale(n_train=300, n_queries=30, dim=16, k=5, n_runs=1,
+              n_tables=2, n_groups=4, n_probes=4, widths=(1.0, 2.0))
+
+
+class TestScale:
+    def test_defaults_valid(self):
+        s = Scale()
+        assert s.n_train > s.n_queries > 0
+
+    def test_paper_scale_matches_protocol(self):
+        s = Scale.paper()
+        assert s.n_train == 100_000
+        assert s.k == 500
+        assert s.n_probes == 240
+        assert s.n_runs == 10
+
+    def test_with_override(self):
+        s = Scale().with_(k=7)
+        assert s.k == 7
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Scale().k = 3
+
+
+class TestMakeWorkload:
+    def test_shapes(self):
+        w = make_workload("labelme", MICRO)
+        assert w.train.shape == (300, 16)
+        assert w.queries.shape == (30, 16)
+        assert isinstance(w, Workload)
+
+    def test_reference_width_positive(self):
+        w = make_workload("labelme", MICRO)
+        assert w.reference_width > 0
+
+    def test_absolute_widths_scale_with_multipliers(self):
+        w = make_workload("labelme", MICRO)
+        widths = w.absolute_widths()
+        assert widths[1] == pytest.approx(2 * widths[0])
+
+    def test_tiny_workload(self):
+        w = make_workload("tiny", MICRO)
+        assert w.train.shape == (300, 16)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("imagenet", MICRO)
+
+    def test_deterministic(self):
+        a = make_workload("labelme", MICRO)
+        b = make_workload("labelme", MICRO)
+        np.testing.assert_array_equal(a.train, b.train)
+
+
+class TestMethodSpec:
+    @pytest.mark.parametrize("name", METHOD_NAMES)
+    def test_every_method_builds_and_queries(self, name):
+        w = make_workload("labelme", MICRO)
+        spec = method_spec(name, bucket_width=2 * w.reference_width,
+                           n_tables=2, n_groups=4, n_probes=4)
+        index = spec.factory(0)
+        index.fit(w.train)
+        ids, dists, stats = index.query_batch(w.queries, 5)
+        assert ids.shape == (30, 5)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            method_spec("bilevel+magic", 1.0)
+        with pytest.raises(ValueError):
+            method_spec("annoy", 1.0)
+
+    def test_probes_only_for_mp(self):
+        plain = method_spec("standard", 1.0, n_probes=50).factory(0)
+        probed = method_spec("standard+mp", 1.0, n_probes=50).factory(0)
+        assert plain.n_probes == 0
+        assert probed.n_probes == 50
+
+    def test_bilevel_tree_seed_fixed_across_run_seeds(self):
+        w = make_workload("labelme", MICRO)
+        spec = method_spec("bilevel", 2 * w.reference_width, n_tables=2,
+                           n_groups=4)
+        a = spec.factory(0).fit(w.train)
+        b = spec.factory(12345).fit(w.train)
+        np.testing.assert_array_equal(a.partitioner.assign(w.queries),
+                                      b.partitioner.assign(w.queries))
+
+
+class TestFigureDrivers:
+    def test_fig05_micro(self, capsys):
+        from repro.experiments import figures
+
+        blocks = figures.fig05(MICRO, l_values=(2,))
+        assert set(blocks) == {"standard[zm] L=2", "bilevel[zm] L=2"}
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+
+    def test_fig13c_micro(self, capsys):
+        from repro.experiments import figures
+
+        blocks = figures.fig13c(MICRO)
+        assert "bilevel (RP-tree)" in blocks
+        assert "bilevel (K-means)" in blocks
+
+    def test_fig04_micro(self, capsys):
+        from repro.experiments import figures
+
+        rows = figures.fig04(MICRO)
+        assert set(rows) == {"cpu_lshkit", "cpu_shortlist", "gpu",
+                             "gpu_workqueue"}
+        for series in rows.values():
+            assert len(series) == len(MICRO.widths)
+            assert all(r["seconds"] > 0 for r in series)

@@ -1,0 +1,88 @@
+"""Micro-scale execution tests for every figure driver.
+
+Each paper figure's driver must run end-to-end and return the expected
+block structure; quality assertions live in the benchmark layer, these
+tests pin the harness contract at a scale of seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.workloads import Scale
+
+MICRO = Scale(n_train=250, n_queries=25, dim=16, k=5, n_runs=1,
+              n_tables=2, n_groups=4, n_probes=4, widths=(1.0, 2.5))
+
+
+class TestPairDrivers:
+    @pytest.mark.parametrize("driver,lattice,names", [
+        (figures.fig06, "e8", ("standard", "bilevel")),
+        (figures.fig07, "zm", ("standard+mp", "bilevel+mp")),
+        (figures.fig08, "e8", ("standard+mp", "bilevel+mp")),
+        (figures.fig09, "zm", ("standard+h", "bilevel+h")),
+        (figures.fig10, "e8", ("standard+h", "bilevel+h")),
+    ])
+    def test_blocks_and_sweep_lengths(self, driver, lattice, names, capsys):
+        blocks = driver(MICRO, l_values=(2,))
+        expected = {f"{name}[{lattice}] L=2" for name in names}
+        assert set(blocks) == expected
+        for results in blocks.values():
+            assert len(results) == len(MICRO.widths)
+            for res in results:
+                assert 0.0 <= res.recall.mean <= 1.0
+                assert 0.0 <= res.selectivity.mean <= 1.0
+        assert "Fig." in capsys.readouterr().out
+
+
+class TestAllMethodDrivers:
+    @pytest.mark.parametrize("driver,lattice", [
+        (figures.fig11, "zm"),
+        (figures.fig12, "e8"),
+    ])
+    def test_six_methods(self, driver, lattice, capsys):
+        blocks = driver(MICRO)
+        assert len(blocks) == 6
+        for label, results in blocks.items():
+            assert lattice in label
+            assert len(results) == len(MICRO.widths)
+        out = capsys.readouterr().out
+        assert "query-wise std" in out
+
+
+class TestParameterStudies:
+    def test_fig13a_group_structure(self, capsys):
+        blocks = figures.fig13a(MICRO, group_counts=(1, 4))
+        assert set(blocks) == {"bilevel g=1", "bilevel g=4"}
+
+    def test_fig13b_m_structure(self, capsys):
+        blocks = figures.fig13b(MICRO, m_values=(4, 8))
+        assert set(blocks) == {"standard M=4", "bilevel M=4",
+                               "standard M=8", "bilevel M=8"}
+        # Larger M -> finer codes -> selectivity no larger at equal W.
+        s4 = blocks["standard M=4"][-1].selectivity.mean
+        s8 = blocks["standard M=8"][-1].selectivity.mean
+        assert s8 <= s4 + 1e-9
+
+    def test_tiny_workload_supported(self, capsys):
+        blocks = figures.fig05(MICRO, workload_name="tiny", l_values=(2,))
+        assert len(blocks) == 2
+
+
+class TestLatticeChainEquivalence:
+    def test_e8_ancestor_chain_matches_ancestor(self):
+        from repro.lattice.e8 import E8Lattice
+
+        lat = E8Lattice(8)
+        codes = lat.quantize(
+            np.random.default_rng(0).uniform(-6, 6, (30, 8)))
+        for k, anc in lat.ancestor_chain(codes, 5):
+            np.testing.assert_array_equal(anc, lat.ancestor(codes, k))
+
+    def test_zm_default_chain(self):
+        from repro.lattice.zm import ZMLattice
+
+        lat = ZMLattice(4)
+        codes = np.random.default_rng(1).integers(-20, 20, (15, 4))
+        for k, anc in lat.ancestor_chain(codes, 4):
+            np.testing.assert_array_equal(anc, lat.ancestor(codes, k))

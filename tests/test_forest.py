@@ -1,0 +1,144 @@
+"""Unit tests for the LSH Forest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.groundtruth import brute_force_knn
+from repro.evaluation.metrics import recall_ratio
+from repro.lsh.forest import LSHForest
+
+
+class TestFit:
+    def test_basic(self, gaussian_data):
+        forest = LSHForest(n_trees=4, max_depth=16, seed=0).fit(gaussian_data)
+        assert forest.n_points == gaussian_data.shape[0]
+        assert len(forest._sorted_codes) == 4
+
+    def test_codes_sorted(self, gaussian_data):
+        forest = LSHForest(n_trees=3, max_depth=16, seed=1).fit(gaussian_data)
+        for codes in forest._sorted_codes:
+            assert np.all(np.diff(codes.astype(np.float64)) >= 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LSHForest(n_trees=0)
+        with pytest.raises(ValueError):
+            LSHForest(max_depth=0)
+        with pytest.raises(ValueError):
+            LSHForest(max_depth=63)
+        with pytest.raises(ValueError):
+            LSHForest(candidate_target=0)
+
+    def test_bad_ids(self, gaussian_data):
+        with pytest.raises(ValueError):
+            LSHForest(seed=0).fit(gaussian_data, ids=np.array([1, 2]))
+
+
+class TestQuery:
+    def test_shapes(self, gaussian_data, gaussian_queries):
+        forest = LSHForest(n_trees=5, max_depth=20, seed=2).fit(gaussian_data)
+        ids, dists, stats = forest.query_batch(gaussian_queries, 5)
+        assert ids.shape == (30, 5)
+        assert stats.n_candidates.shape == (30,)
+
+    def test_indexed_point_finds_itself(self, gaussian_data):
+        forest = LSHForest(n_trees=5, max_depth=20, seed=3).fit(gaussian_data)
+        ids, dists = forest.query(gaussian_data[11], 1)
+        assert ids[0] == 11 and dists[0] == 0.0
+
+    def test_reasonable_recall(self, gaussian_data, gaussian_queries):
+        forest = LSHForest(n_trees=8, max_depth=24, candidate_target=20,
+                           seed=4).fit(gaussian_data)
+        ids, _, stats = forest.query_batch(gaussian_queries, 10)
+        exact_ids, _ = brute_force_knn(gaussian_data, gaussian_queries, 10)
+        rec = recall_ratio(exact_ids, ids).mean()
+        assert rec > 0.5
+        # Self-tuning: candidates stay near the target budget, far below n.
+        assert stats.n_candidates.mean() < gaussian_data.shape[0]
+
+    def test_candidate_target_respected_approximately(self, gaussian_data,
+                                                      gaussian_queries):
+        small = LSHForest(n_trees=4, max_depth=24, candidate_target=2,
+                          seed=5).fit(gaussian_data)
+        large = LSHForest(n_trees=4, max_depth=24, candidate_target=30,
+                          seed=5).fit(gaussian_data)
+        _, _, s_small = small.query_batch(gaussian_queries, 5)
+        _, _, s_large = large.query_batch(gaussian_queries, 5)
+        assert s_large.n_candidates.mean() > s_small.n_candidates.mean()
+
+    def test_distances_sorted(self, gaussian_data, gaussian_queries):
+        forest = LSHForest(n_trees=4, max_depth=16, seed=6).fit(gaussian_data)
+        _, dists, _ = forest.query_batch(gaussian_queries, 8)
+        for row in dists:
+            finite = row[np.isfinite(row)]
+            assert np.all(np.diff(finite) >= 0)
+
+    def test_external_ids(self, gaussian_data):
+        ids_ext = np.arange(gaussian_data.shape[0]) + 500
+        forest = LSHForest(n_trees=4, max_depth=16, seed=7).fit(
+            gaussian_data, ids=ids_ext)
+        ids, _ = forest.query(gaussian_data[0], 1)
+        assert ids[0] == 500
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LSHForest().query(np.zeros(4), 1)
+
+    def test_dim_mismatch(self, gaussian_data):
+        forest = LSHForest(n_trees=2, max_depth=8, seed=8).fit(gaussian_data)
+        with pytest.raises(ValueError, match="dim"):
+            forest.query_batch(np.zeros((1, 7)), 2)
+
+    def test_runner_compatible(self, gaussian_data, gaussian_queries):
+        # The forest slots into the experiment runner's MethodSpec protocol.
+        from repro.evaluation.runner import MethodSpec, run_method
+
+        spec = MethodSpec("forest", lambda seed: LSHForest(
+            n_trees=4, max_depth=16, seed=seed))
+        res = run_method(spec, gaussian_data, gaussian_queries, 5, n_runs=2)
+        assert res.recall_matrix.shape == (2, 30)
+
+
+class TestCandidateSets:
+    def test_candidate_sets_interface(self, gaussian_data, gaussian_queries):
+        forest = LSHForest(n_trees=4, max_depth=16, candidate_target=20,
+                           seed=12).fit(gaussian_data)
+        sets = forest.candidate_sets(gaussian_queries)
+        assert len(sets) == gaussian_queries.shape[0]
+        for s in sets:
+            assert s.dtype == np.int64
+
+    def test_pipeline_compatible(self, gaussian_data, gaussian_queries):
+        from repro.gpu.pipeline import GPUPipeline
+
+        forest = LSHForest(n_trees=4, max_depth=16, candidate_target=20,
+                           seed=13).fit(gaussian_data)
+        pipe = GPUPipeline(forest)
+        # n_tables is read from the forest attribute of the same name.
+        result, timing = pipe.run(gaussian_data, gaussian_queries, 5,
+                                  mode="gpu_workqueue")
+        assert result.ids.shape == (30, 5)
+        assert timing.total_seconds > 0
+
+
+class TestPrefixRanges:
+    def test_full_depth_exact_bucket(self, gaussian_data):
+        forest = LSHForest(n_trees=1, max_depth=12, seed=9).fit(gaussian_data)
+        codes = forest._sorted_codes[0]
+        lo, hi = forest._prefix_range(0, codes[5], forest.max_depth)
+        assert lo <= 5 < hi or codes[lo] == codes[5]
+
+    def test_depth_zero_covers_all(self, gaussian_data):
+        forest = LSHForest(n_trees=1, max_depth=12, seed=10).fit(gaussian_data)
+        lo, hi = forest._prefix_range(0, np.uint64(0), 0)
+        assert (lo, hi) == (0, gaussian_data.shape[0])
+
+    def test_ranges_nested_across_depths(self, gaussian_data):
+        forest = LSHForest(n_trees=1, max_depth=16, seed=11).fit(gaussian_data)
+        code = forest._sorted_codes[0][17]
+        prev = None
+        for depth in range(forest.max_depth, -1, -1):
+            lo, hi = forest._prefix_range(0, code, depth)
+            if prev is not None:
+                assert lo <= prev[0] and hi >= prev[1]
+            prev = (lo, hi)

@@ -1,0 +1,65 @@
+"""Unit tests for the device cost models and the execution timer."""
+
+import pytest
+
+from repro.gpu.device import CPUModel, DeviceModel, ExecutionTimer
+
+
+class TestDeviceModel:
+    def test_parallel_cycles_scale_with_cores(self):
+        small = DeviceModel(n_cores=10)
+        big = DeviceModel(n_cores=100)
+        work = 1e6
+        assert small.parallel_cycles(work) == pytest.approx(
+            10 * big.parallel_cycles(work))
+
+    def test_divergence_penalty(self):
+        dev = DeviceModel()
+        assert dev.parallel_cycles(100.0, divergence=2.0) == pytest.approx(
+            2 * dev.parallel_cycles(100.0))
+
+    def test_invalid_divergence(self):
+        with pytest.raises(ValueError):
+            DeviceModel().parallel_cycles(1.0, divergence=0.5)
+
+    def test_negative_work(self):
+        with pytest.raises(ValueError):
+            DeviceModel().parallel_cycles(-1.0)
+
+    def test_seconds_conversion(self):
+        dev = DeviceModel(clock_hz=1e9)
+        assert dev.seconds(1e9) == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DeviceModel(n_cores=0)
+        with pytest.raises(ValueError):
+            CPUModel(clock_hz=0)
+
+
+class TestExecutionTimer:
+    def test_accumulates_by_phase(self):
+        t = ExecutionTimer()
+        t.charge("sort", 100.0)
+        t.charge("sort", 50.0)
+        t.charge("scan", 25.0)
+        assert t.phase_cycles["sort"] == 150.0
+        assert t.total_cycles() == 175.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionTimer().charge("x", -1.0)
+
+    def test_seconds_uses_device_clock(self):
+        t = ExecutionTimer()
+        t.charge("x", 2e9)
+        assert t.seconds(DeviceModel(clock_hz=1e9)) == pytest.approx(2.0)
+        assert t.seconds(CPUModel(clock_hz=2e9)) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a, b = ExecutionTimer(), ExecutionTimer()
+        a.charge("x", 1.0)
+        b.charge("x", 2.0)
+        b.charge("y", 3.0)
+        a.merge(b)
+        assert a.phase_cycles == {"x": 3.0, "y": 3.0}

@@ -1,0 +1,129 @@
+"""Unit tests for the simulated parallel primitives."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import DeviceModel, ExecutionTimer
+from repro.gpu.primitives import (
+    clustered_sort,
+    compact,
+    exclusive_scan,
+    radix_sort_pairs,
+    segmented_take_first_k,
+)
+
+DEV = DeviceModel()
+
+
+class TestScan:
+    def test_matches_cumsum(self):
+        t = ExecutionTimer()
+        vals = np.array([3, 1, 4, 1, 5])
+        out = exclusive_scan(vals, DEV, t)
+        np.testing.assert_array_equal(out, [0, 3, 4, 8, 9])
+
+    def test_charges_cycles(self):
+        t = ExecutionTimer()
+        exclusive_scan(np.arange(100), DEV, t)
+        assert t.total_cycles() > 0
+
+    def test_empty(self):
+        t = ExecutionTimer()
+        assert exclusive_scan(np.array([]), DEV, t).size == 0
+
+
+class TestCompact:
+    def test_keeps_masked(self):
+        t = ExecutionTimer()
+        vals = np.arange(6)
+        mask = np.array([True, False, True, False, True, False])
+        np.testing.assert_array_equal(compact(vals, mask, DEV, t), [0, 2, 4])
+
+    def test_2d_values(self):
+        t = ExecutionTimer()
+        vals = np.arange(8).reshape(4, 2)
+        mask = np.array([True, False, False, True])
+        out = compact(vals, mask, DEV, t)
+        np.testing.assert_array_equal(out, [[0, 1], [6, 7]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compact(np.zeros(3), np.array([True]), DEV, ExecutionTimer())
+
+
+class TestRadixSort:
+    def test_sorts_pairs(self):
+        t = ExecutionTimer()
+        keys = np.array([5, 2, 9, 1])
+        vals = np.array([50, 20, 90, 10])
+        k, v = radix_sort_pairs(keys, vals, DEV, t)
+        np.testing.assert_array_equal(k, [1, 2, 5, 9])
+        np.testing.assert_array_equal(v, [10, 20, 50, 90])
+
+    def test_stable(self):
+        t = ExecutionTimer()
+        keys = np.array([1, 1, 0, 0])
+        vals = np.array([0, 1, 2, 3])
+        _, v = radix_sort_pairs(keys, vals, DEV, t)
+        np.testing.assert_array_equal(v, [2, 3, 0, 1])
+
+    def test_more_bits_cost_more(self):
+        t32, t64 = ExecutionTimer(), ExecutionTimer()
+        keys = np.arange(1000)[::-1]
+        vals = np.arange(1000)
+        radix_sort_pairs(keys, vals, DEV, t32, key_bits=32)
+        radix_sort_pairs(keys, vals, DEV, t64, key_bits=64)
+        assert t64.total_cycles() > t32.total_cycles()
+
+
+class TestClusteredSort:
+    def test_sorts_within_clusters_only(self):
+        t = ExecutionTimer()
+        clusters = np.array([1, 0, 1, 0, 1])
+        keys = np.array([5.0, 2.0, 1.0, 9.0, 3.0])
+        vals = np.arange(5)
+        c, k, v = clustered_sort(clusters, keys, vals, DEV, t)
+        # Clusters grouped ascending; keys ascending within each.
+        np.testing.assert_array_equal(c, [0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(k, [2.0, 9.0, 1.0, 3.0, 5.0])
+        np.testing.assert_array_equal(v, [1, 3, 2, 4, 0])
+
+    def test_random_agrees_with_lexsort(self):
+        rng = np.random.default_rng(0)
+        clusters = rng.integers(0, 5, 200)
+        keys = rng.uniform(0, 1, 200)
+        vals = np.arange(200)
+        t = ExecutionTimer()
+        c, k, v = clustered_sort(clusters, keys, vals, DEV, t)
+        order = np.lexsort((keys, clusters))
+        np.testing.assert_array_equal(v, vals[order])
+
+    def test_alignment_check(self):
+        with pytest.raises(ValueError):
+            clustered_sort(np.zeros(2), np.zeros(3), np.zeros(3), DEV,
+                           ExecutionTimer())
+
+
+class TestSegmentedTakeFirstK:
+    def test_keeps_k_per_cluster(self):
+        t = ExecutionTimer()
+        clusters = np.array([0, 0, 0, 1, 1, 2])
+        keys = np.array([1.0, 2.0, 3.0, 1.0, 2.0, 1.0])
+        vals = np.arange(6)
+        c, k, v = segmented_take_first_k(clusters, keys, vals, 2, DEV, t)
+        np.testing.assert_array_equal(c, [0, 0, 1, 1, 2])
+        np.testing.assert_array_equal(v, [0, 1, 3, 4, 5])
+
+    def test_small_clusters_kept_whole(self):
+        t = ExecutionTimer()
+        clusters = np.array([0, 1, 1])
+        keys = np.array([9.0, 1.0, 2.0])
+        vals = np.arange(3)
+        c, k, v = segmented_take_first_k(clusters, keys, vals, 5, DEV, t)
+        assert c.size == 3
+
+    def test_empty(self):
+        t = ExecutionTimer()
+        c, k, v = segmented_take_first_k(np.array([]), np.array([]),
+                                         np.array([]), 3, DEV, t)
+        assert c.size == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the brute-force ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.groundtruth import GroundTruth, brute_force_knn
+
+
+class TestBruteForceKnn:
+    def test_matches_naive_loop(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((60, 7))
+        queries = rng.standard_normal((9, 7))
+        ids, dists = brute_force_knn(data, queries, 5)
+        for qi in range(9):
+            d = np.linalg.norm(data - queries[qi], axis=1)
+            expected = np.argsort(d, kind="stable")[:5]
+            # Compare the distance values (ties can permute ids).
+            np.testing.assert_allclose(np.sort(dists[qi]),
+                                       np.sort(d[expected]), atol=1e-10)
+
+    def test_self_query_returns_self_first(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((40, 5))
+        ids, dists = brute_force_knn(data, data[:10], 3)
+        np.testing.assert_array_equal(ids[:, 0], np.arange(10))
+        np.testing.assert_allclose(dists[:, 0], 0.0, atol=1e-7)
+
+    def test_distances_sorted(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((80, 4))
+        _, dists = brute_force_knn(data, rng.standard_normal((6, 4)), 10)
+        assert np.all(np.diff(dists, axis=1) >= -1e-12)
+
+    def test_block_size_invariance(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((100, 6))
+        queries = rng.standard_normal((33, 6))
+        a = brute_force_knn(data, queries, 7, block_size=8)
+        b = brute_force_knn(data, queries, 7, block_size=1000)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((12, 3))
+        ids, dists = brute_force_knn(data, data[:2], 12)
+        assert ids.shape == (2, 12)
+        np.testing.assert_array_equal(np.sort(ids[0]), np.arange(12))
+
+    def test_k_too_large_raises(self):
+        with pytest.raises(ValueError):
+            brute_force_knn(np.zeros((3, 2)) + 1.0, np.ones((1, 2)), 4)
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dim"):
+            brute_force_knn(np.ones((5, 3)), np.ones((2, 4)), 2)
+
+    def test_deterministic_tiebreak(self):
+        # Duplicate points: ties broken by ascending id.
+        data = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        ids, _ = brute_force_knn(data, np.array([[0.0, 0.0]]), 2)
+        np.testing.assert_array_equal(ids[0], [0, 1])
+
+
+class TestGroundTruth:
+    def test_lazy_and_cached(self, gaussian_data, gaussian_queries):
+        gt = GroundTruth(gaussian_data, gaussian_queries, 10)
+        assert gt._ids is None
+        ids1, _ = gt.neighbors()
+        cached = gt._ids
+        ids2, _ = gt.neighbors()
+        assert gt._ids is cached  # cached, not recomputed
+        np.testing.assert_array_equal(ids1, ids2)
+
+    def test_smaller_k_is_prefix(self, gaussian_data, gaussian_queries):
+        gt = GroundTruth(gaussian_data, gaussian_queries, 10)
+        ids_full, _ = gt.neighbors(10)
+        ids_small, _ = gt.neighbors(4)
+        np.testing.assert_array_equal(ids_small, ids_full[:, :4])
+
+    def test_larger_k_rejected(self, gaussian_data, gaussian_queries):
+        gt = GroundTruth(gaussian_data, gaussian_queries, 5)
+        with pytest.raises(ValueError):
+            gt.neighbors(6)

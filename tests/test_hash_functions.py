@@ -1,0 +1,87 @@
+"""Unit tests for the p-stable hash family."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.functions import PStableHashFamily
+
+
+class TestConstruction:
+    def test_shapes(self):
+        fam = PStableHashFamily(dim=16, n_hashes=8, bucket_width=2.0, seed=0)
+        assert fam.directions.shape == (16, 8)
+        assert fam.offsets_unit.shape == (8,)
+
+    def test_offsets_in_range(self):
+        fam = PStableHashFamily(dim=4, n_hashes=100, bucket_width=3.0, seed=1)
+        assert np.all(fam.offsets_unit >= 0) and np.all(fam.offsets_unit < 1)
+        assert np.all(fam.offsets >= 0) and np.all(fam.offsets < 3.0)
+
+    def test_deterministic_with_seed(self):
+        a = PStableHashFamily(8, 4, 1.0, seed=7)
+        b = PStableHashFamily(8, 4, 1.0, seed=7)
+        np.testing.assert_array_equal(a.directions, b.directions)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PStableHashFamily(0, 4, 1.0)
+        with pytest.raises(ValueError):
+            PStableHashFamily(4, 0, 1.0)
+        with pytest.raises(ValueError):
+            PStableHashFamily(4, 4, 0.0)
+
+
+class TestProject:
+    def test_linear_in_input(self):
+        fam = PStableHashFamily(6, 3, 1.0, seed=2)
+        x = np.random.default_rng(0).standard_normal((5, 6))
+        # project(2x) - project(x) == x @ A (offsets cancel).
+        delta = fam.project(2 * x) - fam.project(x)
+        np.testing.assert_allclose(delta, x @ fam.directions, atol=1e-12)
+
+    def test_single_vector_promoted(self):
+        fam = PStableHashFamily(4, 2, 1.0, seed=3)
+        out = fam.project(np.zeros(4))
+        assert out.shape == (1, 2)
+
+    def test_dim_mismatch(self):
+        fam = PStableHashFamily(4, 2, 1.0, seed=4)
+        with pytest.raises(ValueError, match="input dim"):
+            fam.project(np.zeros((2, 5)))
+
+    def test_width_scales_projection(self):
+        # Doubling W halves the projected magnitude (same directions).
+        fam1 = PStableHashFamily(8, 4, 1.0, seed=5)
+        fam2 = fam1.with_bucket_width(2.0)
+        x = np.random.default_rng(1).standard_normal((3, 8))
+        p1 = fam1.project(x) - fam1.offsets_unit
+        p2 = fam2.project(x) - fam2.offsets_unit
+        np.testing.assert_allclose(p1, 2.0 * p2, atol=1e-12)
+
+    def test_locality_sensitivity(self):
+        # Near pairs collide (same floor code) more often than far pairs.
+        rng = np.random.default_rng(6)
+        base = rng.standard_normal((500, 16))
+        near = base + 0.05 * rng.standard_normal((500, 16))
+        far = base + 5.0 * rng.standard_normal((500, 16))
+        fam = PStableHashFamily(16, 1, 2.0, seed=7)
+        code_b = np.floor(fam.project(base))
+        code_n = np.floor(fam.project(near))
+        code_f = np.floor(fam.project(far))
+        near_rate = np.mean(code_b == code_n)
+        far_rate = np.mean(code_b == code_f)
+        assert near_rate > far_rate + 0.2
+
+
+class TestWithBucketWidth:
+    def test_shares_directions(self):
+        fam = PStableHashFamily(8, 4, 1.0, seed=8)
+        clone = fam.with_bucket_width(5.0)
+        assert clone.directions is fam.directions
+        assert clone.bucket_width == 5.0
+        assert fam.bucket_width == 1.0
+
+    def test_invalid_width(self):
+        fam = PStableHashFamily(8, 4, 1.0, seed=9)
+        with pytest.raises(ValueError):
+            fam.with_bucket_width(-1.0)

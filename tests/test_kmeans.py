@@ -1,0 +1,84 @@
+"""Unit tests for K-means and the K-means level-1 partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans, KMeansPartitioner
+from repro.datasets.synthetic import clustered_manifold
+
+
+class TestKMeans:
+    def test_labels_shape_and_range(self, gaussian_data):
+        km = KMeans(n_clusters=5, seed=0).fit(gaussian_data)
+        assert km.labels.shape == (gaussian_data.shape[0],)
+        assert np.all((km.labels >= 0) & (km.labels < 5))
+
+    def test_centers_shape(self, gaussian_data):
+        km = KMeans(n_clusters=5, seed=1).fit(gaussian_data)
+        assert km.centers.shape == (5, gaussian_data.shape[1])
+
+    def test_recovers_separated_clusters(self):
+        data, labels = clustered_manifold(n_points=400, dim=8, n_clusters=3,
+                                          intrinsic_dim=2, anisotropy=1.5,
+                                          noise_fraction=0.0,
+                                          center_spread=50.0, seed=3,
+                                          return_labels=True)
+        km = KMeans(n_clusters=3, seed=4).fit(data)
+        # Every true cluster should map almost entirely to one k-means label.
+        for c in range(3):
+            member_labels = km.labels[labels == c]
+            dominant = np.bincount(member_labels).max()
+            assert dominant / member_labels.size > 0.95
+
+    def test_inertia_decreases_with_k(self, gaussian_data):
+        i2 = KMeans(n_clusters=2, seed=5).fit(gaussian_data).inertia
+        i16 = KMeans(n_clusters=16, seed=5).fit(gaussian_data).inertia
+        assert i16 < i2
+
+    def test_predict_matches_fit_labels(self, gaussian_data):
+        km = KMeans(n_clusters=4, seed=6).fit(gaussian_data)
+        np.testing.assert_array_equal(km.predict(gaussian_data), km.labels)
+
+    def test_more_clusters_than_points(self):
+        data = np.random.default_rng(0).standard_normal((3, 2))
+        km = KMeans(n_clusters=10, seed=0).fit(data)
+        assert km.centers.shape[0] == 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans().predict(np.zeros((1, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+
+class TestKMeansPartitioner:
+    def test_interface_matches_rptree(self, gaussian_data, gaussian_queries):
+        part = KMeansPartitioner(n_groups=6, seed=0).fit(gaussian_data)
+        assert part.n_leaves <= 6
+        groups = part.leaf_indices()
+        all_idx = np.concatenate(groups)
+        np.testing.assert_array_equal(np.sort(all_idx),
+                                      np.arange(gaussian_data.shape[0]))
+        assigned = part.assign(gaussian_queries)
+        assert np.all((assigned >= 0) & (assigned < part.n_leaves))
+
+    def test_training_points_route_home(self, gaussian_data):
+        part = KMeansPartitioner(n_groups=4, seed=1).fit(gaussian_data)
+        assigned = part.assign(gaussian_data)
+        for leaf_id, idx in enumerate(part.leaf_indices()):
+            np.testing.assert_array_equal(assigned[idx], leaf_id)
+
+    def test_assign_one(self, gaussian_data):
+        part = KMeansPartitioner(n_groups=4, seed=2).fit(gaussian_data)
+        assert part.assign_one(gaussian_data[0]) == part.assign(
+            gaussian_data[:1])[0]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeansPartitioner().assign(np.zeros((1, 2)))
+
+    def test_leaf_sizes_sum(self, gaussian_data):
+        part = KMeansPartitioner(n_groups=5, seed=3).fit(gaussian_data)
+        assert part.leaf_sizes().sum() == gaussian_data.shape[0]

@@ -1,0 +1,129 @@
+"""Unit tests for the D_M checkerboard lattice."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.dm import DMLattice, decode_dm, dm_minimal_vectors
+from repro.lsh.index import make_lattice
+
+
+def is_dm_point(p: np.ndarray) -> bool:
+    return np.allclose(p, np.round(p)) and int(round(p.sum())) % 2 == 0
+
+
+class TestDecodeDm:
+    @pytest.mark.parametrize("dim", [2, 4, 6, 12])
+    def test_output_is_dm(self, dim):
+        rng = np.random.default_rng(dim)
+        x = rng.uniform(-5, 5, size=(100, dim))
+        for row in decode_dm(x):
+            assert is_dm_point(row)
+
+    def test_dm_points_fixed(self):
+        pts = np.array([[1., 1, 0, 0], [2., 0, 0, 0], [0., 0, 0, 0]])
+        np.testing.assert_allclose(decode_dm(pts), pts)
+
+    def test_nearest_among_adjacent(self):
+        # Decoded point is at least as close as any minimal-vector neighbor.
+        rng = np.random.default_rng(0)
+        dim = 6
+        x = rng.uniform(-3, 3, size=(40, dim))
+        out = decode_dm(x)
+        minimal = dm_minimal_vectors(dim).astype(float)
+        for i in range(x.shape[0]):
+            d_out = np.sum((x[i] - out[i]) ** 2)
+            neighbors = out[i] + minimal
+            d_nb = np.min(np.sum((x[i] - neighbors) ** 2, axis=1))
+            assert d_out <= d_nb + 1e-9
+
+    def test_dim_one_rejected(self):
+        with pytest.raises(ValueError):
+            decode_dm(np.zeros((1, 1)))
+
+
+class TestMinimalVectors:
+    @pytest.mark.parametrize("dim", [2, 3, 5, 8])
+    def test_count(self, dim):
+        assert dm_minimal_vectors(dim).shape == (2 * dim * (dim - 1), dim)
+
+    def test_norms(self):
+        vecs = dm_minimal_vectors(5)
+        assert np.all(np.sum(vecs ** 2, axis=1) == 2)
+
+    def test_all_dm_points(self):
+        for v in dm_minimal_vectors(4):
+            assert is_dm_point(v.astype(float))
+
+    def test_immutable(self):
+        with pytest.raises(ValueError):
+            dm_minimal_vectors(3)[0, 0] = 5
+
+
+class TestDMLattice:
+    def test_quantize_parity(self):
+        lat = DMLattice(6)
+        codes = lat.quantize(np.random.default_rng(1).uniform(-4, 4, (50, 6)))
+        assert np.all(codes.sum(axis=1) % 2 == 0)
+
+    def test_probe_codes_sorted_and_valid(self):
+        lat = DMLattice(5)
+        y = np.random.default_rng(2).uniform(-2, 2, 5)
+        code = lat.quantize(y.reshape(1, -1))[0]
+        probes = lat.probe_codes(y, code, 15)
+        assert probes.shape == (15, 5)
+        d = np.sum((probes - y) ** 2, axis=1)
+        assert np.all(np.diff(d) >= -1e-9)
+        assert np.all(probes.sum(axis=1) % 2 == 0)
+
+    def test_ancestor_scaling(self):
+        lat = DMLattice(4)
+        codes = lat.quantize(np.random.default_rng(3).uniform(-8, 8, (30, 4)))
+        for k in (1, 2, 3):
+            anc = lat.ancestor(codes, k)
+            scaled_down = anc / (2 ** k)
+            # Each ancestor divided by 2^k is a D_M point.
+            assert np.all(scaled_down.sum(axis=1) % 2 == 0)
+            assert np.allclose(scaled_down, np.round(scaled_down))
+
+    def test_ancestor_merges(self):
+        lat = DMLattice(4)
+        codes = lat.quantize(np.random.default_rng(4).uniform(-8, 8, (100, 4)))
+        prev = np.unique(codes, axis=0).shape[0]
+        for k in (1, 2, 3, 4, 5):
+            cur = np.unique(lat.ancestor(codes, k), axis=0).shape[0]
+            assert cur <= prev
+            prev = cur
+        assert prev < np.unique(codes, axis=0).shape[0]
+
+    def test_ancestor_chain_matches_ancestor(self):
+        lat = DMLattice(4)
+        codes = lat.quantize(np.random.default_rng(5).uniform(-4, 4, (20, 4)))
+        for k, anc in lat.ancestor_chain(codes, 4):
+            np.testing.assert_array_equal(anc, lat.ancestor(codes, k))
+
+    def test_make_lattice_registration(self):
+        assert isinstance(make_lattice("dm", 6), DMLattice)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            DMLattice(1)
+
+
+class TestDMInIndex:
+    def test_full_index_stack(self, gaussian_data, gaussian_queries):
+        from repro.lsh.index import StandardLSH
+
+        idx = StandardLSH(bucket_width=8.0, n_tables=3, lattice="dm",
+                          n_probes=8, hierarchy=True, seed=0).fit(gaussian_data)
+        ids, dists, stats = idx.query_batch(gaussian_queries, 5)
+        assert ids.shape == (30, 5)
+        assert stats.n_candidates.sum() > 0
+
+    def test_bilevel_with_dm(self, gaussian_data, gaussian_queries):
+        from repro.core.bilevel import BiLevelLSH
+        from repro.core.config import BiLevelConfig
+
+        idx = BiLevelLSH(BiLevelConfig(n_groups=4, lattice="dm",
+                                       bucket_width=8.0, seed=1)).fit(gaussian_data)
+        ids, _, _ = idx.query_batch(gaussian_queries, 5)
+        assert ids.shape == (30, 5)

@@ -1,0 +1,101 @@
+"""Unit tests for the Z^M lattice quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.zm import ZMLattice
+
+
+class TestQuantize:
+    def test_floor_semantics(self):
+        lat = ZMLattice(3)
+        y = np.array([[0.2, -0.2, 1.999]])
+        np.testing.assert_array_equal(lat.quantize(y), [[0, -1, 1]])
+
+    def test_integer_inputs_unchanged(self):
+        lat = ZMLattice(2)
+        y = np.array([[2.0, -3.0]])
+        np.testing.assert_array_equal(lat.quantize(y), [[2, -3]])
+
+    def test_code_dim(self):
+        assert ZMLattice(7).code_dim == 7
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(ValueError, match="projected dim"):
+            ZMLattice(4).quantize(np.zeros((2, 3)))
+
+    def test_bad_dim_raises(self):
+        with pytest.raises(ValueError):
+            ZMLattice(0)
+
+    def test_output_dtype(self):
+        assert ZMLattice(2).quantize(np.zeros((1, 2))).dtype == np.int64
+
+
+class TestAncestor:
+    def test_level_zero_identity(self):
+        lat = ZMLattice(2)
+        codes = np.array([[3, -5]], dtype=np.int64)
+        np.testing.assert_array_equal(lat.ancestor(codes, 0), codes)
+
+    def test_matches_equation_seven(self):
+        # H^k(c) = 2^k * floor(c / 2^k)
+        lat = ZMLattice(1)
+        for c in range(-8, 9):
+            for k in range(0, 4):
+                expected = (2 ** k) * (c // (2 ** k))
+                got = lat.ancestor(np.array([[c]]), k)[0, 0]
+                assert got == expected, (c, k)
+
+    def test_telescoping(self):
+        # ancestor(ancestor(c, 1) at level 2) == ancestor(c, 2): Eq. (9)
+        lat = ZMLattice(3)
+        rng = np.random.default_rng(0)
+        codes = rng.integers(-100, 100, size=(50, 3))
+        a2 = lat.ancestor(codes, 2)
+        a1 = lat.ancestor(codes, 1)
+        np.testing.assert_array_equal(lat.ancestor(a1, 2), a2)
+
+    def test_ancestor_is_multiple_of_scale(self):
+        lat = ZMLattice(4)
+        rng = np.random.default_rng(1)
+        codes = rng.integers(-50, 50, size=(20, 4))
+        for k in (1, 2, 3):
+            anc = lat.ancestor(codes, k)
+            assert np.all(anc % (2 ** k) == 0)
+
+    def test_ancestor_below_or_equal(self):
+        # floor-based ancestor never exceeds the code.
+        lat = ZMLattice(2)
+        codes = np.array([[5, -7], [0, 1]], dtype=np.int64)
+        anc = lat.ancestor(codes, 3)
+        assert np.all(anc <= codes)
+
+    def test_negative_level_raises(self):
+        with pytest.raises(ValueError):
+            ZMLattice(2).ancestor(np.zeros((1, 2), dtype=np.int64), -1)
+
+
+class TestProbeCodes:
+    def test_zero_probes_empty(self):
+        lat = ZMLattice(3)
+        out = lat.probe_codes(np.zeros(3), np.zeros(3, dtype=np.int64), 0)
+        assert out.shape == (0, 3)
+
+    def test_probes_are_neighbors(self):
+        lat = ZMLattice(4)
+        y = np.array([0.5, 0.1, 0.9, 0.4])
+        code = lat.quantize(y.reshape(1, -1))[0]
+        probes = lat.probe_codes(y, code, 10)
+        assert probes.shape[0] == 10
+        # Every probe differs from the home code by +-1 in >= 1 dimension.
+        deltas = probes - code
+        assert np.all(np.abs(deltas) <= 1)
+        assert np.all(np.any(deltas != 0, axis=1))
+
+    def test_first_probe_crosses_nearest_boundary(self):
+        lat = ZMLattice(2)
+        y = np.array([0.95, 0.5])  # closest boundary: +1 in dim 0
+        code = np.array([0, 0], dtype=np.int64)
+        probes = lat.probe_codes(y, code, 1)
+        np.testing.assert_array_equal(probes[0], [1, 0])

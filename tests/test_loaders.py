@@ -1,0 +1,61 @@
+"""Unit tests for the on-disk matrix loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_matrix, save_matrix
+
+
+class TestNpy:
+    def test_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).standard_normal((10, 4))
+        path = str(tmp_path / "feat.npy")
+        save_matrix(path, data)
+        loaded = load_matrix(path)
+        np.testing.assert_allclose(loaded, data)
+
+    def test_mmap(self, tmp_path):
+        data = np.ones((6, 3))
+        path = str(tmp_path / "feat.npy")
+        save_matrix(path, data)
+        loaded = load_matrix(path, mmap=True)
+        assert isinstance(loaded, np.memmap) or loaded.base is not None
+        np.testing.assert_allclose(np.asarray(loaded), data)
+
+    def test_1d_rejected(self, tmp_path):
+        path = str(tmp_path / "vec.npy")
+        np.save(path, np.zeros(5))
+        with pytest.raises(ValueError, match="2-D"):
+            load_matrix(path)
+
+
+class TestRawBinary:
+    def test_roundtrip_float32(self, tmp_path):
+        data = np.random.default_rng(1).standard_normal((8, 5)).astype(np.float32)
+        path = str(tmp_path / "feat.bin")
+        data.tofile(path)
+        loaded = load_matrix(path, dim=5, dtype="float32")
+        np.testing.assert_allclose(loaded, data)
+
+    def test_mmap_raw(self, tmp_path):
+        data = np.arange(12, dtype=np.float64).reshape(4, 3)
+        path = str(tmp_path / "feat.bin")
+        data.tofile(path)
+        loaded = load_matrix(path, dim=3, mmap=True)
+        np.testing.assert_allclose(np.asarray(loaded), data)
+
+    def test_dim_required(self, tmp_path):
+        path = str(tmp_path / "feat.bin")
+        np.zeros(4).tofile(path)
+        with pytest.raises(ValueError, match="dim"):
+            load_matrix(path)
+
+    def test_size_mismatch(self, tmp_path):
+        path = str(tmp_path / "feat.bin")
+        np.zeros(7, dtype=np.float64).tofile(path)
+        with pytest.raises(ValueError, match="multiple"):
+            load_matrix(path, dim=3)
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            load_matrix("/nonexistent/file.npy")

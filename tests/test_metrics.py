@@ -1,0 +1,99 @@
+"""Unit tests for recall ratio, error ratio and selectivity."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import error_ratio, recall_ratio, selectivity
+
+
+class TestRecallRatio:
+    def test_perfect(self):
+        exact = np.array([[1, 2, 3]])
+        assert recall_ratio(exact, exact)[0] == 1.0
+
+    def test_order_insensitive(self):
+        exact = np.array([[1, 2, 3]])
+        returned = np.array([[3, 1, 2]])
+        assert recall_ratio(exact, returned)[0] == 1.0
+
+    def test_partial(self):
+        exact = np.array([[1, 2, 3, 4]])
+        returned = np.array([[1, 2, 9, 8]])
+        assert recall_ratio(exact, returned)[0] == 0.5
+
+    def test_zero(self):
+        assert recall_ratio(np.array([[1, 2]]), np.array([[3, 4]]))[0] == 0.0
+
+    def test_padding_ignored(self):
+        exact = np.array([[1, 2]])
+        returned = np.array([[1, -1]])
+        assert recall_ratio(exact, returned)[0] == 0.5
+
+    def test_extra_returned_columns_allowed(self):
+        exact = np.array([[1, 2]])
+        returned = np.array([[5, 1, 2, 7]])
+        assert recall_ratio(exact, returned)[0] == 1.0
+
+    def test_multi_query(self):
+        exact = np.array([[1, 2], [3, 4]])
+        returned = np.array([[1, 2], [9, 9]])
+        np.testing.assert_allclose(recall_ratio(exact, returned), [1.0, 0.0])
+
+    def test_query_count_mismatch(self):
+        with pytest.raises(ValueError):
+            recall_ratio(np.array([[1]]), np.array([[1], [2]]))
+
+
+class TestErrorRatio:
+    def test_perfect(self):
+        d = np.array([[1.0, 2.0, 3.0]])
+        assert error_ratio(d, d)[0] == 1.0
+
+    def test_worse_returned_lowers_ratio(self):
+        exact = np.array([[1.0, 2.0]])
+        returned = np.array([[2.0, 4.0]])
+        assert error_ratio(exact, returned)[0] == pytest.approx(0.5)
+
+    def test_padding_counts_as_zero(self):
+        exact = np.array([[1.0, 1.0]])
+        returned = np.array([[1.0, np.inf]])
+        assert error_ratio(exact, returned)[0] == pytest.approx(0.5)
+
+    def test_zero_distances_handled(self):
+        exact = np.array([[0.0, 1.0]])
+        returned = np.array([[0.0, 1.0]])
+        assert error_ratio(exact, returned)[0] == 1.0
+
+    def test_clipped_to_one(self):
+        # Returned distance can never beat exact, but guard numerically.
+        exact = np.array([[1.0]])
+        returned = np.array([[0.999999]])
+        assert error_ratio(exact, returned)[0] <= 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_ratio(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        exact = np.sort(rng.uniform(0.1, 1, (20, 5)), axis=1)
+        returned = exact * rng.uniform(1.0, 3.0, (20, 5))
+        out = error_ratio(exact, returned)
+        assert np.all((out >= 0) & (out <= 1))
+
+
+class TestSelectivity:
+    def test_basic(self):
+        out = selectivity(np.array([10, 20]), 100)
+        np.testing.assert_allclose(out, [0.1, 0.2])
+
+    def test_zero_candidates(self):
+        assert selectivity(np.array([0]), 50)[0] == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            selectivity(np.array([-1]), 10)
+
+    def test_zero_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            selectivity(np.array([1]), 0)

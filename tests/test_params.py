@@ -1,0 +1,120 @@
+"""Unit tests for the collision model and bucket-width tuner."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.params import (
+    CollisionModel,
+    LSHParams,
+    collision_probability,
+    tune_bucket_width,
+)
+
+
+class TestCollisionProbability:
+    def test_zero_distance_is_certain(self):
+        assert collision_probability(np.array([0.0]), 1.0)[0] == 1.0
+
+    def test_monotone_decreasing_in_distance(self):
+        d = np.linspace(0.01, 20.0, 100)
+        p = collision_probability(d, 2.0)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_monotone_increasing_in_width(self):
+        widths = np.linspace(0.1, 20.0, 50)
+        p = [collision_probability(np.array([1.0]), w)[0] for w in widths]
+        assert all(b >= a - 1e-12 for a, b in zip(p, p[1:]))
+
+    def test_range(self):
+        d = np.geomspace(0.01, 100, 50)
+        p = collision_probability(d, 1.0)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_limits(self):
+        # W >> d: near-certain collision; W << d: near-zero.
+        assert collision_probability(np.array([1.0]), 1000.0)[0] > 0.99
+        assert collision_probability(np.array([1000.0]), 1.0)[0] < 0.01
+
+    def test_matches_monte_carlo(self):
+        # Empirical collision rate of the actual hash function.
+        rng = np.random.default_rng(0)
+        dim, n = 32, 4000
+        u = rng.standard_normal((n, dim))
+        d = 1.5
+        v = u + d * _unit_rows(rng, n, dim)
+        w = 2.0
+        a = rng.standard_normal(dim)
+        b = rng.uniform(0, w)
+        hu = np.floor((u @ a + b) / w)
+        hv = np.floor((v @ a + b) / w)
+        empirical = np.mean(hu == hv)
+        predicted = collision_probability(np.array([d]), w)[0]
+        assert abs(empirical - predicted) < 0.05
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            collision_probability(np.array([1.0]), 0.0)
+
+
+def _unit_rows(rng, n, dim):
+    x = rng.standard_normal((n, dim))
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+class TestCollisionModel:
+    def test_distance_samples_populated(self, gaussian_data):
+        model = CollisionModel(gaussian_data, k=5, sample_size=100, seed=0)
+        assert model.knn_distances.size == 100 * 5
+        assert model.pair_distances.size == 100 * 99
+
+    def test_knn_distances_smaller_than_pairs(self, gaussian_data):
+        model = CollisionModel(gaussian_data, k=5, sample_size=100, seed=1)
+        assert model.knn_distances.mean() < model.pair_distances.mean()
+
+    def test_recall_increases_with_width(self, gaussian_data):
+        model = CollisionModel(gaussian_data, k=5, sample_size=80, seed=2)
+        widths = [0.5, 2.0, 8.0, 32.0]
+        recalls = [model.expected_recall(8, 10, w) for w in widths]
+        assert all(b >= a for a, b in zip(recalls, recalls[1:]))
+
+    def test_selectivity_below_recall(self, gaussian_data):
+        # Candidates at knn distance collide more than random pairs.
+        model = CollisionModel(gaussian_data, k=5, sample_size=80, seed=3)
+        for w in (1.0, 4.0, 16.0):
+            assert (model.expected_selectivity(8, 10, w)
+                    <= model.expected_recall(8, 10, w) + 1e-12)
+
+    def test_tiny_dataset(self):
+        model = CollisionModel(np.array([[0.0, 0.0], [1.0, 1.0]]), k=3,
+                               sample_size=10, seed=4)
+        assert model.expected_recall(4, 2, 1.0) >= 0
+
+
+class TestTuner:
+    def test_meets_target_when_possible(self, gaussian_data):
+        model = CollisionModel(gaussian_data, k=5, sample_size=100, seed=5)
+        params = tune_bucket_width(model, n_hashes=8, n_tables=10,
+                                   target_recall=0.8)
+        assert isinstance(params, LSHParams)
+        assert params.expected_recall >= 0.8
+
+    def test_prefers_smaller_width(self, gaussian_data):
+        # A lower recall target should never pick a larger W.
+        model = CollisionModel(gaussian_data, k=5, sample_size=100, seed=6)
+        lo = tune_bucket_width(model, 8, 10, target_recall=0.5)
+        hi = tune_bucket_width(model, 8, 10, target_recall=0.95)
+        assert lo.bucket_width <= hi.bucket_width
+
+    def test_fallback_when_unreachable(self, gaussian_data):
+        model = CollisionModel(gaussian_data, k=5, sample_size=100, seed=7)
+        # With a single table and candidate widths too small, target 1.0
+        # recall is unreachable; the tuner returns its best fallback.
+        params = tune_bucket_width(model, 32, 1, target_recall=1.0,
+                                   candidates=[0.01, 0.02])
+        assert params is not None
+        assert params.expected_recall < 1.0
+
+    def test_invalid_target(self, gaussian_data):
+        model = CollisionModel(gaussian_data, k=5, sample_size=50, seed=8)
+        with pytest.raises(ValueError):
+            tune_bucket_width(model, 8, 10, target_recall=1.5)

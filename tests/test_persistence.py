@@ -1,0 +1,142 @@
+"""Unit tests for index persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.lsh.forest import LSHForest
+from repro.lsh.index import StandardLSH
+from repro.persistence import load_index, save_index
+
+
+def _roundtrip(index, tmp_path, name="index.npz"):
+    path = str(tmp_path / name)
+    save_index(index, path)
+    return load_index(path)
+
+
+def _same_results(a, b, queries, k=5):
+    ids_a, dists_a, stats_a = a.query_batch(queries, k)
+    ids_b, dists_b, stats_b = b.query_batch(queries, k)
+    np.testing.assert_array_equal(ids_a, ids_b)
+    np.testing.assert_allclose(dists_a, dists_b)
+    np.testing.assert_array_equal(stats_a.n_candidates, stats_b.n_candidates)
+
+
+class TestStandardRoundtrip:
+    def test_plain(self, gaussian_data, gaussian_queries, tmp_path):
+        index = StandardLSH(bucket_width=8.0, n_tables=4, seed=0).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_with_multiprobe_and_hierarchy(self, gaussian_data,
+                                           gaussian_queries, tmp_path):
+        index = StandardLSH(bucket_width=4.0, n_tables=3, n_probes=8,
+                            hierarchy=True, seed=1).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        assert loaded.use_hierarchy and loaded.n_probes == 8
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_e8_lattice(self, gaussian_data, gaussian_queries, tmp_path):
+        index = StandardLSH(bucket_width=8.0, n_tables=2, lattice="e8",
+                            seed=2).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        assert loaded.lattice_kind == "e8"
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_adaptive_probing_preserved(self, gaussian_data,
+                                        gaussian_queries, tmp_path):
+        index = StandardLSH(bucket_width=4.0, n_tables=2, n_probes=10,
+                            adaptive_probing=True, probe_confidence=0.7,
+                            seed=11).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        assert loaded.adaptive_probing
+        assert loaded.probe_confidence == 0.7
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_external_ids_preserved(self, gaussian_data, tmp_path):
+        ids_ext = np.arange(gaussian_data.shape[0]) + 777
+        index = StandardLSH(bucket_width=8.0, seed=3).fit(gaussian_data,
+                                                          ids=ids_ext)
+        loaded = _roundtrip(index, tmp_path)
+        got, _ = loaded.query(gaussian_data[0], 1)
+        assert got[0] == 777
+
+
+class TestBilevelRoundtrip:
+    def test_rptree_partitioner(self, gaussian_data, gaussian_queries,
+                                tmp_path):
+        index = BiLevelLSH(BiLevelConfig(n_groups=4, bucket_width=8.0,
+                                         seed=4)).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        # Routing must be identical after restore.
+        np.testing.assert_array_equal(
+            index.partitioner.assign(gaussian_queries),
+            loaded.partitioner.assign(gaussian_queries))
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_kmeans_partitioner(self, gaussian_data, gaussian_queries,
+                                tmp_path):
+        index = BiLevelLSH(BiLevelConfig(n_groups=4, partitioner="kmeans",
+                                         bucket_width=8.0,
+                                         seed=5)).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_all_features_enabled(self, gaussian_data, gaussian_queries,
+                                  tmp_path):
+        cfg = BiLevelConfig(n_groups=4, bucket_width=4.0, n_tables=3,
+                            lattice="e8", n_probes=6, hierarchy=True,
+                            scale_widths=True, seed=6)
+        index = BiLevelLSH(cfg).fit(gaussian_data)
+        loaded = _roundtrip(index, tmp_path)
+        assert loaded.group_widths == index.group_widths
+        _same_results(index, loaded, gaussian_queries)
+
+    def test_mean_rule_distance_splits_roundtrip(self, tmp_path):
+        # Force a distance split (core + far shell) and verify routing.
+        rng = np.random.default_rng(7)
+        core = rng.standard_normal((400, 8)) * 0.01
+        shell = rng.standard_normal((40, 8))
+        shell = 300.0 * shell / np.linalg.norm(shell, axis=1, keepdims=True)
+        data = np.vstack([core, shell])
+        index = BiLevelLSH(BiLevelConfig(n_groups=4, bucket_width=8.0,
+                                         seed=8)).fit(data)
+        loaded = _roundtrip(index, tmp_path)
+        np.testing.assert_array_equal(index.partitioner.assign(data),
+                                      loaded.partitioner.assign(data))
+
+
+class TestForestRoundtrip:
+    def test_roundtrip(self, gaussian_data, gaussian_queries, tmp_path):
+        forest = LSHForest(n_trees=4, max_depth=16, seed=9).fit(gaussian_data)
+        loaded = _roundtrip(forest, tmp_path)
+        _same_results(forest, loaded, gaussian_queries)
+
+
+class TestErrors:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_index(StandardLSH(), str(tmp_path / "x.npz"))
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_index(object(), str(tmp_path / "x.npz"))
+
+    def test_version_check(self, gaussian_data, tmp_path):
+        import json
+
+        path = str(tmp_path / "x.npz")
+        index = StandardLSH(bucket_width=8.0, seed=10).fit(gaussian_data)
+        save_index(index, path)
+        # Corrupt the version field.
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+        meta["version"] = 999
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_index(path)

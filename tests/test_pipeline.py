@@ -1,0 +1,80 @@
+"""Unit tests for the end-to-end GPU pipeline (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.gpu.pipeline import MODES, GPUPipeline, PipelineTiming
+from repro.lsh.index import StandardLSH
+
+
+@pytest.fixture(scope="module")
+def fitted_standard():
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((1500, 24))
+    queries = rng.standard_normal((40, 24))
+    idx = StandardLSH(bucket_width=15.0, n_tables=4, seed=1).fit(data)
+    return data, queries, idx
+
+
+class TestRun:
+    def test_every_mode_runs(self, fitted_standard):
+        data, queries, idx = fitted_standard
+        pipe = GPUPipeline(idx)
+        for mode in MODES:
+            result, timing = pipe.run(data, queries, 10, mode=mode)
+            assert result.ids.shape == (40, 10)
+            assert isinstance(timing, PipelineTiming)
+            assert timing.total_seconds > 0
+
+    def test_invalid_mode(self, fitted_standard):
+        data, queries, idx = fitted_standard
+        with pytest.raises(ValueError, match="mode"):
+            GPUPipeline(idx).run(data, queries, 5, mode="tpu")
+
+    def test_modes_agree_on_results(self, fitted_standard):
+        data, queries, idx = fitted_standard
+        timings = GPUPipeline(idx).compare_modes(data, queries, 10)
+        assert set(timings) == set(MODES)
+
+    def test_parallel_lookup_faster(self, fitted_standard):
+        data, queries, idx = fitted_standard
+        pipe = GPUPipeline(idx)
+        codes = idx._lattice.quantize(idx._families[0].project(data))
+        pipe.build_table(codes)
+        _, t_serial = pipe.run(data, queries, 10, mode="cpu_lshkit")
+        _, t_par = pipe.run(data, queries, 10, mode="cpu_shortlist")
+        assert t_par.lookup_seconds < t_serial.lookup_seconds
+
+    def test_gpu_modes_faster_than_cpu_at_scale(self, fitted_standard):
+        data, queries, idx = fitted_standard
+        timings = GPUPipeline(idx).compare_modes(data, queries, 50)
+        assert timings["gpu"].total_seconds < timings["cpu_lshkit"].total_seconds
+        assert (timings["gpu_workqueue"].total_seconds
+                < timings["cpu_lshkit"].total_seconds)
+
+    def test_works_with_bilevel_index(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((800, 16))
+        queries = rng.standard_normal((10, 16))
+        idx = BiLevelLSH(BiLevelConfig(n_groups=4, bucket_width=15.0,
+                                       n_tables=3, seed=3)).fit(data)
+        pipe = GPUPipeline(idx)
+        result, timing = pipe.run(data, queries, 5, mode="gpu_workqueue")
+        assert result.ids.shape == (10, 5)
+
+
+class TestBuildTable:
+    def test_cuckoo_covers_unique_codes(self, fitted_standard):
+        data, _, idx = fitted_standard
+        pipe = GPUPipeline(idx)
+        codes = idx._lattice.quantize(idx._families[0].project(data))
+        cuckoo = pipe.build_table(codes)
+        from repro.gpu.cuckoo import compress_code
+        from repro.lsh.table import LSHTable
+
+        table = LSHTable(codes)
+        keys = compress_code(table.bucket_codes)
+        found = sum(cuckoo.lookup(int(k)) is not None for k in keys)
+        assert found == np.unique(keys).size

@@ -1,0 +1,108 @@
+"""Unit tests for the RP-tree partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.rptree.tree import RPTree
+
+
+class TestFit:
+    def test_leaf_count(self, gaussian_data):
+        tree = RPTree(n_groups=8, seed=0).fit(gaussian_data)
+        assert tree.n_leaves == 8
+
+    def test_non_power_of_two_groups(self, gaussian_data):
+        tree = RPTree(n_groups=5, seed=0).fit(gaussian_data)
+        assert tree.n_leaves == 5
+
+    def test_single_group(self, gaussian_data):
+        tree = RPTree(n_groups=1, seed=0).fit(gaussian_data)
+        assert tree.n_leaves == 1
+        assert tree.leaf_indices()[0].size == gaussian_data.shape[0]
+
+    def test_leaves_partition_data(self, gaussian_data):
+        tree = RPTree(n_groups=16, seed=1).fit(gaussian_data)
+        all_idx = np.concatenate(tree.leaf_indices())
+        np.testing.assert_array_equal(np.sort(all_idx),
+                                      np.arange(gaussian_data.shape[0]))
+
+    def test_roughly_balanced_leaves(self, gaussian_data):
+        tree = RPTree(n_groups=8, rule="mean", seed=2).fit(gaussian_data)
+        sizes = tree.leaf_sizes()
+        n = gaussian_data.shape[0]
+        assert sizes.min() > n / 8 / 4  # median splits keep balance loose
+
+    def test_max_rule(self, gaussian_data):
+        tree = RPTree(n_groups=4, rule="max", seed=3).fit(gaussian_data)
+        assert tree.n_leaves == 4
+
+    def test_invalid_rule(self):
+        with pytest.raises(ValueError):
+            RPTree(rule="median")
+
+    def test_more_groups_than_points(self):
+        data = np.random.default_rng(0).standard_normal((5, 3))
+        tree = RPTree(n_groups=50, seed=0).fit(data)
+        assert 1 <= tree.n_leaves <= 5
+        all_idx = np.concatenate(tree.leaf_indices())
+        assert np.sort(all_idx).tolist() == [0, 1, 2, 3, 4]
+
+    def test_deterministic_with_seed(self, gaussian_data):
+        a = RPTree(n_groups=8, seed=9).fit(gaussian_data)
+        b = RPTree(n_groups=8, seed=9).fit(gaussian_data)
+        np.testing.assert_array_equal(a.assign(gaussian_data),
+                                      b.assign(gaussian_data))
+
+
+class TestAssign:
+    def test_training_points_route_to_their_leaf(self, gaussian_data):
+        tree = RPTree(n_groups=8, seed=4).fit(gaussian_data)
+        assigned = tree.assign(gaussian_data)
+        for leaf_id, idx in enumerate(tree.leaf_indices()):
+            np.testing.assert_array_equal(assigned[idx], leaf_id)
+
+    def test_assign_one_matches_batch(self, gaussian_data, gaussian_queries):
+        tree = RPTree(n_groups=8, seed=5).fit(gaussian_data)
+        batch = tree.assign(gaussian_queries)
+        single = np.array([tree.assign_one(q) for q in gaussian_queries])
+        np.testing.assert_array_equal(batch, single)
+
+    def test_assign_range(self, gaussian_data, gaussian_queries):
+        tree = RPTree(n_groups=6, seed=6).fit(gaussian_data)
+        out = tree.assign(gaussian_queries)
+        assert np.all((out >= 0) & (out < tree.n_leaves))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RPTree().assign(np.zeros((2, 3)))
+
+    def test_dim_mismatch_raises(self, gaussian_data):
+        tree = RPTree(n_groups=4, seed=7).fit(gaussian_data)
+        with pytest.raises(ValueError, match="dim"):
+            tree.assign(np.zeros((2, 5)))
+
+
+class TestStructure:
+    def test_depth_close_to_log(self, gaussian_data):
+        tree = RPTree(n_groups=16, seed=8).fit(gaussian_data)
+        # Balanced median splits: depth should be near log2(16) = 4.
+        assert 4 <= tree.depth() <= 8
+
+    def test_clustered_data_separated(self, clustered_data):
+        # Well-separated clusters should rarely be split across leaves more
+        # than necessary: most leaves should be dominated by one cluster.
+        from repro.datasets.synthetic import clustered_manifold
+
+        data, labels = clustered_manifold(n_points=600, dim=16, n_clusters=4,
+                                          intrinsic_dim=3, anisotropy=2.0,
+                                          noise_fraction=0.0, center_spread=40.0,
+                                          seed=11, return_labels=True)
+        tree = RPTree(n_groups=4, rule="mean", seed=12).fit(data)
+        assigned = tree.assign(data)
+        purity = []
+        for leaf in range(tree.n_leaves):
+            members = labels[assigned == leaf]
+            if members.size:
+                counts = np.bincount(members[members >= 0])
+                purity.append(counts.max() / members.size)
+        assert np.mean(purity) > 0.7

@@ -1,0 +1,81 @@
+"""Unit tests for the approximate diameter (Egecioglu--Kalantari sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.rptree.diameter import (
+    EK_UPPER_FACTOR,
+    approximate_diameter,
+    diameter_bounds,
+)
+
+
+def exact_diameter(points: np.ndarray) -> float:
+    sq = np.sum(points ** 2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * points @ points.T
+    return float(np.sqrt(max(d2.max(), 0.0)))
+
+
+class TestApproximateDiameter:
+    def test_single_point(self):
+        assert approximate_diameter(np.zeros((1, 3))) == 0.0
+
+    def test_two_points_exact(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert approximate_diameter(pts, seed=0) == pytest.approx(5.0)
+
+    def test_lower_bound_of_true_diameter(self):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            pts = rng.standard_normal((200, 10))
+            est = approximate_diameter(pts, m=40, seed=trial)
+            assert est <= exact_diameter(pts) + 1e-9
+
+    def test_within_sqrt3_factor(self):
+        # Even one sweep guarantees r >= Delta / sqrt(3).
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            pts = rng.standard_normal((150, 8)) * rng.uniform(0.5, 3.0)
+            est = approximate_diameter(pts, m=40, seed=trial)
+            assert est >= exact_diameter(pts) / np.sqrt(3.0) - 1e-9
+
+    def test_close_in_practice(self):
+        # The paper: r_m approximates Delta well for small m already.
+        rng = np.random.default_rng(2)
+        pts = rng.standard_normal((500, 32))
+        est = approximate_diameter(pts, m=40, seed=0)
+        assert est >= 0.9 * exact_diameter(pts)
+
+    def test_sequence_nondecreasing(self):
+        rng = np.random.default_rng(3)
+        pts = rng.standard_normal((300, 16))
+        _, seq = approximate_diameter(pts, m=40, seed=0, return_sequence=True)
+        assert np.all(np.diff(seq) >= -1e-12)
+
+    def test_deterministic_with_seed(self):
+        rng = np.random.default_rng(4)
+        pts = rng.standard_normal((100, 4))
+        assert (approximate_diameter(pts, seed=5)
+                == approximate_diameter(pts, seed=5))
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            approximate_diameter(np.zeros((3, 2)), m=0)
+
+    def test_identical_points(self):
+        pts = np.ones((10, 5))
+        assert approximate_diameter(pts, seed=0) == 0.0
+
+
+class TestDiameterBounds:
+    def test_bracket_true_diameter(self):
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            pts = rng.standard_normal((120, 6))
+            lower, upper = diameter_bounds(pts, m=40, seed=trial)
+            true = exact_diameter(pts)
+            assert lower <= true + 1e-9
+            assert upper >= true - 1e-9 or upper >= lower
+
+    def test_upper_factor_constant(self):
+        assert EK_UPPER_FACTOR == pytest.approx(np.sqrt(5 - 2 * np.sqrt(3)))

@@ -1,0 +1,103 @@
+"""Unit tests for the RP-tree split rules."""
+
+import numpy as np
+import pytest
+
+from repro.rptree.rules import SplitResult, split_max, split_mean
+
+
+class TestSplitMax:
+    def test_roughly_balanced(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((400, 16))
+        split = split_max(pts, seed=1)
+        frac = split.left_mask.mean()
+        assert 0.2 < frac < 0.8  # jittered median stays near the middle
+
+    def test_both_sides_nonempty(self):
+        rng = np.random.default_rng(1)
+        for trial in range(10):
+            pts = rng.standard_normal((50, 4))
+            split = split_max(pts, seed=trial)
+            assert split.left_mask.any() and not split.left_mask.all()
+
+    def test_is_projection_split(self):
+        pts = np.random.default_rng(2).standard_normal((30, 8))
+        split = split_max(pts, seed=0)
+        assert split.kind == "projection"
+        assert split.direction is not None
+        assert np.isclose(np.linalg.norm(split.direction), 1.0)
+
+    def test_route_consistent_with_mask(self):
+        pts = np.random.default_rng(3).standard_normal((60, 6))
+        split = split_max(pts, seed=0)
+        for i in range(pts.shape[0]):
+            assert split.route(pts[i]) == split.left_mask[i]
+
+    def test_route_batch_matches_route(self):
+        pts = np.random.default_rng(4).standard_normal((40, 5))
+        split = split_max(pts, seed=0)
+        batch = split.route_batch(pts)
+        single = np.array([split.route(p) for p in pts])
+        np.testing.assert_array_equal(batch, single)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            split_max(np.zeros((1, 3)), seed=0)
+
+    def test_constant_data_fallback(self):
+        pts = np.ones((10, 3))
+        split = split_max(pts, seed=0)
+        assert split.left_mask.any() and not split.left_mask.all()
+
+
+class TestSplitMean:
+    def test_round_data_uses_projection(self):
+        # Isotropic Gaussian: diameter^2 ~ small multiple of avg sq dist.
+        pts = np.random.default_rng(5).standard_normal((300, 8))
+        split = split_mean(pts, seed=0)
+        assert split.kind == "projection"
+
+    def test_far_outlier_shell_uses_distance_split(self):
+        # A tight core plus a very distant small shell makes
+        # Delta^2 >> c * Delta_A^2, triggering the distance split.
+        rng = np.random.default_rng(6)
+        core = rng.standard_normal((500, 8)) * 0.01
+        shell = rng.standard_normal((4, 8))
+        shell = 500.0 * shell / np.linalg.norm(shell, axis=1, keepdims=True)
+        pts = np.vstack([core, shell])
+        split = split_mean(pts, seed=0)
+        assert split.kind == "distance"
+        # The distant shell must land on the right (far) side.
+        assert not split.left_mask[-4:].any()
+
+    def test_distance_split_routes_by_radius(self):
+        rng = np.random.default_rng(7)
+        core = rng.standard_normal((200, 4)) * 0.01
+        shell = np.ones((3, 4)) * 100.0
+        pts = np.vstack([core, shell])
+        split = split_mean(pts, seed=0)
+        assert split.kind == "distance"
+        assert split.route(np.zeros(4))          # center goes left
+        assert not split.route(np.full(4, 200.))  # far point goes right
+
+    def test_mean_split_balanced_for_round_data(self):
+        pts = np.random.default_rng(8).standard_normal((200, 6))
+        split = split_mean(pts, seed=1)
+        frac = split.left_mask.mean()
+        assert 0.4 <= frac <= 0.6
+
+    def test_both_sides_nonempty(self):
+        rng = np.random.default_rng(9)
+        for trial in range(10):
+            pts = rng.standard_normal((31, 5))
+            split = split_mean(pts, seed=trial)
+            assert split.left_mask.any() and not split.left_mask.all()
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            split_mean(np.zeros((1, 2)), seed=0)
+
+    def test_constant_data_fallback(self):
+        split = split_mean(np.ones((8, 2)), seed=0)
+        assert split.left_mask.any() and not split.left_mask.all()

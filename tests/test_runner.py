@@ -1,0 +1,99 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.groundtruth import GroundTruth
+from repro.evaluation.runner import (
+    ExperimentResult,
+    MethodSpec,
+    evaluate_index,
+    format_results_table,
+    run_method,
+    sweep_bucket_width,
+)
+from repro.lsh.index import StandardLSH
+
+
+def _spec(w, **kwargs):
+    return MethodSpec(
+        name=f"standard-w{w}",
+        factory=lambda seed: StandardLSH(bucket_width=w, n_tables=3,
+                                         seed=seed, **kwargs))
+
+
+class TestEvaluateIndex:
+    def test_measurement_shapes(self, gaussian_data, gaussian_queries):
+        gt = GroundTruth(gaussian_data, gaussian_queries, 5)
+        idx = StandardLSH(bucket_width=8.0, seed=0)
+        m = evaluate_index(idx, gaussian_data, gaussian_queries, 5, gt)
+        assert m.recall.shape == (30,)
+        assert m.error.shape == (30,)
+        assert m.selectivity.shape == (30,)
+
+    def test_metric_ranges(self, gaussian_data, gaussian_queries):
+        gt = GroundTruth(gaussian_data, gaussian_queries, 5)
+        idx = StandardLSH(bucket_width=8.0, seed=1)
+        m = evaluate_index(idx, gaussian_data, gaussian_queries, 5, gt)
+        for arr in (m.recall, m.error, m.selectivity):
+            assert np.all((arr >= 0) & (arr <= 1))
+
+
+class TestRunMethod:
+    def test_matrix_shapes(self, gaussian_data, gaussian_queries):
+        res = run_method(_spec(8.0), gaussian_data, gaussian_queries, 5,
+                         n_runs=3, base_seed=0)
+        assert res.recall_matrix.shape == (3, 30)
+        assert res.method == "standard-w8.0"
+
+    def test_runs_use_different_seeds(self, gaussian_data, gaussian_queries):
+        res = run_method(_spec(4.0), gaussian_data, gaussian_queries, 5,
+                         n_runs=3, base_seed=0)
+        # Different projections: per-run selectivities should not all match.
+        rows = res.selectivity_matrix
+        assert not (np.allclose(rows[0], rows[1])
+                    and np.allclose(rows[1], rows[2]))
+
+    def test_summaries_accessible(self, gaussian_data, gaussian_queries):
+        res = run_method(_spec(8.0), gaussian_data, gaussian_queries, 5,
+                         n_runs=2, base_seed=1)
+        assert 0 <= res.recall.mean <= 1
+        assert res.selectivity.std_projections >= 0
+        row = res.row()
+        assert "recall" in row and "selectivity_std_query" in row
+
+    def test_invalid_runs(self, gaussian_data, gaussian_queries):
+        with pytest.raises(ValueError):
+            run_method(_spec(8.0), gaussian_data, gaussian_queries, 5, n_runs=0)
+
+
+class TestSweep:
+    def test_sweep_orders_results(self, gaussian_data, gaussian_queries):
+        widths = [2.0, 8.0, 32.0]
+        results = sweep_bucket_width(_spec, widths, gaussian_data,
+                                     gaussian_queries, 5, n_runs=2)
+        assert [r.params["W"] for r in results] == widths
+
+    def test_selectivity_monotone_in_width(self, gaussian_data,
+                                           gaussian_queries):
+        widths = [1.0, 8.0, 64.0]
+        results = sweep_bucket_width(_spec, widths, gaussian_data,
+                                     gaussian_queries, 5, n_runs=2)
+        sel = [r.selectivity.mean for r in results]
+        assert sel[0] <= sel[1] <= sel[2]
+
+    def test_recall_monotone_in_width(self, gaussian_data, gaussian_queries):
+        widths = [1.0, 8.0, 64.0]
+        results = sweep_bucket_width(_spec, widths, gaussian_data,
+                                     gaussian_queries, 5, n_runs=2)
+        rec = [r.recall.mean for r in results]
+        assert rec[0] <= rec[2]
+
+
+class TestFormatting:
+    def test_table_contains_methods(self, gaussian_data, gaussian_queries):
+        results = sweep_bucket_width(_spec, [4.0], gaussian_data,
+                                     gaussian_queries, 5, n_runs=2)
+        text = format_results_table(results, title="demo")
+        assert "demo" in text and "standard-w4.0" in text
+        assert "recall" in text

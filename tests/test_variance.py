@@ -1,0 +1,51 @@
+"""Unit tests for the variance decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.variance import VarianceSummary, decompose_variance
+
+
+class TestDecompose:
+    def test_constant_matrix(self):
+        out = decompose_variance(np.full((4, 6), 0.7))
+        assert out.mean == pytest.approx(0.7)
+        assert out.std_projections == pytest.approx(0.0, abs=1e-12)
+        assert out.std_queries == pytest.approx(0.0, abs=1e-12)
+
+    def test_pure_run_effect(self):
+        # Rows differ, columns within a row identical: all deviation is
+        # projection-wise.
+        m = np.array([[0.1] * 5, [0.5] * 5, [0.9] * 5])
+        out = decompose_variance(m)
+        assert out.std_projections > 0
+        assert out.std_queries == pytest.approx(0.0)
+
+    def test_pure_query_effect(self):
+        m = np.array([[0.1, 0.5, 0.9]] * 4)
+        out = decompose_variance(m)
+        assert out.std_queries > 0
+        assert out.std_projections == pytest.approx(0.0)
+
+    def test_mean_is_grand_mean(self):
+        rng = np.random.default_rng(0)
+        m = rng.uniform(0, 1, (5, 7))
+        out = decompose_variance(m)
+        assert out.mean == pytest.approx(m.mean())
+
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(1)
+        m = rng.uniform(0, 1, (6, 9))
+        out = decompose_variance(m)
+        assert out.std_projections == pytest.approx(m.mean(axis=1).std())
+        assert out.std_queries == pytest.approx(m.mean(axis=0).std())
+
+    def test_single_run(self):
+        m = np.array([[0.2, 0.4, 0.6]])
+        out = decompose_variance(m)
+        assert out.std_projections == 0.0
+        assert out.std_queries > 0
+
+    def test_returns_dataclass(self):
+        out = decompose_variance(np.ones((2, 2)))
+        assert isinstance(out, VarianceSummary)
