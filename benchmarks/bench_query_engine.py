@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Old-vs-new batch query engine benchmark.
+
+Times the seed per-query ``scalar`` engine against the vectorized batch
+engine (packed-key bucket lookup, CSR candidate gathering, fused
+cached-norm ranking) on the standard synthetic workload, for both the
+single-level :class:`StandardLSH` baseline and the :class:`BiLevelLSH`
+contribution (serial and thread-pooled per-group dispatch).
+
+Writes ``BENCH_query_engine.json`` next to the repository root with
+per-configuration p50/p95 batch latency, QPS, recall@10 and the
+scalar→vectorized speedup, plus an ``ids_match`` flag confirming both
+engines returned the same neighbors.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.evaluation.metrics import recall_ratio
+from repro.experiments.workloads import Scale, make_workload
+from repro.lsh.index import StandardLSH
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECALL_K = 10
+
+
+def _time_engine(index, queries, k, engine, n_repeats):
+    """Run ``n_repeats`` timed batches; returns (result, batch_seconds)."""
+    result = index.query_batch(queries, k, engine=engine)  # warmup + output
+    times = []
+    for _ in range(n_repeats):
+        t0 = time.perf_counter()
+        index.query_batch(queries, k, engine=engine)
+        times.append(time.perf_counter() - t0)
+    return result, np.asarray(times)
+
+
+def bench_method(name, index, workload, k, n_repeats):
+    """Benchmark one fitted index under both engines."""
+    queries = workload.queries
+    exact_ids, _ = workload.ground_truth.neighbors(RECALL_K)
+    rows = []
+    outputs = {}
+    for engine in ("scalar", "vectorized"):
+        (ids, dists, stats), times = _time_engine(index, queries, k,
+                                                  engine, n_repeats)
+        outputs[engine] = (ids, dists)
+        recall = float(recall_ratio(exact_ids, ids[:, :RECALL_K]).mean())
+        batch_p50 = float(np.percentile(times, 50))
+        rows.append({
+            "method": name,
+            "engine": engine,
+            "n_queries": int(queries.shape[0]),
+            "batch_seconds_p50": batch_p50,
+            "batch_seconds_p95": float(np.percentile(times, 95)),
+            "per_query_ms_p50": batch_p50 / queries.shape[0] * 1e3,
+            "per_query_ms_p95": float(np.percentile(times, 95))
+            / queries.shape[0] * 1e3,
+            "qps": queries.shape[0] / batch_p50,
+            f"recall_at_{RECALL_K}": recall,
+            "mean_candidates": float(stats.n_candidates.mean()),
+        })
+    ids_match = bool(np.array_equal(outputs["scalar"][0],
+                                    outputs["vectorized"][0]))
+    dists_match = bool(np.allclose(outputs["scalar"][1],
+                                   outputs["vectorized"][1], equal_nan=True))
+    speedup = rows[0]["batch_seconds_p50"] / rows[1]["batch_seconds_p50"]
+    for row in rows:
+        row["ids_match"] = ids_match
+        row["dists_match"] = dists_match
+    return rows, speedup
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale run (seconds)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_query_engine.json")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed batch repetitions per engine")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        scale = Scale(n_train=3000, n_queries=300, dim=32, k=RECALL_K,
+                      n_tables=6, seed=0)
+        n_repeats = args.repeats or 3
+    else:
+        scale = Scale(n_train=20000, n_queries=2000, dim=64, k=RECALL_K,
+                      n_tables=10, seed=0)
+        n_repeats = args.repeats or 5
+
+    print(f"workload: labelme-like n={scale.n_train} q={scale.n_queries} "
+          f"dim={scale.dim} L={scale.n_tables}")
+    workload = make_workload("labelme", scale)
+    # 3x the median exact kNN distance: the sweep's mid-range operating
+    # point (recall@10 ~ 0.5 at smoke scale) where both hashing and
+    # short-list ranking carry real work.
+    width = 3.0 * workload.reference_width
+    k = RECALL_K
+
+    results = []
+    speedups = {}
+
+    standard = StandardLSH(n_hashes=scale.n_hashes, n_tables=scale.n_tables,
+                           bucket_width=width, seed=scale.seed).fit(
+                               workload.train)
+    rows, speedup = bench_method("standard", standard, workload, k, n_repeats)
+    results.extend(rows)
+    speedups["standard"] = speedup
+
+    base_cfg = BiLevelConfig(n_groups=scale.n_groups, n_hashes=scale.n_hashes,
+                             n_tables=scale.n_tables, bucket_width=width,
+                             seed=scale.seed)
+    bilevel = BiLevelLSH(base_cfg).fit(workload.train)
+    rows, speedup = bench_method("bilevel", bilevel, workload, k, n_repeats)
+    results.extend(rows)
+    speedups["bilevel"] = speedup
+
+    # Thread-pooled per-group dispatch rides on the vectorized engine only.
+    bilevel.config = base_cfg.with_(n_jobs=-1)
+    (_, _, _), times = _time_engine(bilevel, workload.queries, k,
+                                    "vectorized", n_repeats)
+    batch_p50 = float(np.percentile(times, 50))
+    results.append({
+        "method": "bilevel n_jobs=-1",
+        "engine": "vectorized",
+        "n_queries": int(workload.queries.shape[0]),
+        "batch_seconds_p50": batch_p50,
+        "batch_seconds_p95": float(np.percentile(times, 95)),
+        "per_query_ms_p50": batch_p50 / workload.queries.shape[0] * 1e3,
+        "per_query_ms_p95": float(np.percentile(times, 95))
+        / workload.queries.shape[0] * 1e3,
+        "qps": workload.queries.shape[0] / batch_p50,
+    })
+
+    report = {
+        "benchmark": "query_engine",
+        "quick": bool(args.quick),
+        "platform": platform.platform(),
+        "workload": {"name": "labelme", "n_train": scale.n_train,
+                     "n_queries": scale.n_queries, "dim": scale.dim,
+                     "k": k, "n_tables": scale.n_tables,
+                     "bucket_width": width},
+        "n_repeats": n_repeats,
+        "results": results,
+        "speedup_scalar_to_vectorized": speedups,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\n{'method':<22}{'engine':<12}{'p50 batch s':>12}"
+          f"{'QPS':>12}{'recall@10':>11}")
+    for row in results:
+        print(f"{row['method']:<22}{row['engine']:<12}"
+              f"{row['batch_seconds_p50']:>12.4f}{row['qps']:>12.0f}"
+              f"{row.get(f'recall_at_{RECALL_K}', float('nan')):>11.3f}")
+    for method, speedup in speedups.items():
+        print(f"speedup[{method}] scalar -> vectorized: {speedup:.2f}x")
+    print(f"wrote {args.out}")
+    worst = min(speedups.values())
+    if worst < 3.0:
+        print(f"WARNING: worst speedup {worst:.2f}x below the 3x target")
+    return report
+
+
+if __name__ == "__main__":
+    main()

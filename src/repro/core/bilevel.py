@@ -21,6 +21,8 @@ variant evaluated in the paper).
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -194,8 +196,16 @@ class BiLevelLSH:
         ids, dists, _ = self.query_batch(np.atleast_2d(query), k)
         return ids[0], dists[0]
 
+    def _resolve_jobs(self, n_work: int) -> int:
+        """Worker-thread count for ``n_work`` non-empty group sub-batches."""
+        n_jobs = self.config.n_jobs
+        if n_jobs < 0:
+            n_jobs = os.cpu_count() or 1
+        return max(1, min(n_jobs, n_work))
+
     def query_batch(self, queries: np.ndarray, k: int,
                     hierarchy_threshold: Union[str, int] = "median",
+                    engine: str = "vectorized",
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch; see :meth:`StandardLSH.query_batch`.
 
@@ -203,7 +213,10 @@ class BiLevelLSH:
         group's LSH index.  With ``hierarchy=True`` the median short-list
         threshold is computed *within each group's* query sub-batch — the
         per-group analogue of the paper's global median rule, consistent
-        with the scheme's per-group adaptivity.
+        with the scheme's per-group adaptivity.  With ``config.n_jobs > 1``
+        the independent group sub-batches run on a thread pool (numpy
+        releases the GIL inside the hashing/ranking kernels); results are
+        merged in deterministic group order either way.
         """
         self._check_fitted()
         queries = as_float_matrix(queries, name="queries")
@@ -226,44 +239,74 @@ class BiLevelLSH:
                     per_group[g].append(qi)
             membership = [(g, np.asarray(rows, dtype=np.int64))
                           for g, rows in enumerate(per_group)]
-        for g, rows in membership:
-            if rows.size == 0:
-                continue
-            index = self.group_indexes[g]
-            ids_g, dists_g, stats_g = index.query_batch(
-                queries[rows], k, hierarchy_threshold=hierarchy_threshold)
+        active = [(g, rows) for g, rows in membership if rows.size]
+
+        def run_group(g: int, rows: np.ndarray):
+            return self.group_indexes[g].query_batch(
+                queries[rows], k, hierarchy_threshold=hierarchy_threshold,
+                engine=engine)
+
+        jobs = self._resolve_jobs(len(active))
+        if jobs > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(lambda item: run_group(*item), active))
+        else:
+            results = [run_group(g, rows) for g, rows in active]
+        for (g, rows), (ids_g, dists_g, stats_g) in zip(active, results):
             if spill <= 1:
                 ids_out[rows] = ids_g
                 dists_out[rows] = dists_g
                 n_candidates[rows] = stats_g.n_candidates
                 escalated[rows] = stats_g.escalated
             else:
-                for local, qi in enumerate(rows):
-                    self._merge_topk(ids_out, dists_out, qi,
-                                     ids_g[local], dists_g[local], k)
-                    n_candidates[qi] += stats_g.n_candidates[local]
-                    escalated[qi] |= bool(stats_g.escalated[local])
+                self._merge_topk_batch(ids_out, dists_out, rows,
+                                       ids_g, dists_g, k)
+                n_candidates[rows] += stats_g.n_candidates
+                escalated[rows] |= stats_g.escalated
         return ids_out, dists_out, QueryStats(n_candidates, escalated)
 
     @staticmethod
-    def _merge_topk(ids_out: np.ndarray, dists_out: np.ndarray, qi: int,
-                    new_ids: np.ndarray, new_dists: np.ndarray, k: int) -> None:
-        """Merge a group's top-k into the query's running top-k (in place)."""
-        valid = new_ids >= 0
-        ids = np.concatenate([ids_out[qi][ids_out[qi] >= 0], new_ids[valid]])
-        dists = np.concatenate([dists_out[qi][ids_out[qi] >= 0],
-                                new_dists[valid]])
-        if ids.size == 0:
-            return
-        ids, first = np.unique(ids, return_index=True)
-        dists = dists[first]
-        order = np.argsort(dists, kind="stable")[:k]
-        ids_out[qi] = -1
-        dists_out[qi] = np.inf
-        ids_out[qi, :order.size] = ids[order]
-        dists_out[qi, :order.size] = dists[order]
+    def _merge_topk_batch(ids_out: np.ndarray, dists_out: np.ndarray,
+                          rows: np.ndarray, new_ids: np.ndarray,
+                          new_dists: np.ndarray, k: int) -> None:
+        """Merge a group's top-k blocks into the running top-k (in place).
 
-    def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
+        All ``rows`` are merged at once: current and new ``(r, k)`` blocks
+        are stacked to ``(r, 2k)`` and each row's best ``k`` selected with
+        one flat ``lexsort`` by ``(row, distance, id)``.  Padding entries
+        (id ``-1``) carry distance ``inf`` so they sort last; groups
+        partition the point set, so the same id never arrives twice and no
+        dedup pass is needed.  Exact distance ties break by ascending id,
+        matching the scalar merge (unique-by-id then stable distance sort).
+        """
+        cur_ids = ids_out[rows]
+        cur_dists = dists_out[rows]
+        all_ids = np.concatenate([cur_ids, new_ids], axis=1)
+        all_dists = np.concatenate([cur_dists, new_dists], axis=1)
+        all_dists[all_ids < 0] = np.inf
+        r, w = all_ids.shape
+        rowidx = np.repeat(np.arange(r), w)
+        flat_order = np.lexsort((all_ids.ravel(), all_dists.ravel(), rowidx))
+        col_order = flat_order.reshape(r, w) - np.arange(r)[:, None] * w
+        top = col_order[:, :k]
+        sel_ids = np.take_along_axis(all_ids, top, axis=1)
+        sel_dists = np.take_along_axis(all_dists, top, axis=1)
+        pad = ~np.isfinite(sel_dists)
+        sel_ids[pad] = -1
+        sel_dists[pad] = np.inf
+        ids_out[rows] = sel_ids
+        dists_out[rows] = sel_dists
+
+    def _merge_topk(self, ids_out: np.ndarray, dists_out: np.ndarray, qi: int,
+                    new_ids: np.ndarray, new_dists: np.ndarray, k: int) -> None:
+        """Single-row wrapper over :meth:`_merge_topk_batch`."""
+        self._merge_topk_batch(ids_out, dists_out,
+                               np.array([qi], dtype=np.int64),
+                               np.atleast_2d(new_ids),
+                               np.atleast_2d(new_dists), k)
+
+    def candidate_sets(self, queries: np.ndarray,
+                       engine: str = "vectorized") -> List[np.ndarray]:
         """Raw per-query candidate id sets (before short-list ranking)."""
         self._check_fitted()
         queries = as_float_matrix(queries, name="queries")
@@ -273,7 +316,7 @@ class BiLevelLSH:
             rows = np.nonzero(groups == g)[0]
             if rows.size == 0:
                 continue
-            sets_g = index.candidate_sets(queries[rows])
+            sets_g = index.candidate_sets(queries[rows], engine=engine)
             for local, row in enumerate(rows):
                 out[row] = sets_g[local]
         return out

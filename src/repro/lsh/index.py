@@ -27,6 +27,7 @@ from repro.lattice.base import Lattice
 from repro.lattice.e8 import E8Lattice
 from repro.lattice.zm import ZMLattice
 from repro.lsh.functions import PStableHashFamily
+from repro.lsh.multiprobe import adaptive_probes, adaptive_probes_batch
 from repro.lsh.table import LSHTable
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.utils.validation import as_float_matrix, check_k, check_positive
@@ -128,6 +129,7 @@ class StandardLSH:
         self._data: Optional[np.ndarray] = None
         self._ids: Optional[np.ndarray] = None
         self._deleted: Optional[np.ndarray] = None  # bool mask over rows
+        self._sq_norms: Optional[np.ndarray] = None  # cached ||x||^2 per row
 
     #: Overlay fraction beyond which insert() rebuilds the sorted tables.
     REBUILD_FRACTION = 0.2
@@ -151,6 +153,7 @@ class StandardLSH:
         self._data = data
         self._ids = ids
         self._deleted = None
+        self._sq_norms = None
         self._lattice = make_lattice(self.lattice_kind, self.n_hashes)
         rngs = spawn_rngs(self._seed, self.n_tables)
         self._families = [
@@ -199,6 +202,9 @@ class StandardLSH:
         start = self._data.shape[0]
         self._data = np.vstack([self._data, points])
         self._ids = np.concatenate([self._ids, ids])
+        if self._sq_norms is not None:
+            self._sq_norms = np.concatenate(
+                [self._sq_norms, np.einsum("ij,ij->i", points, points)])
         if self._deleted is not None:
             self._deleted = np.concatenate(
                 [self._deleted, np.zeros(m, dtype=bool)])
@@ -206,7 +212,7 @@ class StandardLSH:
         for family, table in zip(self._families, self._tables):
             codes = self._lattice.quantize(family.project(points))
             table.add(codes, local)
-        overlay = self._tables[0].n_extra if self._tables else 0
+        overlay = max((table.n_extra for table in self._tables), default=0)
         if overlay > self.REBUILD_FRACTION * max(start, 1):
             self._rebuild_tables()
         return ids
@@ -252,17 +258,110 @@ class StandardLSH:
         if self._data is None:
             raise RuntimeError("index is not fitted; call fit(data) first")
 
+    def _point_sq_norms(self) -> Optional[np.ndarray]:
+        """Cached ``||x||^2`` per data row (``None`` for memmapped data).
+
+        Computed lazily so restore paths that assign ``_data`` directly
+        (persistence, out-of-core) stay valid; memmapped datasets skip the
+        cache because a full-norm pass would fault in every row, defeating
+        the out-of-core promise of touching only candidate rows.
+        """
+        if isinstance(self._data, np.memmap):
+            return None
+        if self._sq_norms is None or self._sq_norms.shape[0] != self._data.shape[0]:
+            self._sq_norms = np.einsum("ij,ij->i", self._data, self._data)
+        return self._sq_norms
+
+    def _probe_rows(self, projections: List[np.ndarray],
+                    codes: List[np.ndarray], t: int,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All codes to look up in table ``t``: self codes plus probes.
+
+        Returns ``(codes_all, query_of_row)`` with one row per lookup; the
+        probe sequences themselves are generated per query (the heap
+        enumeration is sequential) but resolved against the table in one
+        batched call by the caller.
+        """
+        q = codes[t].shape[0]
+        rows = [codes[t]]
+        qidx = [np.arange(q, dtype=np.int64)]
+        if self.n_probes > 0:
+            if self.adaptive_probing:
+                probe_list = adaptive_probes_batch(
+                    projections[t], codes[t], self.n_probes,
+                    confidence=self.probe_confidence)
+            else:
+                probe_list = [self._lattice.probe_codes(projections[t][qi],
+                                                        codes[t][qi],
+                                                        self.n_probes)
+                              for qi in range(q)]
+            for qi, probes in enumerate(probe_list):
+                if probes.shape[0]:
+                    rows.append(probes)
+                    qidx.append(np.full(probes.shape[0], qi, dtype=np.int64))
+        return np.concatenate(rows, axis=0), np.concatenate(qidx)
+
+    def _dedup_per_query(self, local_ids: np.ndarray, qidx: np.ndarray,
+                         nq: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Drop tombstones and per-query duplicates from flattened candidates.
+
+        Returns ``(local_ids, qidx, counts)`` sorted by ``(query, id)``;
+        segment ``i`` of the flattened arrays is query ``i``'s deduplicated
+        candidate set with ids ascending — the order :func:`numpy.unique`
+        produced in the scalar engine.
+        """
+        if self._deleted is not None and local_ids.size:
+            keep = ~self._deleted[local_ids]
+            local_ids = local_ids[keep]
+            qidx = qidx[keep]
+        if local_ids.size:
+            order = np.lexsort((local_ids, qidx))
+            local_ids = local_ids[order]
+            qidx = qidx[order]
+            keep = np.ones(local_ids.size, dtype=bool)
+            keep[1:] = (qidx[1:] != qidx[:-1]) | (local_ids[1:] != local_ids[:-1])
+            local_ids = local_ids[keep]
+            qidx = qidx[keep]
+        counts = np.bincount(qidx, minlength=nq).astype(np.int64)
+        return local_ids, qidx, counts
+
+    def _gather_candidates_batch(self, projections: List[np.ndarray],
+                                 codes: List[np.ndarray], nq: int,
+                                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Candidate gathering for the whole batch, array-at-a-time.
+
+        For each table, every query's self code and probe codes are stacked
+        and resolved with a single packed-key ``searchsorted``
+        (:meth:`LSHTable.gather_batch`); the per-table results are then
+        concatenated and deduplicated per query with one global sort.
+        """
+        id_parts: List[np.ndarray] = []
+        q_parts: List[np.ndarray] = []
+        for t in range(self.n_tables):
+            codes_all, row_q = self._probe_rows(projections, codes, t)
+            ids_flat, counts = self._tables[t].gather_batch(codes_all)
+            id_parts.append(ids_flat)
+            q_parts.append(np.repeat(row_q, counts))
+        local_ids = (np.concatenate(id_parts) if id_parts
+                     else np.empty(0, dtype=np.int64))
+        qidx = (np.concatenate(q_parts) if q_parts
+                else np.empty(0, dtype=np.int64))
+        return self._dedup_per_query(local_ids, qidx, nq)
+
     def _gather_candidates(self, projections: List[np.ndarray],
                            codes: List[np.ndarray], qi: int) -> np.ndarray:
-        """Union of bucket hits for query ``qi`` across all tables (local ids)."""
+        """Union of bucket hits for query ``qi`` across all tables (local ids).
+
+        This is the scalar reference engine, kept for equivalence testing
+        and old-vs-new benchmarking; the batch path goes through
+        :meth:`_gather_candidates_batch`.
+        """
         parts = []
         for t in range(self.n_tables):
             code = codes[t][qi]
             parts.append(self._tables[t].lookup(code))
             if self.n_probes > 0:
                 if self.adaptive_probing:
-                    from repro.lsh.multiprobe import adaptive_probes
-
                     probes = adaptive_probes(projections[t][qi], code,
                                              self.n_probes,
                                              confidence=self.probe_confidence)
@@ -294,6 +393,7 @@ class StandardLSH:
 
     def query_batch(self, queries: np.ndarray, k: int,
                     hierarchy_threshold: Union[str, int] = "median",
+                    engine: str = "vectorized",
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch of queries.
 
@@ -309,6 +409,14 @@ class StandardLSH:
             paper: compute the median short-list size over the batch, then
             escalate the queries below it.  An integer sets a fixed
             threshold.
+        engine:
+            ``'vectorized'`` (default) runs the whole batch array-at-a-time
+            — packed-key bucket lookups, CSR candidate gathering and a
+            fused cached-norm distance kernel.  ``'scalar'`` runs the
+            per-query reference engine; both return the same neighbors
+            (the vectorized engine breaks exact distance ties by ascending
+            id, and its fused kernel may differ from the scalar one in the
+            last float ulp).
 
         Returns
         -------
@@ -324,6 +432,109 @@ class StandardLSH:
                 f"queries have dim {queries.shape[1]}, index has dim "
                 f"{self._data.shape[1]}")
         k = check_k(k)
+        if engine == "vectorized":
+            return self._query_batch_vectorized(queries, k, hierarchy_threshold)
+        if engine == "scalar":
+            return self._query_batch_scalar(queries, k, hierarchy_threshold)
+        raise ValueError(
+            f"engine must be 'vectorized' or 'scalar', got {engine!r}")
+
+    def _resolve_threshold(self, counts: np.ndarray, k: int,
+                           hierarchy_threshold: Union[str, int]) -> int:
+        if hierarchy_threshold == "median":
+            threshold = int(np.median(counts))
+        else:
+            threshold = int(hierarchy_threshold)
+        return max(threshold, k)
+
+    # ---------------------------------------------------- vectorized engine
+
+    def _query_batch_vectorized(self, queries: np.ndarray, k: int,
+                                hierarchy_threshold: Union[str, int],
+                                ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        nq = queries.shape[0]
+        projections = [family.project(queries) for family in self._families]
+        codes = [self._lattice.quantize(proj) for proj in projections]
+        cand, qidx, counts = self._gather_candidates_batch(
+            projections, codes, nq)
+        escalated = np.zeros(nq, dtype=bool)
+        if self.use_hierarchy:
+            threshold = self._resolve_threshold(counts, k, hierarchy_threshold)
+            escalated = counts < threshold
+            esc_rows = np.nonzero(escalated)[0]
+            if esc_rows.size:
+                # Hierarchy walks are per query (each escalated query takes
+                # its own path up the bucket tree); their extra ids are
+                # appended to the flattened layout and folded in with one
+                # more global sort + dedup.
+                extra_ids = [cand]
+                extra_q = [qidx]
+                for qi in esc_rows:
+                    for t in range(self.n_tables):
+                        ids_t = self._hierarchies[t].candidates(
+                            codes[t][qi], threshold)
+                        if ids_t.size:
+                            extra_ids.append(ids_t)
+                            extra_q.append(
+                                np.full(ids_t.size, qi, dtype=np.int64))
+                cand, qidx, counts = self._dedup_per_query(
+                    np.concatenate(extra_ids), np.concatenate(extra_q), nq)
+        ids_out, dists_out = self._rank_shortlists(queries, k, cand, qidx,
+                                                   counts)
+        return ids_out, dists_out, QueryStats(counts, escalated)
+
+    #: Flattened-candidate rows ranked per fused-kernel chunk (bounds the
+    #: gathered ``(rows, D)`` temporary to ~chunk * D floats).
+    RANK_CHUNK = 1 << 20
+
+    def _rank_shortlists(self, queries: np.ndarray, k: int,
+                         cand: np.ndarray, qidx: np.ndarray,
+                         counts: np.ndarray,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rank all short-lists with one fused distance kernel.
+
+        Distances come from ``||x||^2 - 2 x.q + ||q||^2`` with the
+        per-point squared norms cached across batches, so no
+        ``data[cand] - query`` difference temporaries are formed.  Top-k
+        selection is one global ``lexsort`` by ``(query, distance, id)``
+        followed by segment-offset arithmetic — no per-query kernels.
+        """
+        nq = queries.shape[0]
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        if cand.size == 0:
+            return ids_out, dists_out
+        sq_norms = self._point_sq_norms()
+        q_sq = np.einsum("ij,ij->i", queries, queries)
+        d2 = np.empty(cand.size, dtype=np.float64)
+        for s in range(0, cand.size, self.RANK_CHUNK):
+            e = min(s + self.RANK_CHUNK, cand.size)
+            rows = self._data[cand[s:e]]
+            dots = np.einsum("ij,ij->i", rows, queries[qidx[s:e]])
+            if sq_norms is None:  # memmapped data: norms on gathered rows
+                row_sq = np.einsum("ij,ij->i", rows, rows)
+            else:
+                row_sq = sq_norms[cand[s:e]]
+            d2[s:e] = row_sq - 2.0 * dots + q_sq[qidx[s:e]]
+        np.maximum(d2, 0.0, out=d2)
+        dists = np.sqrt(d2)
+        order = np.lexsort((cand, dists, qidx))
+        offsets = np.cumsum(counts) - counts
+        take = np.minimum(counts, k)
+        rel = np.arange(int(take.sum()), dtype=np.int64)
+        rel -= np.repeat(np.cumsum(take) - take, take)
+        pick = order[np.repeat(offsets, take) + rel]
+        rows_out = np.repeat(np.arange(nq, dtype=np.int64), take)
+        ids_out[rows_out, rel] = self._ids[cand[pick]]
+        dists_out[rows_out, rel] = dists[pick]
+        return ids_out, dists_out
+
+    # ------------------------------------------------ scalar (seed) engine
+
+    def _query_batch_scalar(self, queries: np.ndarray, k: int,
+                            hierarchy_threshold: Union[str, int],
+                            ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """The seed per-query engine, kept as the equivalence reference."""
         nq = queries.shape[0]
         projections = [family.project(queries) for family in self._families]
         codes = [self._lattice.quantize(proj) for proj in projections]
@@ -332,11 +543,7 @@ class StandardLSH:
         escalated = np.zeros(nq, dtype=bool)
         if self.use_hierarchy and nq > 0:
             sizes = np.array([c.size for c in candidate_sets])
-            if hierarchy_threshold == "median":
-                threshold = int(np.median(sizes))
-            else:
-                threshold = int(hierarchy_threshold)
-            threshold = max(threshold, k)
+            threshold = self._resolve_threshold(sizes, k, hierarchy_threshold)
             for qi in range(nq):
                 if candidate_sets[qi].size < threshold:
                     candidate_sets[qi] = self._escalate(
@@ -359,7 +566,8 @@ class StandardLSH:
             dists_out[qi, :take] = dists[top]
         return ids_out, dists_out, QueryStats(n_candidates, escalated)
 
-    def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
+    def candidate_sets(self, queries: np.ndarray,
+                       engine: str = "vectorized") -> List[np.ndarray]:
         """Raw candidate id sets (before short-list ranking), per query.
 
         Exposed for the GPU short-list benchmarks, which consume candidate
@@ -369,8 +577,14 @@ class StandardLSH:
         queries = as_float_matrix(queries, name="queries")
         projections = [family.project(queries) for family in self._families]
         codes = [self._lattice.quantize(proj) for proj in projections]
+        nq = queries.shape[0]
+        if engine == "vectorized":
+            cand, _, counts = self._gather_candidates_batch(
+                projections, codes, nq)
+            bounds = np.cumsum(counts)[:-1]
+            return [self._ids[c] for c in np.split(cand, bounds)]
         local = [self._gather_candidates(projections, codes, qi)
-                 for qi in range(queries.shape[0])]
+                 for qi in range(nq)]
         return [self._ids[c] for c in local]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

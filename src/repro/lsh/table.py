@@ -8,21 +8,47 @@ query landing in that bucket (Section IV-B.1 of the paper).
 
 Internally buckets are stored CSR-style (one sorted id array plus per-bucket
 start/end offsets) after :meth:`build`, mirroring the paper's GPU layout of
-"a linear array along with an indexing table"; the index table here is a
-Python dict keyed by the code bytes.
+"a linear array along with an indexing table".  The index table is an array
+of *packed keys*: each ``(M,)`` int64 code row is packed into one fixed-width
+big-endian byte string whose lexicographic byte order equals the
+lexicographic order of the code tuple, so a whole batch of codes resolves to
+bucket indices with a single :func:`numpy.searchsorted` call
+(:meth:`lookup_batch`) instead of one dict probe per code.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
+
+#: Sign-bit flip making the unsigned byte order of an int64 match its
+#: signed numeric order.
+_SIGN_FLIP = np.uint64(1 << 63)
 
 
 def codes_to_keys(codes: np.ndarray) -> List[bytes]:
     """Convert an ``(n, M)`` int code array to hashable byte keys."""
     codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
     return [row.tobytes() for row in codes]
+
+
+def pack_codes(codes: np.ndarray) -> np.ndarray:
+    """Pack ``(n, M)`` int64 codes into ``(n,)`` sortable fixed-width keys.
+
+    Each row is mapped to an ``S(8*M)`` byte string: the sign bit of every
+    coordinate is flipped (so signed order becomes unsigned order) and the
+    coordinates are laid out big-endian, most-significant coordinate first.
+    Comparing two keys byte-wise is then exactly the lexicographic
+    comparison of the two code tuples, which makes the keys directly
+    usable with :func:`numpy.sort` / :func:`numpy.searchsorted`.
+    """
+    codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
+    n, m = codes.shape
+    if n == 0:
+        return np.empty(0, dtype=f"S{8 * m}")
+    packed = (codes.view(np.uint64) ^ _SIGN_FLIP).astype(">u8")
+    return np.ascontiguousarray(packed).view(f"S{8 * m}").ravel()
 
 
 class LSHTable:
@@ -48,25 +74,32 @@ class LSHTable:
                 raise ValueError(f"ids must have shape ({n},), got {ids.shape}")
         self.code_dim = codes.shape[1]
         self.n_points = n
-        # Sort by code (lexicographically) to collect equal codes together —
-        # the "sorted linear array" layout of Section V-A.
-        order = np.lexsort(codes.T[::-1])
-        sorted_codes = codes[order]
-        self._sorted_ids = ids[order]
-        # Boundaries between runs of identical codes.
-        if n == 1:
-            change = np.array([], dtype=np.int64)
+        if n == 0:
+            self._sorted_ids = np.empty(0, dtype=np.int64)
+            self._starts = np.empty(0, dtype=np.int64)
+            self._ends = np.empty(0, dtype=np.int64)
+            self._bucket_codes = codes.reshape(0, self.code_dim)
         else:
-            change = np.nonzero(np.any(sorted_codes[1:] != sorted_codes[:-1], axis=1))[0] + 1
-        self._starts = np.concatenate(([0], change)).astype(np.int64)
-        self._ends = np.concatenate((change, [n])).astype(np.int64)
-        self._bucket_codes = sorted_codes[self._starts]
-        self._index: Dict[bytes, int] = {
-            row.tobytes(): i for i, row in enumerate(self._bucket_codes)
-        }
+            # Sort by code (lexicographically) to collect equal codes
+            # together — the "sorted linear array" layout of Section V-A.
+            order = np.lexsort(codes.T[::-1])
+            sorted_codes = codes[order]
+            self._sorted_ids = ids[order]
+            # Boundaries between runs of identical codes.
+            change = np.nonzero(
+                np.any(sorted_codes[1:] != sorted_codes[:-1], axis=1))[0] + 1
+            self._starts = np.concatenate(([0], change)).astype(np.int64)
+            self._ends = np.concatenate((change, [n])).astype(np.int64)
+            self._bucket_codes = sorted_codes[self._starts]
+        # Packed sorted keys, one per bucket: the searchsorted index table.
+        self._bucket_keys = pack_codes(self._bucket_codes)
 
-        # Dynamic overlay for post-build insertions (code bytes -> id list).
-        self._extra: Dict[bytes, List[int]] = {}
+        # Dynamic overlay for post-build insertions (kept as raw row/id
+        # chunks; a sorted CSR view over them is built lazily).
+        self._extra_codes: List[np.ndarray] = []
+        self._extra_ids: List[np.ndarray] = []
+        self._overlay: Optional[Tuple[np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]] = None
         self._n_extra = 0
 
     @property
@@ -81,10 +114,10 @@ class LSHTable:
     def add(self, codes: np.ndarray, ids: np.ndarray) -> None:
         """Insert points after the initial build.
 
-        Additions land in a per-code overlay; :meth:`lookup` merges them
-        with the sorted base layout.  Callers that care about the CSR
-        invariants (e.g. the bucket hierarchies) should rebuild the table
-        once :attr:`n_extra` grows past their tolerance.
+        Additions land in an overlay; :meth:`lookup` / :meth:`lookup_batch`
+        merge them with the sorted base layout.  Callers that care about
+        the CSR invariants (e.g. the bucket hierarchies) should rebuild the
+        table once :attr:`n_extra` grows past their tolerance.
         """
         codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
         ids = np.asarray(ids, dtype=np.int64)
@@ -93,10 +126,30 @@ class LSHTable:
         if codes.shape[1] != self.code_dim:
             raise ValueError(
                 f"codes must have {self.code_dim} columns, got {codes.shape[1]}")
-        for row, pid in zip(codes, ids):
-            self._extra.setdefault(row.tobytes(), []).append(int(pid))
+        self._extra_codes.append(codes)
+        self._extra_ids.append(ids)
+        self._overlay = None
         self._n_extra += ids.shape[0]
         self.n_points += ids.shape[0]
+
+    def _overlay_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sorted CSR view over the overlay: ``(keys, ids, starts, ends)``.
+
+        The stable sort keeps insertion order within each key, matching the
+        append semantics of the old per-code id lists.
+        """
+        if self._overlay is None:
+            codes = np.concatenate(self._extra_codes, axis=0)
+            ids = np.concatenate(self._extra_ids)
+            keys = pack_codes(codes)
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            ids = ids[order]
+            change = np.nonzero(keys[1:] != keys[:-1])[0] + 1
+            starts = np.concatenate(([0], change)).astype(np.int64)
+            ends = np.concatenate((change, [keys.shape[0]])).astype(np.int64)
+            self._overlay = (keys[starts], ids, starts, ends)
+        return self._overlay
 
     @property
     def bucket_codes(self) -> np.ndarray:
@@ -116,31 +169,118 @@ class LSHTable:
         """Sizes of all buckets."""
         return (self._ends - self._starts).astype(np.int64)
 
+    # ---------------------------------------------------------------- lookup
+
+    @staticmethod
+    def _searchsorted_keys(sorted_keys: np.ndarray,
+                           query_keys: np.ndarray) -> np.ndarray:
+        """Indices of ``query_keys`` inside ``sorted_keys`` (-1 if absent)."""
+        if sorted_keys.size == 0:
+            return np.full(query_keys.shape[0], -1, dtype=np.int64)
+        pos = np.searchsorted(sorted_keys, query_keys).astype(np.int64)
+        clipped = np.minimum(pos, sorted_keys.size - 1)
+        found = (pos < sorted_keys.size) & (sorted_keys[clipped] == query_keys)
+        return np.where(found, clipped, np.int64(-1))
+
+    def lookup_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Bucket index per code row (``-1`` for codes with no bucket).
+
+        One :func:`numpy.searchsorted` over the packed sorted bucket keys
+        resolves the whole batch — this is the array-at-a-time replacement
+        for per-code dict probing (overlay points are *not* consulted; use
+        :meth:`gather_batch` for candidate gathering that includes them).
+        """
+        codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
+        if codes.shape[1] != self.code_dim:
+            raise ValueError(
+                f"codes must have {self.code_dim} columns, got {codes.shape[1]}")
+        return self._searchsorted_keys(self._bucket_keys, pack_codes(codes))
+
+    @staticmethod
+    def _gather_segments(values: np.ndarray, starts: np.ndarray,
+                         lengths: np.ndarray,
+                         out: Optional[np.ndarray] = None,
+                         out_starts: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather ``values[starts[i]:starts[i]+lengths[i]]`` for every row.
+
+        With ``out``/``out_starts`` the segments are scattered into ``out``
+        at per-row offsets instead of packed contiguously.
+        """
+        total = int(lengths.sum())
+        rel = np.arange(total, dtype=np.int64)
+        row_ends = np.cumsum(lengths)
+        rel -= np.repeat(row_ends - lengths, lengths)
+        src = np.repeat(starts, lengths) + rel
+        gathered = values[src]
+        if out is None:
+            return gathered
+        out[np.repeat(out_starts, lengths) + rel] = gathered
+        return out
+
+    def gather_batch(self, codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate ids for every code row, flattened CSR-style.
+
+        Returns ``(ids, counts)`` where ``counts[i]`` is the number of ids
+        gathered for row ``i`` and ``ids`` is their concatenation (base
+        bucket members first, then overlay members, per row).  The whole
+        batch is resolved with two ``searchsorted`` calls and pure offset
+        arithmetic — no per-row Python work.
+        """
+        codes = np.ascontiguousarray(np.atleast_2d(codes), dtype=np.int64)
+        if codes.shape[1] != self.code_dim:
+            raise ValueError(
+                f"codes must have {self.code_dim} columns, got {codes.shape[1]}")
+        keys = pack_codes(codes)
+        r = codes.shape[0]
+        bidx = self._searchsorted_keys(self._bucket_keys, keys)
+        found = bidx >= 0
+        safe = np.where(found, bidx, 0)
+        if self.n_buckets:
+            base_starts = np.where(found, self._starts[safe], 0)
+            base_lens = np.where(found, self._ends[safe] - self._starts[safe], 0)
+        else:
+            base_starts = np.zeros(r, dtype=np.int64)
+            base_lens = np.zeros(r, dtype=np.int64)
+        if self._n_extra == 0:
+            return (self._gather_segments(self._sorted_ids, base_starts,
+                                          base_lens), base_lens)
+        ex_keys, ex_ids, ex_starts_all, ex_ends_all = self._overlay_csr()
+        eidx = self._searchsorted_keys(ex_keys, keys)
+        efound = eidx >= 0
+        esafe = np.where(efound, eidx, 0)
+        extra_starts = np.where(efound, ex_starts_all[esafe], 0)
+        extra_lens = np.where(efound,
+                              ex_ends_all[esafe] - ex_starts_all[esafe], 0)
+        counts = base_lens + extra_lens
+        out = np.empty(int(counts.sum()), dtype=np.int64)
+        out_starts = np.cumsum(counts) - counts
+        self._gather_segments(self._sorted_ids, base_starts, base_lens,
+                              out=out, out_starts=out_starts)
+        self._gather_segments(ex_ids, extra_starts, extra_lens,
+                              out=out, out_starts=out_starts + base_lens)
+        return out, counts
+
     def lookup(self, code: np.ndarray) -> np.ndarray:
         """Return the ids in the bucket matching ``code`` (empty if none)."""
-        key = np.ascontiguousarray(code, dtype=np.int64).tobytes()
-        idx = self._index.get(key)
-        base = (self._sorted_ids[self._starts[idx]:self._ends[idx]]
-                if idx is not None else np.empty(0, dtype=np.int64))
-        extra = self._extra.get(key)
-        if extra is None:
-            return base
-        return np.concatenate([base, np.asarray(extra, dtype=np.int64)])
+        code = np.ascontiguousarray(code, dtype=np.int64).reshape(1, -1)
+        ids, _ = self.gather_batch(code)
+        return ids
 
     def lookup_many(self, codes: Iterable[np.ndarray]) -> np.ndarray:
         """Union of the buckets matching each code (deduplicated ids)."""
-        parts = [self.lookup(c) for c in np.atleast_2d(np.asarray(codes, dtype=np.int64))]
-        if not parts:
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        if codes.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
-        merged = np.concatenate(parts)
+        merged, _ = self.gather_batch(codes)
         if merged.size == 0:
             return merged
         return np.unique(merged)
 
     def bucket_index(self, code: np.ndarray) -> Optional[int]:
         """Index of the bucket holding ``code``, or ``None``."""
-        key = np.ascontiguousarray(code, dtype=np.int64).tobytes()
-        return self._index.get(key)
+        code = np.ascontiguousarray(code, dtype=np.int64).reshape(1, -1)
+        idx = int(self.lookup_batch(code)[0])
+        return idx if idx >= 0 else None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"LSHTable(n_points={self.n_points}, n_buckets={self.n_buckets}, "
