@@ -1,0 +1,37 @@
+"""Static invariant enforcement for the repository.
+
+The hot path of this reproduction is vectorized and (since the batch
+engine landed) concurrent: packed ``>u8`` bucket keys, ``int64`` code
+arrays, per-group thread-pooled dispatch.  Its correctness rests on
+invariants that ordinary tests cannot see drifting — dtype discipline,
+centralized RNG plumbing, and lock discipline around shared index state.
+This package machine-checks them with an AST lint pass:
+
+- **R1** ``rng-centralized`` — no direct ``np.random.*`` / ``random``
+  usage outside :mod:`repro.utils.rng`.
+- **R2** ``explicit-dtype`` — array constructions in hot-path packages
+  (``lsh``, ``lattice``, ``core``) must name an explicit ``dtype``.
+- **R3** ``locked-mutation`` — no mutation of shared index state from
+  functions reachable by the ``n_jobs`` worker path without holding a
+  declared lock (driven by a conservative call-graph walk).
+- **R4** ``typed-api`` — public API functions carry complete type
+  annotations, and ``= None`` defaults require ``Optional``-compatible
+  annotations.
+- **R5** ``no-silent-failure`` — no bare/silent ``except`` and no
+  mutable (or shared-instance) default arguments.
+
+Run via ``python tools/check_invariants.py src/`` or through
+:func:`analyze_paths`.
+"""
+
+from repro.analysis.checker import AnalysisConfig, analyze_paths, format_violations
+from repro.analysis.core import ModuleInfo, Violation, load_module
+
+__all__ = [
+    "AnalysisConfig",
+    "ModuleInfo",
+    "Violation",
+    "analyze_paths",
+    "format_violations",
+    "load_module",
+]

@@ -1,0 +1,96 @@
+"""Conservative name-based call graph over the analyzed corpus.
+
+Python's dynamism makes precise call resolution impossible for a lint
+pass, so the graph is deliberately conservative: a call ``x.foo(...)`` or
+``foo(...)`` creates an edge to *every* known function or method named
+``foo`` anywhere in the corpus.  Over-approximation can only produce
+false positives (flagging code that is never actually reached from a
+worker thread), never false negatives — the right failure mode for a
+gate guarding lock discipline.
+
+Nested functions and lambdas are folded into their enclosing top-level
+function or method: the worker closure ``run_group`` defined inside
+``BiLevelLSH.query_batch`` contributes its calls (and its mutations, see
+:mod:`repro.analysis.rules`) to ``query_batch`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.analysis.core import ModuleInfo
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One top-level function or method, with the bare names it calls."""
+
+    name: str
+    qualname: str
+    module_path: str
+    node: ast.FunctionDef
+    called_names: FrozenSet[str]
+
+
+def _called_names(func: ast.FunctionDef) -> FrozenSet[str]:
+    """Bare names of every call target inside ``func`` (nested defs included)."""
+    names: Set[str] = set()
+    for sub in ast.walk(func):
+        if not isinstance(sub, ast.Call):
+            continue
+        target = sub.func
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return frozenset(names)
+
+
+def _iter_function_defs(
+    module: ModuleInfo,
+) -> Iterable[Tuple[str, ast.FunctionDef]]:
+    """Yield ``(qualname, node)`` for module functions and class methods."""
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt.name, stmt
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{stmt.name}.{item.name}", item
+
+
+class CallGraph:
+    """Name-indexed call graph across all analyzed modules."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]):
+        self.nodes: List[FunctionNode] = []
+        self._by_name: Dict[str, List[FunctionNode]] = {}
+        for module in modules:
+            for qualname, func in _iter_function_defs(module):
+                node = FunctionNode(
+                    name=func.name,
+                    qualname=qualname,
+                    module_path=module.posix_path,
+                    node=func,
+                    called_names=_called_names(func),
+                )
+                self.nodes.append(node)
+                self._by_name.setdefault(func.name, []).append(node)
+
+    def reachable_from(self, root_names: Iterable[str]) -> Set[FunctionNode]:
+        """Every node reachable (by-name) from functions named in ``root_names``."""
+        roots = [
+            node for name in root_names for node in self._by_name.get(name, [])
+        ]
+        seen: Set[FunctionNode] = set(roots)
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            for called in current.called_names:
+                for node in self._by_name.get(called, []):
+                    if node not in seen:
+                        seen.add(node)
+                        frontier.append(node)
+        return seen

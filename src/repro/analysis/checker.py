@@ -1,0 +1,143 @@
+"""Checker orchestration: file discovery, rule dispatch, reporting.
+
+:func:`analyze_paths` is the single entry point used by both the CLI
+(``tools/check_invariants.py``) and the self-tests.  Configuration lives
+in :class:`AnalysisConfig`; the defaults encode this repository's
+contracts (hot-path packages, guarded index attributes, worker-path
+roots) and the fixture tests pin them down.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.core import ModuleInfo, Violation, load_module
+from repro.analysis.rules import (
+    build_alias_table,
+    check_explicit_dtype,
+    check_locked_mutation,
+    check_no_silent_failure,
+    check_rng_centralized,
+    check_typed_api,
+)
+
+ALL_RULES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5")
+
+#: Human-readable rule index, kept in sync with ``repro.analysis.rules``.
+RULE_SUMMARIES: Dict[str, str] = {
+    "R1": "rng-centralized: no np.random/random use outside utils/rng",
+    "R2": "explicit-dtype: hot-path array constructions name their dtype",
+    "R3": "locked-mutation: worker-reachable code mutates shared index "
+          "state only under a declared lock",
+    "R4": "typed-api: public functions carry complete type annotations",
+    "R5": "no-silent-failure: no bare/silent except, no mutable defaults",
+}
+
+
+@dataclass
+class AnalysisConfig:
+    """Knobs for the invariant checker (defaults match this repository)."""
+
+    rules: Tuple[str, ...] = ALL_RULES
+    #: Path suffixes exempt from R1 (the one module allowed to touch numpy's
+    #: global RNG machinery).
+    rng_module_suffixes: Tuple[str, ...] = ("utils/rng.py",)
+    #: Packages whose modules form the dtype-sensitive hot path (R2).
+    hot_path_parts: Tuple[str, ...] = ("lsh", "lattice", "core")
+    #: Bare names of the batch-query entry points that execute on the
+    #: ``n_jobs`` worker pool — the roots of the R3 reachability walk.
+    worker_roots: Tuple[str, ...] = (
+        "query_batch", "candidate_sets", "gather_batch",
+        "lookup_batch", "lookup", "lookup_many",
+    )
+    #: ``self.<attr>`` names that constitute shared index state (R3).
+    guarded_attrs: frozenset = field(default_factory=lambda: frozenset({
+        "_starts", "_ends", "_overlay", "_extra_codes", "_extra_ids",
+        "_n_extra", "_bucket_keys", "_bucket_codes", "_sorted_ids",
+        "_tables", "_hierarchies", "_families", "_lattice",
+        "_sq_norms", "_deleted", "_data", "_ids", "n_points",
+        "group_indexes", "group_widths", "partitioner",
+    }))
+    #: Directory names never descended into during file discovery.
+    skip_dirs: Tuple[str, ...] = (
+        "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
+    )
+
+
+def discover_files(paths: Sequence[str], config: AnalysisConfig) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not set(sub.parts) & set(config.skip_dirs):
+                    files.append(sub)
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def analyze_modules(
+    modules: Sequence[ModuleInfo], config: AnalysisConfig
+) -> List[Violation]:
+    """Run every enabled rule over already-parsed modules."""
+    violations: List[Violation] = []
+    if "R1" in config.rules:
+        violations += check_rng_centralized(modules, config.rng_module_suffixes)
+    if "R2" in config.rules:
+        violations += check_explicit_dtype(modules, config.hot_path_parts)
+    if "R3" in config.rules:
+        graph = CallGraph(modules)
+        violations += check_locked_mutation(
+            modules, graph, config.worker_roots, config.guarded_attrs
+        )
+    if "R4" in config.rules:
+        aliases = build_alias_table(modules)
+        violations += check_typed_api(modules, aliases)
+    if "R5" in config.rules:
+        violations += check_no_silent_failure(modules)
+    by_path = {module.posix_path: module for module in modules}
+    kept = [
+        v for v in violations
+        if v.path not in by_path or not by_path[v.path].is_suppressed(v)
+    ]
+    return sorted(kept, key=lambda v: (v.path, v.line, v.rule, v.message))
+
+
+def analyze_paths(
+    paths: Sequence[str], config: Optional[AnalysisConfig] = None
+) -> List[Violation]:
+    """Check every ``.py`` file under ``paths``; returns sorted violations."""
+    if config is None:
+        config = AnalysisConfig()
+    modules: List[ModuleInfo] = []
+    violations: List[Violation] = []
+    for path in discover_files(paths, config):
+        module, parse_error = load_module(path)
+        if parse_error is not None:
+            violations.append(parse_error)
+        elif module is not None:
+            modules.append(module)
+    return sorted(
+        violations + analyze_modules(modules, config),
+        key=lambda v: (v.path, v.line, v.rule, v.message),
+    )
+
+
+def format_violations(violations: Iterable[Violation]) -> str:
+    """One ``path:line: [rule] message`` line per violation."""
+    return "\n".join(violation.format() for violation in violations)
+
+
+def parse_source(source: str, name: str = "<fixture>.py") -> ModuleInfo:
+    """Parse an in-memory source string (used by the self-tests)."""
+    return ModuleInfo(
+        path=Path(name),
+        tree=ast.parse(source),
+        source_lines=source.splitlines(),
+    )

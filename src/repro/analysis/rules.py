@@ -1,0 +1,405 @@
+"""The repo-specific invariant rules R1–R5.
+
+Each rule is a pure function from parsed modules (plus shared context:
+type-alias table, call graph) to a list of :class:`Violation`.  Rules are
+deliberately syntactic and conservative — they enforce *discipline*
+(explicit dtypes, centralized RNG, lock-guarded mutation), not semantics,
+so a finding is always actionable at the flagged line: add the dtype,
+route through ``utils/rng``, take the lock, or suppress with an
+``# invariant: disable=Rn`` pragma and a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.core import (
+    ModuleInfo,
+    Violation,
+    dotted_attribute,
+    is_self_attribute,
+)
+
+#: ``numpy`` array constructors whose default dtype depends on the input
+#: (or is an implicit float64) — the hot path must name the dtype.
+DTYPE_CONSTRUCTORS = frozenset({
+    "array", "asarray", "ascontiguousarray", "asfortranarray",
+    "zeros", "ones", "empty", "full",
+    "arange", "linspace", "eye", "identity",
+    "fromiter", "frombuffer", "fromfile", "fromstring",
+})
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+    "fill", "resize", "put", "partition",
+})
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+# --------------------------------------------------------------------- R1
+
+def check_rng_centralized(
+    modules: Sequence[ModuleInfo], rng_module_suffixes: Tuple[str, ...]
+) -> List[Violation]:
+    """R1: randomness flows only through :mod:`repro.utils.rng`.
+
+    Flags ``import random`` / ``from random import ...`` and any *call*
+    into ``np.random.*`` / ``numpy.random.*``.  Non-call references (the
+    type annotations ``np.random.Generator`` / ``np.random.SeedSequence``)
+    stay legal — they name types, not entropy sources.
+    """
+    violations: List[Violation] = []
+    for module in modules:
+        if module.posix_path.endswith(rng_module_suffixes):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        violations.append(Violation(
+                            "R1", module.posix_path, node.lineno,
+                            "direct 'import random'; use repro.utils.rng instead",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" or (
+                    node.module or ""
+                ).startswith("random."):
+                    violations.append(Violation(
+                        "R1", module.posix_path, node.lineno,
+                        "direct 'from random import ...'; use repro.utils.rng "
+                        "instead",
+                    ))
+            elif isinstance(node, ast.Call):
+                dotted = dotted_attribute(node.func)
+                if dotted and (
+                    dotted.startswith("np.random.")
+                    or dotted.startswith("numpy.random.")
+                ):
+                    violations.append(Violation(
+                        "R1", module.posix_path, node.lineno,
+                        f"direct call to {dotted}(); route seeds through "
+                        "repro.utils.rng.ensure_rng/spawn_rngs",
+                    ))
+    return violations
+
+
+# --------------------------------------------------------------------- R2
+
+def check_explicit_dtype(
+    modules: Sequence[ModuleInfo], hot_path_parts: Tuple[str, ...]
+) -> List[Violation]:
+    """R2: hot-path array constructions must name an explicit ``dtype=``.
+
+    Applies only to modules under the hot-path packages (``lsh``,
+    ``lattice``, ``core`` by default): there, an implicit dtype is how an
+    ``int32`` code array or ``float32`` projection silently enters the
+    packed-key pipeline and breaks the ``>u8`` byte-order contract.
+    """
+    violations: List[Violation] = []
+    for module in modules:
+        if not set(module.path_parts()) & set(hot_path_parts):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_attribute(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            prefix, _, ctor = dotted.rpartition(".")
+            if prefix not in ("np", "numpy") or ctor not in DTYPE_CONSTRUCTORS:
+                continue
+            if not any(kw.arg == "dtype" for kw in node.keywords):
+                violations.append(Violation(
+                    "R2", module.posix_path, node.lineno,
+                    f"{dotted}(...) without an explicit dtype= in a hot-path "
+                    "module; name the dtype so code/key arrays cannot drift",
+                ))
+    return violations
+
+
+# --------------------------------------------------------------------- R3
+
+def _lock_context_names(item: ast.withitem) -> bool:
+    """True if a ``with`` item acquires something that looks like a lock."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    dotted = dotted_attribute(expr)
+    return dotted is not None and "lock" in dotted.lower()
+
+
+def _walk_mutations(
+    body: Iterable[ast.stmt],
+    guarded: frozenset,
+    lock_depth: int,
+    out: List[Tuple[int, str]],
+) -> None:
+    """Collect unguarded ``self.<attr>`` mutations, tracking lock scopes."""
+    for stmt in body:
+        depth = lock_depth
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if any(_lock_context_names(item) for item in stmt.items):
+                depth = lock_depth + 1
+        if depth == 0:
+            for target in _mutation_targets(stmt, guarded):
+                out.append((stmt.lineno, target))
+        for child_body in _child_bodies(stmt):
+            _walk_mutations(child_body, guarded, depth, out)
+
+
+def _child_bodies(stmt: ast.stmt) -> Iterable[Iterable[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", ()) or ():
+        yield handler.body
+
+
+def _mutation_targets(stmt: ast.stmt, guarded: frozenset) -> List[str]:
+    """Guarded ``self.<attr>`` names this single statement mutates."""
+    found: List[str] = []
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target] if stmt.target is not None else []
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            attr = is_self_attribute(func.value, guarded)
+            if attr is not None:
+                found.append(f"self.{attr}.{func.attr}(...)")
+    for target in targets:
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Starred)):
+            base = base.value
+        if isinstance(base, ast.Tuple):
+            for element in base.elts:
+                attr = is_self_attribute(element, guarded)
+                if attr is not None:
+                    found.append(f"self.{attr}")
+            continue
+        attr = is_self_attribute(base, guarded)
+        if attr is not None:
+            found.append(f"self.{attr}")
+    return found
+
+
+def check_locked_mutation(
+    modules: Sequence[ModuleInfo],
+    graph: CallGraph,
+    worker_roots: Tuple[str, ...],
+    guarded_attrs: frozenset,
+) -> List[Violation]:
+    """R3: worker-reachable functions must not mutate shared index state
+    outside a declared lock.
+
+    The reachable set is computed by a conservative by-name call-graph
+    walk from the worker roots (the batch-query entry points dispatched
+    on the ``n_jobs`` thread pool).  Inside any reachable function, an
+    assignment to / in-place mutation of a guarded ``self`` attribute
+    (CSR offsets, overlay chunks, table lists, cached norms, tombstones)
+    is flagged unless it happens under ``with self.<...lock...>:``.
+    """
+    path_index: Dict[str, ModuleInfo] = {m.posix_path: m for m in modules}
+    reachable = graph.reachable_from(worker_roots)
+    violations: List[Violation] = []
+    for fnode in sorted(reachable, key=lambda n: (n.module_path, n.node.lineno)):
+        if fnode.name in ("__init__", "__post_init__"):
+            continue
+        if fnode.module_path not in path_index:
+            continue
+        mutations: List[Tuple[int, str]] = []
+        _walk_mutations(fnode.node.body, guarded_attrs, 0, mutations)
+        for line, target in mutations:
+            violations.append(Violation(
+                "R3", fnode.module_path, line,
+                f"{fnode.qualname} is reachable from the n_jobs worker path "
+                f"(roots: {', '.join(worker_roots)}) but mutates {target} "
+                "without holding a declared lock",
+            ))
+    return violations
+
+
+# --------------------------------------------------------------------- R4
+
+def build_alias_table(modules: Sequence[ModuleInfo]) -> Dict[str, str]:
+    """Module-level type aliases (``SeedLike = Union[None, ...]``) by name."""
+    aliases: Dict[str, str] = {}
+    for module in modules:
+        for stmt in module.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                aliases[stmt.targets[0].id] = ast.unparse(stmt.value)
+    return aliases
+
+
+def _allows_none(annotation: ast.expr, aliases: Dict[str, str]) -> bool:
+    text = ast.unparse(annotation)
+    seen: Set[str] = set()
+    while True:
+        if any(token in text for token in ("None", "Optional", "Any", "object")):
+            return True
+        name = text.strip()
+        if name in aliases and name not in seen:
+            seen.add(name)
+            text = aliases[name]
+            continue
+        return False
+
+
+def _public_functions(
+    module: ModuleInfo,
+) -> Iterable[Tuple[str, ast.FunctionDef]]:
+    """Top-level public functions and public methods (nested defs excluded)."""
+    special = ("__init__", "__call__", "__post_init__")
+    for stmt in module.tree.body:
+        candidates: List[Tuple[str, ast.AST]] = []
+        if isinstance(stmt, _FUNC_DEFS):
+            candidates.append((stmt.name, stmt))
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, _FUNC_DEFS):
+                    candidates.append((f"{stmt.name}.{item.name}", item))
+        for qualname, func in candidates:
+            if not func.name.startswith("_") or func.name in special:
+                yield qualname, func
+
+
+def check_typed_api(
+    modules: Sequence[ModuleInfo], aliases: Dict[str, str]
+) -> List[Violation]:
+    """R4: public API functions carry complete, honest type annotations.
+
+    Every parameter (and ``*args`` / ``**kwargs``) of a public function
+    or method must be annotated, the return type must be declared
+    (``__init__``/``__post_init__`` excepted), and a ``= None`` default
+    requires an annotation that admits ``None`` (``Optional[...]``,
+    ``... | None``, or an alias resolving to one).
+    """
+    violations: List[Violation] = []
+    for module in modules:
+        for qualname, func in _public_functions(module):
+            args = func.args
+            positional = args.posonlyargs + args.args
+            for arg in positional + args.kwonlyargs:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    violations.append(Violation(
+                        "R4", module.posix_path, func.lineno,
+                        f"{qualname}: parameter '{arg.arg}' lacks a type "
+                        "annotation",
+                    ))
+            for star, prefix in ((args.vararg, "*"), (args.kwarg, "**")):
+                if star is not None and star.annotation is None:
+                    violations.append(Violation(
+                        "R4", module.posix_path, func.lineno,
+                        f"{qualname}: parameter '{prefix}{star.arg}' lacks a "
+                        "type annotation",
+                    ))
+            if func.returns is None and func.name not in (
+                "__init__", "__post_init__"
+            ):
+                violations.append(Violation(
+                    "R4", module.posix_path, func.lineno,
+                    f"{qualname}: missing return type annotation",
+                ))
+            defaults = list(zip(reversed(positional), reversed(args.defaults)))
+            defaults += [
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            ]
+            for arg, default in defaults:
+                if (
+                    isinstance(default, ast.Constant)
+                    and default.value is None
+                    and arg.annotation is not None
+                    and not _allows_none(arg.annotation, aliases)
+                ):
+                    violations.append(Violation(
+                        "R4", module.posix_path, func.lineno,
+                        f"{qualname}: parameter '{arg.arg}' defaults to None "
+                        f"but is annotated '{ast.unparse(arg.annotation)}' — "
+                        "use Optional[...]",
+                    ))
+    return violations
+
+
+# --------------------------------------------------------------------- R5
+
+_MUTABLE_DEFAULTS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_IMMUTABLE_CALLS = frozenset({"tuple", "frozenset"})
+
+
+def _is_silent_body(body: Sequence[ast.stmt]) -> bool:
+    """True if an except body does nothing observable (pass/.../docstring)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+def check_no_silent_failure(modules: Sequence[ModuleInfo]) -> List[Violation]:
+    """R5: no bare/silent ``except`` and no mutable/shared default args.
+
+    A bare ``except:`` (catches ``KeyboardInterrupt``/``SystemExit``) or a
+    handler whose body is only ``pass`` hides failures the batch engine
+    must surface.  Mutable literals and constructor calls as defaults are
+    evaluated once and shared across calls — a classic aliasing bug, and
+    with the thread-pooled dispatch a cross-thread one.
+    """
+    violations: List[Violation] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    violations.append(Violation(
+                        "R5", module.posix_path, node.lineno,
+                        "bare 'except:'; name the exception type",
+                    ))
+                elif _is_silent_body(node.body):
+                    violations.append(Violation(
+                        "R5", module.posix_path, node.lineno,
+                        "silently swallowed exception (handler body does "
+                        "nothing); handle, log or re-raise",
+                    ))
+            elif isinstance(node, _FUNC_DEFS):
+                args = node.args
+                all_defaults = list(args.defaults) + [
+                    d for d in args.kw_defaults if d is not None
+                ]
+                for default in all_defaults:
+                    if isinstance(default, _MUTABLE_DEFAULTS):
+                        violations.append(Violation(
+                            "R5", module.posix_path, node.lineno,
+                            f"{node.name}: mutable default argument "
+                            f"'{ast.unparse(default)}'; use None and create "
+                            "inside the function",
+                        ))
+                    elif isinstance(default, ast.Call):
+                        callee = dotted_attribute(default.func) or "<call>"
+                        if callee in _IMMUTABLE_CALLS:
+                            continue
+                        violations.append(Violation(
+                            "R5", module.posix_path, node.lineno,
+                            f"{node.name}: call default '{ast.unparse(default)}'"
+                            " is evaluated once and shared across calls (and "
+                            "threads); use None and construct per call",
+                        ))
+    return violations

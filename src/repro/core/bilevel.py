@@ -22,6 +22,7 @@ variant evaluated in the paper).
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple, Union
 
@@ -65,6 +66,10 @@ class BiLevelLSH:
         self.group_indexes: List[StandardLSH] = []
         self.group_widths: List[float] = []
         self._data: Optional[np.ndarray] = None
+        # Serializes structural updates (insert/delete) against each other;
+        # batch queries stay lock-free and rely on the per-group indexes'
+        # snapshot discipline (see StandardLSH).
+        self._update_lock = threading.RLock()
 
     # ------------------------------------------------------------------ fit
 
@@ -174,20 +179,22 @@ class BiLevelLSH:
             raise ValueError(
                 f"points have dim {points.shape[1]}, index has dim "
                 f"{self._data.shape[1]}")
-        start = self._data.shape[0]
-        new_ids = np.arange(start, start + points.shape[0], dtype=np.int64)
-        self._data = np.vstack([self._data, points])
-        groups = self.partitioner.assign(points)
-        for g, index in enumerate(self.group_indexes):
-            rows = np.nonzero(groups == g)[0]
-            if rows.size:
-                index.insert(points[rows], ids=new_ids[rows])
+        with self._update_lock:
+            start = self._data.shape[0]
+            new_ids = np.arange(start, start + points.shape[0], dtype=np.int64)
+            self._data = np.vstack([self._data, points])
+            groups = self.partitioner.assign(points)
+            for g, index in enumerate(self.group_indexes):
+                rows = np.nonzero(groups == g)[0]
+                if rows.size:
+                    index.insert(points[rows], ids=new_ids[rows])
         return new_ids
 
     def delete(self, ids: np.ndarray) -> int:
         """Remove points by global id; returns how many were found."""
         self._check_fitted()
-        return sum(index.delete(ids) for index in self.group_indexes)
+        with self._update_lock:
+            return sum(index.delete(ids) for index in self.group_indexes)
 
     # ---------------------------------------------------------------- query
 
@@ -241,7 +248,8 @@ class BiLevelLSH:
                           for g, rows in enumerate(per_group)]
         active = [(g, rows) for g, rows in membership if rows.size]
 
-        def run_group(g: int, rows: np.ndarray):
+        def run_group(g: int, rows: np.ndarray,
+                      ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
             return self.group_indexes[g].query_batch(
                 queries[rows], k, hierarchy_threshold=hierarchy_threshold,
                 engine=engine)
@@ -285,9 +293,10 @@ class BiLevelLSH:
         all_dists = np.concatenate([cur_dists, new_dists], axis=1)
         all_dists[all_ids < 0] = np.inf
         r, w = all_ids.shape
-        rowidx = np.repeat(np.arange(r), w)
+        rowidx = np.repeat(np.arange(r, dtype=np.int64), w)
         flat_order = np.lexsort((all_ids.ravel(), all_dists.ravel(), rowidx))
-        col_order = flat_order.reshape(r, w) - np.arange(r)[:, None] * w
+        col_order = (flat_order.reshape(r, w)
+                     - np.arange(r, dtype=np.int64)[:, None] * w)
         top = col_order[:, :k]
         sel_ids = np.take_along_axis(all_ids, top, axis=1)
         sel_dists = np.take_along_axis(all_dists, top, axis=1)

@@ -8,7 +8,7 @@ sweeps one field, and logs the rest verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.utils.validation import check_positive, check_probability
 
@@ -136,6 +136,6 @@ class BiLevelConfig:
             raise ValueError(
                 f"lattice must be 'zm', 'e8' or 'dm', got {self.lattice!r}")
 
-    def with_(self, **changes) -> "BiLevelConfig":
+    def with_(self, **changes: Any) -> "BiLevelConfig":
         """Return a copy with ``changes`` applied (sweep helper)."""
         return replace(self, **changes)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.bilevel import BiLevelLSH
 from repro.core.config import BiLevelConfig
 from repro.lsh.index import StandardLSH, make_lattice
+from repro.lattice.base import Lattice
 from repro.lsh.functions import PStableHashFamily
 from repro.lsh.table import LSHTable
 from repro.utils.rng import ensure_rng, spawn_rngs
@@ -37,7 +38,7 @@ from repro.utils.validation import check_positive
 DEFAULT_CHUNK = 8192
 
 
-def _validate_2d(data, name: str = "data"):
+def _validate_2d(data: np.ndarray, name: str = "data") -> np.ndarray:
     if getattr(data, "ndim", None) != 2:
         raise ValueError(f"{name} must be 2-D (n_points, dim)")
     if data.shape[0] == 0:
@@ -45,7 +46,8 @@ def _validate_2d(data, name: str = "data"):
     return data
 
 
-def chunked_codes(family: PStableHashFamily, lattice, data,
+def chunked_codes(family: PStableHashFamily, lattice: Lattice,
+                  data: np.ndarray,
                   chunk_size: int = DEFAULT_CHUNK) -> np.ndarray:
     """Quantized codes of ``data`` computed in bounded-memory chunks."""
     check_positive(chunk_size, "chunk_size")
@@ -59,7 +61,7 @@ def chunked_codes(family: PStableHashFamily, lattice, data,
     return codes
 
 
-def fit_standard_chunked(index: StandardLSH, data,
+def fit_standard_chunked(index: StandardLSH, data: np.ndarray,
                          ids: Optional[np.ndarray] = None,
                          chunk_size: int = DEFAULT_CHUNK) -> StandardLSH:
     """Fit ``index`` over ``data`` without materializing it in RAM.
@@ -96,7 +98,7 @@ def fit_standard_chunked(index: StandardLSH, data,
     return index
 
 
-def fit_bilevel_chunked(config: BiLevelConfig, data,
+def fit_bilevel_chunked(config: BiLevelConfig, data: np.ndarray,
                         sample_size: int = 4096,
                         chunk_size: int = DEFAULT_CHUNK,
                         seed: Optional[int] = None) -> BiLevelLSH:

@@ -27,7 +27,7 @@ benchmarks' ambient dimensions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -71,7 +71,8 @@ def clustered_manifold(n_points: int = 10_000, dim: int = 64,
                        cluster_spread: float = 1.0, center_spread: float = 12.0,
                        size_exponent: float = 0.7,
                        seed: SeedLike = None,
-                       return_labels: bool = False):
+                       return_labels: bool = False,
+                       ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """Generate a clustered, low-intrinsic-dimension, anisotropic dataset.
 
     Parameters
@@ -148,7 +149,8 @@ def clustered_manifold(n_points: int = 10_000, dim: int = 64,
 
 
 def labelme_like(n_points: int = 10_000, seed: SeedLike = None,
-                 dim: int = 512, **overrides):
+                 dim: int = 512, **overrides: Any,
+                 ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """LabelMe-GIST stand-in: dim-512, ~40 scene clusters, mild imbalance."""
     params = dict(n_points=n_points, dim=dim, n_clusters=40, intrinsic_dim=8,
                   anisotropy=8.0, noise_fraction=0.02, seed=seed)
@@ -157,7 +159,8 @@ def labelme_like(n_points: int = 10_000, seed: SeedLike = None,
 
 
 def tiny_like(n_points: int = 10_000, seed: SeedLike = None,
-              dim: int = 384, **overrides):
+              dim: int = 384, **overrides: Any,
+              ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
     """Tiny-Images-GIST stand-in: dim-384, many clusters, heavier imbalance."""
     params = dict(n_points=n_points, dim=dim, n_clusters=80, intrinsic_dim=6,
                   anisotropy=10.0, noise_fraction=0.05, size_exponent=1.0,

@@ -18,11 +18,16 @@ Tools for inspecting *why* the Bi-level scheme behaves as it does:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 import numpy as np
 
 from repro.utils.validation import as_float_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - import-time types only
+    from repro.core.bilevel import BiLevelLSH
+    from repro.lsh.index import QueryStats
+    from repro.lsh.table import LSHTable
 
 
 def aspect_ratio(points: np.ndarray) -> float:
@@ -87,7 +92,7 @@ def _gini(sizes: np.ndarray) -> float:
     return float((2.0 * np.sum(ranks * sizes) / (n * total)) - (n + 1) / n)
 
 
-def bucket_statistics(table) -> BucketStatistics:
+def bucket_statistics(table: LSHTable) -> BucketStatistics:
     """Summarize a :class:`~repro.lsh.table.LSHTable`'s bucket sizes."""
     sizes = table.bucket_sizes()
     return BucketStatistics(
@@ -99,7 +104,8 @@ def bucket_statistics(table) -> BucketStatistics:
     )
 
 
-def routing_loss(index, queries: np.ndarray, exact_ids: np.ndarray) -> np.ndarray:
+def routing_loss(index: BiLevelLSH, queries: np.ndarray,
+                 exact_ids: np.ndarray) -> np.ndarray:
     """Fraction of each query's true neighbors outside its level-1 group.
 
     Parameters
@@ -133,7 +139,7 @@ def routing_loss(index, queries: np.ndarray, exact_ids: np.ndarray) -> np.ndarra
     return out
 
 
-def escalation_report(stats) -> dict:
+def escalation_report(stats: QueryStats) -> Dict[str, float]:
     """Summarize a :class:`~repro.lsh.index.QueryStats` escalation pass."""
     return {
         "n_queries": int(stats.escalated.size),

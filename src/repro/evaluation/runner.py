@@ -12,7 +12,7 @@ selectivity-vs-recall/error curves that every figure of the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -94,7 +94,19 @@ class ExperimentResult:
         return out
 
 
-def evaluate_index(index, data: np.ndarray, queries: np.ndarray, k: int,
+class KNNIndex(Protocol):
+    """Structural type of anything evaluable: fit + batch query."""
+
+    def fit(self, data: np.ndarray) -> "KNNIndex":
+        ...
+
+    def query_batch(self, queries: np.ndarray, k: int,
+                    ) -> Tuple[np.ndarray, np.ndarray, "QueryStats"]:
+        ...
+
+
+def evaluate_index(index: KNNIndex, data: np.ndarray, queries: np.ndarray,
+                   k: int,
                    ground_truth: GroundTruth) -> RunMeasurement:
     """Fit-and-query one index, returning per-query metrics."""
     index.fit(data)

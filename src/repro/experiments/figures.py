@@ -125,7 +125,8 @@ def fig04(scale: Optional[Scale] = None,
 # ---------------------------------------------------------------- Figs 5-10
 
 def fig05(scale: Optional[Scale] = None, workload_name: str = "labelme",
-          l_values: Sequence[int] = (10, 20, 30)):
+          l_values: Sequence[int] = (10, 20, 30),
+          ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 5: standard vs Bi-level LSH on the Z^M lattice."""
     return _method_pair(scale, "zm", ("standard", "bilevel"),
                         "Fig. 5: standard vs bilevel (Z^M)",
@@ -133,7 +134,8 @@ def fig05(scale: Optional[Scale] = None, workload_name: str = "labelme",
 
 
 def fig06(scale: Optional[Scale] = None, workload_name: str = "labelme",
-          l_values: Sequence[int] = (10, 20, 30)):
+          l_values: Sequence[int] = (10, 20, 30),
+          ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 6: standard vs Bi-level LSH on the E8 lattice."""
     return _method_pair(scale, "e8", ("standard", "bilevel"),
                         "Fig. 6: standard vs bilevel (E8)",
@@ -141,7 +143,7 @@ def fig06(scale: Optional[Scale] = None, workload_name: str = "labelme",
 
 
 def fig07(scale: Optional[Scale] = None, workload_name: str = "labelme",
-          l_values: Sequence[int] = (10,)):
+          l_values: Sequence[int] = (10,)) -> Dict[str, List[ExperimentResult]]:
     """Fig. 7: multiprobed standard vs multiprobed Bi-level (Z^M)."""
     return _method_pair(scale, "zm", ("standard+mp", "bilevel+mp"),
                         "Fig. 7: multiprobe comparison (Z^M)",
@@ -149,7 +151,7 @@ def fig07(scale: Optional[Scale] = None, workload_name: str = "labelme",
 
 
 def fig08(scale: Optional[Scale] = None, workload_name: str = "labelme",
-          l_values: Sequence[int] = (10,)):
+          l_values: Sequence[int] = (10,)) -> Dict[str, List[ExperimentResult]]:
     """Fig. 8: multiprobed standard vs multiprobed Bi-level (E8)."""
     return _method_pair(scale, "e8", ("standard+mp", "bilevel+mp"),
                         "Fig. 8: multiprobe comparison (E8)",
@@ -157,7 +159,7 @@ def fig08(scale: Optional[Scale] = None, workload_name: str = "labelme",
 
 
 def fig09(scale: Optional[Scale] = None, workload_name: str = "labelme",
-          l_values: Sequence[int] = (10,)):
+          l_values: Sequence[int] = (10,)) -> Dict[str, List[ExperimentResult]]:
     """Fig. 9: hierarchical standard vs hierarchical Bi-level (Z^M)."""
     return _method_pair(scale, "zm", ("standard+h", "bilevel+h"),
                         "Fig. 9: hierarchy comparison (Z^M)",
@@ -165,7 +167,7 @@ def fig09(scale: Optional[Scale] = None, workload_name: str = "labelme",
 
 
 def fig10(scale: Optional[Scale] = None, workload_name: str = "labelme",
-          l_values: Sequence[int] = (10,)):
+          l_values: Sequence[int] = (10,)) -> Dict[str, List[ExperimentResult]]:
     """Fig. 10: hierarchical standard vs hierarchical Bi-level (E8)."""
     return _method_pair(scale, "e8", ("standard+h", "bilevel+h"),
                         "Fig. 10: hierarchy comparison (E8)",
@@ -192,14 +194,16 @@ def _all_methods(scale: Optional[Scale], lattice: str, title: str,
     return blocks
 
 
-def fig11(scale: Optional[Scale] = None, workload_name: str = "labelme"):
+def fig11(scale: Optional[Scale] = None, workload_name: str = "labelme",
+          ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 11: all six methods + query-caused variance (Z^M, L=20)."""
     return _all_methods(scale, "zm",
                         "Fig. 11: all methods, query variance (Z^M)",
                         workload_name)
 
 
-def fig12(scale: Optional[Scale] = None, workload_name: str = "labelme"):
+def fig12(scale: Optional[Scale] = None, workload_name: str = "labelme",
+          ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 12: all six methods + query-caused variance (E8, L=20)."""
     return _all_methods(scale, "e8",
                         "Fig. 12: all methods, query variance (E8)",
@@ -209,7 +213,8 @@ def fig12(scale: Optional[Scale] = None, workload_name: str = "labelme"):
 # ----------------------------------------------------------------- Fig 13
 
 def fig13a(scale: Optional[Scale] = None, workload_name: str = "labelme",
-           group_counts: Sequence[int] = (1, 8, 16, 32, 64)):
+           group_counts: Sequence[int] = (1, 8, 16, 32, 64),
+           ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 13a: Bi-level quality vs first-level group count (L=20)."""
     scale = scale if scale is not None else Scale()
     scale = scale.with_(n_tables=20)
@@ -223,7 +228,8 @@ def fig13a(scale: Optional[Scale] = None, workload_name: str = "labelme",
 
 
 def fig13b(scale: Optional[Scale] = None, workload_name: str = "labelme",
-           m_values: Sequence[int] = (4, 8, 12)):
+           m_values: Sequence[int] = (4, 8, 12),
+           ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 13b: Bi-level vs standard for different code lengths M (L=20)."""
     scale = scale if scale is not None else Scale()
     scale = scale.with_(n_tables=20)
@@ -237,7 +243,8 @@ def fig13b(scale: Optional[Scale] = None, workload_name: str = "labelme",
     return blocks
 
 
-def fig13c(scale: Optional[Scale] = None, workload_name: str = "labelme"):
+def fig13c(scale: Optional[Scale] = None, workload_name: str = "labelme",
+           ) -> Dict[str, List[ExperimentResult]]:
     """Fig. 13c: RP-tree vs K-means as the first-level partitioner (L=20)."""
     scale = scale if scale is not None else Scale()
     scale = scale.with_(n_tables=20)

@@ -10,12 +10,13 @@ scale by default and at paper scale on demand.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.synthetic import labelme_like, tiny_like, train_query_split
 from repro.evaluation.groundtruth import GroundTruth
+from repro.utils.rng import ensure_rng
 
 #: The paper's experimental constants (Section VI-B.2).
 PAPER_M = 8
@@ -64,7 +65,7 @@ class Scale:
         return Scale(n_train=1200, n_queries=100, dim=32, k=10, n_runs=2,
                      n_tables=5, n_probes=8, widths=(1.0, 3.0))
 
-    def with_(self, **changes) -> "Scale":
+    def with_(self, **changes: Any) -> "Scale":
         return replace(self, **changes)
 
 
@@ -94,7 +95,7 @@ def _reference_width(train: np.ndarray, k: int, seed: int,
     """Median exact k-NN distance of a small training sample."""
     from repro.evaluation.groundtruth import brute_force_knn
 
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     m = min(sample_size, train.shape[0])
     sample = train[rng.choice(train.shape[0], size=m, replace=False)]
     kk = min(k + 1, train.shape[0])

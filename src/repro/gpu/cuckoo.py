@@ -17,6 +17,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.gpu.device import DeviceModel
 from repro.utils.rng import SeedLike, ensure_rng
 
 #: Largest prime below 2^61 — modulus for the universal hash family.
@@ -179,7 +180,7 @@ class CuckooHashTable:
                 out[i] = val
         return out
 
-    def lookup_cost_cycles(self, device) -> float:
+    def lookup_cost_cycles(self, device: DeviceModel) -> float:
         """Modeled per-lookup cost on ``device`` (H global loads)."""
         return self.n_functions * device.global_mem_cycles
 

@@ -105,7 +105,7 @@ class ExecutionTimer:
     def total_cycles(self) -> float:
         return float(sum(self.phase_cycles.values()))
 
-    def seconds(self, device) -> float:
+    def seconds(self, device: "DeviceModel") -> float:
         """Total simulated wall-clock time under ``device``'s clock."""
         return device.seconds(self.total_cycles())
 

@@ -19,7 +19,7 @@ groups.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -33,6 +33,13 @@ from repro.gpu.shortlist import (
 )
 from repro.lsh.table import LSHTable
 from repro.utils.validation import as_float_matrix, check_k
+
+if TYPE_CHECKING:  # pragma: no cover - import-time types only
+    from repro.core.bilevel import BiLevelLSH
+    from repro.lsh.forest import LSHForest
+    from repro.lsh.index import StandardLSH
+
+    IndexLike = Union[StandardLSH, BiLevelLSH, LSHForest]
 
 MODES = ("cpu_lshkit", "cpu_shortlist", "gpu", "gpu_workqueue")
 
@@ -64,11 +71,12 @@ class GPUPipeline:
         Cost models for the two processors.
     """
 
-    def __init__(self, index, device: DeviceModel = DeviceModel(),
-                 cpu: CPUModel = CPUModel()):
+    def __init__(self, index: "IndexLike",
+                 device: Optional[DeviceModel] = None,
+                 cpu: Optional[CPUModel] = None):
         self.index = index
-        self.device = device
-        self.cpu = cpu
+        self.device = device if device is not None else DeviceModel()
+        self.cpu = cpu if cpu is not None else CPUModel()
         self._cuckoo: CuckooHashTable | None = None
         self._n_codes = 0
 

@@ -12,6 +12,8 @@ radix sort over (cluster, key) composite keys.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.gpu.device import DeviceModel, ExecutionTimer
@@ -63,7 +65,8 @@ def compact(values: np.ndarray, mask: np.ndarray, device: DeviceModel,
 
 def radix_sort_pairs(keys: np.ndarray, values: np.ndarray,
                      device: DeviceModel, timer: ExecutionTimer,
-                     key_bits: int = 32, phase: str = "sort"):
+                     key_bits: int = 32, phase: str = "sort",
+                     ) -> Tuple[np.ndarray, np.ndarray]:
     """Stable sort of (key, value) pairs; cost of ``key_bits/r`` passes."""
     keys = np.asarray(keys)
     values = np.asarray(values)
@@ -82,7 +85,8 @@ def radix_sort_pairs(keys: np.ndarray, values: np.ndarray,
 def clustered_sort(cluster_ids: np.ndarray, keys: np.ndarray,
                    values: np.ndarray, device: DeviceModel,
                    timer: ExecutionTimer, key_bits: int = 32,
-                   phase: str = "clustered_sort"):
+                   phase: str = "clustered_sort",
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Sort by ``keys`` within each cluster, keeping cluster order.
 
     This is the paper's *clustered-sort* (Fig. 3): candidates belonging to
@@ -110,7 +114,8 @@ def clustered_sort(cluster_ids: np.ndarray, keys: np.ndarray,
 
 def segmented_take_first_k(cluster_ids: np.ndarray, keys: np.ndarray,
                            values: np.ndarray, k: int, device: DeviceModel,
-                           timer: ExecutionTimer, phase: str = "take_first_k"):
+                           timer: ExecutionTimer, phase: str = "take_first_k",
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Keep the first ``k`` entries of each cluster (after clustered sort).
 
     Implemented as a rank-within-cluster computation plus a compact — the

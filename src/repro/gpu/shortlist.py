@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -92,8 +92,9 @@ def _candidate_distances(data: np.ndarray, query: np.ndarray,
 
 def serial_shortlist(data: np.ndarray, queries: np.ndarray,
                      candidate_sets: Sequence[np.ndarray], k: int,
-                     cpu: CPUModel = CPUModel()) -> ShortListResult:
+                     cpu: Optional[CPUModel] = None) -> ShortListResult:
     """Reference serial CPU short-list search (heap per query)."""
+    cpu = cpu if cpu is not None else CPUModel()
     data = as_float_matrix(data)
     queries = as_float_matrix(queries, name="queries")
     k = check_k(k)
@@ -122,13 +123,15 @@ def serial_shortlist(data: np.ndarray, queries: np.ndarray,
 
 def per_thread_shortlist(data: np.ndarray, queries: np.ndarray,
                          candidate_sets: Sequence[np.ndarray], k: int,
-                         device: DeviceModel = DeviceModel()) -> ShortListResult:
+                         device: Optional[DeviceModel] = None,
+                         ) -> ShortListResult:
     """Naive GPU mapping: one thread per query, heap in global memory.
 
     Cost model: queries are tiled into warps; each warp costs as much as
     its heaviest thread (divergence/imbalance), and heap traffic hits
     global memory.
     """
+    device = device if device is not None else DeviceModel()
     data = as_float_matrix(data)
     queries = as_float_matrix(queries, name="queries")
     k = check_k(k)
@@ -165,7 +168,7 @@ def per_thread_shortlist(data: np.ndarray, queries: np.ndarray,
 
 def work_queue_shortlist(data: np.ndarray, queries: np.ndarray,
                          candidate_sets: Sequence[np.ndarray], k: int,
-                         device: DeviceModel = DeviceModel(),
+                         device: Optional[DeviceModel] = None,
                          queue_capacity: int = 1 << 18) -> ShortListResult:
     """The paper's work-queue short-list search (Fig. 3).
 
@@ -176,6 +179,7 @@ def work_queue_shortlist(data: np.ndarray, queries: np.ndarray,
     follows the paper's work-efficient bound of 40 cycles of queue work
     per element, plus the distance evaluations.
     """
+    device = device if device is not None else DeviceModel()
     data = as_float_matrix(data)
     queries = as_float_matrix(queries, name="queries")
     k = check_k(k)

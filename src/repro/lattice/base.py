@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from typing import Iterator, Tuple
+
 import numpy as np
 
 
@@ -82,7 +84,8 @@ class Lattice(ABC):
         lattice points of the ``2^k``-scaled lattice.
         """
 
-    def ancestor_chain(self, codes: np.ndarray, max_k: int):
+    def ancestor_chain(self, codes: np.ndarray, max_k: int,
+                       ) -> Iterator[Tuple[int, np.ndarray]]:
         """Yield ``(k, ancestor(codes, k))`` for ``k = 0 .. max_k - 1``.
 
         Subclasses override this when ancestors can be computed

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from typing import Iterator, Tuple
+
 import numpy as np
 
 from repro.lattice.base import Lattice
@@ -50,7 +52,7 @@ def decode_dm(x: np.ndarray) -> np.ndarray:
         err = x[odd] - f[odd]
         worst = np.argmax(np.abs(err), axis=1)
         rows = np.nonzero(odd)[0]
-        step = np.where(err[np.arange(rows.size), worst] >= 0.0, 1.0, -1.0)
+        step = np.where(err[np.arange(rows.size, dtype=np.int64), worst] >= 0.0, 1.0, -1.0)
         f[rows, worst] += step
     return f
 
@@ -118,7 +120,8 @@ class DMLattice(Lattice):
             current = decode_dm(current / 2.0)
         return np.round(current * float(2 ** k)).astype(np.int64)
 
-    def ancestor_chain(self, codes: np.ndarray, max_k: int):
+    def ancestor_chain(self, codes: np.ndarray, max_k: int,
+                       ) -> Iterator[Tuple[int, np.ndarray]]:
         codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
         if codes.shape[1] != self.dim:
             raise ValueError(f"codes must have {self.dim} columns, got {codes.shape[1]}")

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from typing import Iterator, Tuple
+
 import numpy as np
 
 from repro.lattice.base import Lattice
@@ -67,7 +69,7 @@ def decode_d8(x: np.ndarray) -> np.ndarray:
         rows = np.nonzero(odd)[0]
         # Re-round the worst coordinate the other way; for an exact integer
         # (err == 0) both directions are equidistant, step up by convention.
-        step = np.where(err[np.arange(rows.size), worst] >= 0.0, 1.0, -1.0)
+        step = np.where(err[np.arange(rows.size, dtype=np.int64), worst] >= 0.0, 1.0, -1.0)
         f[rows, worst] += step
     return f
 
@@ -232,7 +234,8 @@ class E8Lattice(Lattice):
             out[:, sl] = decode_e8(points[:, sl])
         return out
 
-    def ancestor_chain(self, codes: np.ndarray, max_k: int):
+    def ancestor_chain(self, codes: np.ndarray, max_k: int,
+                       ) -> Iterator[Tuple[int, np.ndarray]]:
         """Incremental Eq. (10) iteration: one decode pass per level.
 
         Yields ``(k, ancestor(codes, k))`` while reusing the previous

@@ -24,7 +24,7 @@ Implementation notes
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -160,7 +160,7 @@ class LSHForest:
         return ids[0], dists[0]
 
     def query_batch(self, queries: np.ndarray, k: int,
-                    hierarchy_threshold=None,
+                    hierarchy_threshold: Union[str, int, None] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch; mirrors :meth:`StandardLSH.query_batch`.
 
@@ -195,7 +195,7 @@ class LSHForest:
         return ids_out, dists_out, QueryStats(
             n_candidates, np.zeros(nq, dtype=bool))
 
-    def candidate_sets(self, queries: np.ndarray):
+    def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
         """Raw candidate id sets per query (for the GPU pipeline benches).
 
         Uses a nominal ``k = 1`` gathering budget of ``candidate_target``

@@ -18,6 +18,7 @@ the apples-to-apples setup of the paper's experiments.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -130,6 +131,14 @@ class StandardLSH:
         self._ids: Optional[np.ndarray] = None
         self._deleted: Optional[np.ndarray] = None  # bool mask over rows
         self._sq_norms: Optional[np.ndarray] = None  # cached ||x||^2 per row
+        # Writer lock: serializes structural updates (insert/delete/rebuild)
+        # against each other.  Batch queries stay lock-free by design — they
+        # snapshot attribute references once and every published object
+        # (tables list, data/ids/norms arrays) is replaced atomically, never
+        # mutated in place.  The norms lock guards only the lazy ||x||^2
+        # cache, which worker threads fill on first use.
+        self._update_lock = threading.RLock()
+        self._norms_lock = threading.Lock()
 
     #: Overlay fraction beyond which insert() rebuilds the sorted tables.
     REBUILD_FRACTION = 0.2
@@ -164,16 +173,27 @@ class StandardLSH:
         return self
 
     def _rebuild_tables(self) -> None:
-        """(Re)build the sorted tables and hierarchies from current data."""
-        self._tables = []
-        self._hierarchies = []
-        local_ids = np.arange(self._data.shape[0], dtype=np.int64)
-        for family in self._families:
-            codes = self._lattice.quantize(family.project(self._data))
-            table = LSHTable(codes, ids=local_ids)
-            self._tables.append(table)
-            if self.use_hierarchy:
-                self._hierarchies.append(self._build_hierarchy(table))
+        """(Re)build the sorted tables and hierarchies from current data.
+
+        The new tables and hierarchies are built into locals and published
+        with two reference assignments, so an in-flight batch query (which
+        snapshots ``self._tables`` / ``self._hierarchies`` once) sees
+        either the complete old structures or the complete new ones —
+        never an empty or partially refreshed list.
+        """
+        with self._update_lock:
+            data = self._data
+            local_ids = np.arange(data.shape[0], dtype=np.int64)
+            tables: List[LSHTable] = []
+            hierarchies: list = []
+            for family in self._families:
+                codes = self._lattice.quantize(family.project(data))
+                table = LSHTable(codes, ids=local_ids)
+                tables.append(table)
+                if self.use_hierarchy:
+                    hierarchies.append(self._build_hierarchy(table))
+            self._tables = tables
+            self._hierarchies = hierarchies
 
     # -------------------------------------------------------------- updates
 
@@ -192,29 +212,36 @@ class StandardLSH:
                 f"points have dim {points.shape[1]}, index has dim "
                 f"{self._data.shape[1]}")
         m = points.shape[0]
-        if ids is None:
-            base = int(self._ids.max()) + 1 if self._ids.size else 0
-            ids = np.arange(base, base + m, dtype=np.int64)
-        else:
-            ids = np.asarray(ids, dtype=np.int64)
-            if ids.shape != (m,):
-                raise ValueError(f"ids must have shape ({m},), got {ids.shape}")
-        start = self._data.shape[0]
-        self._data = np.vstack([self._data, points])
-        self._ids = np.concatenate([self._ids, ids])
-        if self._sq_norms is not None:
-            self._sq_norms = np.concatenate(
-                [self._sq_norms, np.einsum("ij,ij->i", points, points)])
-        if self._deleted is not None:
-            self._deleted = np.concatenate(
-                [self._deleted, np.zeros(m, dtype=bool)])
-        local = np.arange(start, start + m, dtype=np.int64)
-        for family, table in zip(self._families, self._tables):
-            codes = self._lattice.quantize(family.project(points))
-            table.add(codes, local)
-        overlay = max((table.n_extra for table in self._tables), default=0)
-        if overlay > self.REBUILD_FRACTION * max(start, 1):
-            self._rebuild_tables()
+        with self._update_lock:
+            if ids is None:
+                base = int(self._ids.max()) + 1 if self._ids.size else 0
+                ids = np.arange(base, base + m, dtype=np.int64)
+            else:
+                ids = np.asarray(ids, dtype=np.int64)
+                if ids.shape != (m,):
+                    raise ValueError(
+                        f"ids must have shape ({m},), got {ids.shape}")
+            # Publish the grown data/ids/mask arrays *before* the table
+            # overlays learn the new local ids: a concurrent query that
+            # gathers a fresh id is then guaranteed to find its row.
+            start = self._data.shape[0]
+            self._data = np.vstack([self._data, points])
+            self._ids = np.concatenate([self._ids, ids])
+            with self._norms_lock:
+                if self._sq_norms is not None:
+                    self._sq_norms = np.concatenate(
+                        [self._sq_norms,
+                         np.einsum("ij,ij->i", points, points)])
+            if self._deleted is not None:
+                self._deleted = np.concatenate(
+                    [self._deleted, np.zeros(m, dtype=bool)])
+            local = np.arange(start, start + m, dtype=np.int64)
+            for family, table in zip(self._families, self._tables):
+                codes = self._lattice.quantize(family.project(points))
+                table.add(codes, local)
+            overlay = max((table.n_extra for table in self._tables), default=0)
+            if overlay > self.REBUILD_FRACTION * max(start, 1):
+                self._rebuild_tables()
         return ids
 
     def delete(self, ids: np.ndarray) -> int:
@@ -225,18 +252,29 @@ class StandardLSH:
         """
         self._check_fitted()
         ids = np.asarray(ids, dtype=np.int64).ravel()
-        mask = np.isin(self._ids, ids)
-        found = int(mask.sum())
-        if found:
-            if self._deleted is None:
-                self._deleted = np.zeros(self._data.shape[0], dtype=bool)
-            self._deleted |= mask
+        with self._update_lock:
+            mask = np.isin(self._ids, ids)
+            found = int(mask.sum())
+            if found:
+                deleted = (np.zeros(self._ids.shape[0], dtype=bool)
+                           if self._deleted is None
+                           else self._deleted.copy())
+                deleted[:mask.shape[0]] |= mask
+                # Atomic swap: in-flight queries keep filtering against the
+                # previous mask instead of observing a half-written one.
+                self._deleted = deleted
         return found
 
     def _filter_deleted(self, local_ids: np.ndarray) -> np.ndarray:
-        if self._deleted is None or local_ids.size == 0:
+        deleted = self._deleted
+        if deleted is None or local_ids.size == 0:
             return local_ids
-        return local_ids[~self._deleted[local_ids]]
+        # Ids at/above the mask length were inserted after the snapshot was
+        # taken and therefore cannot be tombstoned.
+        drop = np.zeros(local_ids.size, dtype=bool)
+        in_mask = local_ids < deleted.shape[0]
+        drop[in_mask] = deleted[local_ids[in_mask]]
+        return local_ids[~drop]
 
     def _build_hierarchy(self, table: LSHTable):
         if self.lattice_kind.lower() == "zm":
@@ -266,11 +304,15 @@ class StandardLSH:
         cache because a full-norm pass would fault in every row, defeating
         the out-of-core promise of touching only candidate rows.
         """
-        if isinstance(self._data, np.memmap):
+        data = self._data
+        if isinstance(data, np.memmap):
             return None
-        if self._sq_norms is None or self._sq_norms.shape[0] != self._data.shape[0]:
-            self._sq_norms = np.einsum("ij,ij->i", self._data, self._data)
-        return self._sq_norms
+        with self._norms_lock:
+            norms = self._sq_norms
+            if norms is None or norms.shape[0] != data.shape[0]:
+                norms = np.einsum("ij,ij->i", data, data)
+                self._sq_norms = norms
+        return norms
 
     def _probe_rows(self, projections: List[np.ndarray],
                     codes: List[np.ndarray], t: int,
@@ -310,10 +352,13 @@ class StandardLSH:
         candidate set with ids ascending — the order :func:`numpy.unique`
         produced in the scalar engine.
         """
-        if self._deleted is not None and local_ids.size:
-            keep = ~self._deleted[local_ids]
-            local_ids = local_ids[keep]
-            qidx = qidx[keep]
+        deleted = self._deleted
+        if deleted is not None and local_ids.size:
+            drop = np.zeros(local_ids.size, dtype=bool)
+            in_mask = local_ids < deleted.shape[0]
+            drop[in_mask] = deleted[local_ids[in_mask]]
+            local_ids = local_ids[~drop]
+            qidx = qidx[~drop]
         if local_ids.size:
             order = np.lexsort((local_ids, qidx))
             local_ids = local_ids[order]
@@ -542,7 +587,7 @@ class StandardLSH:
                           for qi in range(nq)]
         escalated = np.zeros(nq, dtype=bool)
         if self.use_hierarchy and nq > 0:
-            sizes = np.array([c.size for c in candidate_sets])
+            sizes = np.array([c.size for c in candidate_sets], dtype=np.int64)
             threshold = self._resolve_threshold(sizes, k, hierarchy_threshold)
             for qi in range(nq):
                 if candidate_sets[qi].size < threshold:

@@ -144,9 +144,10 @@ def _emit_adaptive(code: np.ndarray, scores: Sequence[float],
         weights.append(np.exp(-s / (2.0 * sigma_sq)))
     if not candidates:
         return np.empty((0, code.size), dtype=np.int64)
-    weights = np.asarray(weights)
+    weights = np.asarray(weights, dtype=np.float64)
     total = weights.sum()
-    cumulative = np.cumsum(weights) / total if total > 0 else np.ones(len(weights))
+    cumulative = (np.cumsum(weights) / total if total > 0
+                  else np.ones(len(weights), dtype=np.float64))
     cutoff = int(np.searchsorted(cumulative, confidence, side="left")) + 1
     out = np.empty((cutoff, code.size), dtype=np.int64)
     for row, pset in enumerate(candidates[:cutoff]):
@@ -206,7 +207,8 @@ def adaptive_probes(y: np.ndarray, code: np.ndarray, max_probes: int,
     if not 0.0 < confidence <= 1.0:
         raise ValueError(f"confidence must be in (0, 1], got {confidence}")
     if max_probes <= 0:
-        return np.empty((0, np.asarray(code).size), dtype=np.int64)
+        return np.empty((0, np.asarray(code, dtype=np.int64).size),
+                        dtype=np.int64)
     y = np.asarray(y, dtype=np.float64)
     code = np.asarray(code, dtype=np.int64)
     scores, labels = boundary_distances(y, code)

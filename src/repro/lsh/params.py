@@ -113,9 +113,10 @@ class CollisionModel:
             knn = np.partition(dists, kk - 1, axis=1)[:, :kk]
             self.knn_distances = knn.ravel()
         else:
-            self.knn_distances = np.array([0.0])
+            self.knn_distances = np.array([0.0], dtype=np.float64)
         finite = dists[np.isfinite(dists)]
-        self.pair_distances = finite if finite.size else np.array([0.0])
+        self.pair_distances = (finite if finite.size
+                               else np.array([0.0], dtype=np.float64))
 
     def expected_recall(self, n_hashes: int, n_tables: int, bucket_width: float) -> float:
         """Model estimate of recall for parameters ``(M, L, W)``."""

@@ -18,6 +18,7 @@ bucket indices with a single :func:`numpy.searchsorted` call
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -48,7 +49,7 @@ def pack_codes(codes: np.ndarray) -> np.ndarray:
     if n == 0:
         return np.empty(0, dtype=f"S{8 * m}")
     packed = (codes.view(np.uint64) ^ _SIGN_FLIP).astype(">u8")
-    return np.ascontiguousarray(packed).view(f"S{8 * m}").ravel()
+    return np.ascontiguousarray(packed, dtype=">u8").view(f"S{8 * m}").ravel()
 
 
 class LSHTable:
@@ -95,7 +96,12 @@ class LSHTable:
         self._bucket_keys = pack_codes(self._bucket_codes)
 
         # Dynamic overlay for post-build insertions (kept as raw row/id
-        # chunks; a sorted CSR view over them is built lazily).
+        # chunks; a sorted CSR view over them is built lazily).  The lock
+        # serializes overlay mutation (``add``) against the lazy CSR merge
+        # (``_overlay_csr``), which batch queries hit from n_jobs worker
+        # threads; readers receive an immutable tuple snapshot, never the
+        # live attributes.
+        self._overlay_lock = threading.Lock()
         self._extra_codes: List[np.ndarray] = []
         self._extra_ids: List[np.ndarray] = []
         self._overlay: Optional[Tuple[np.ndarray, np.ndarray,
@@ -126,30 +132,44 @@ class LSHTable:
         if codes.shape[1] != self.code_dim:
             raise ValueError(
                 f"codes must have {self.code_dim} columns, got {codes.shape[1]}")
-        self._extra_codes.append(codes)
-        self._extra_ids.append(ids)
-        self._overlay = None
-        self._n_extra += ids.shape[0]
-        self.n_points += ids.shape[0]
+        with self._overlay_lock:
+            self._extra_codes.append(codes)
+            self._extra_ids.append(ids)
+            self._overlay = None
+            self._n_extra += ids.shape[0]
+            self.n_points += ids.shape[0]
 
     def _overlay_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Sorted CSR view over the overlay: ``(keys, ids, starts, ends)``.
 
         The stable sort keeps insertion order within each key, matching the
-        append semantics of the old per-code id lists.
+        append semantics of the old per-code id lists.  The merge runs
+        under the overlay lock and is published as one immutable tuple, so
+        a concurrent :meth:`lookup_batch` / :meth:`gather_batch` observes
+        either the previous snapshot or the fully merged one — never
+        half-updated ``starts``/``ends`` arrays.
         """
-        if self._overlay is None:
-            codes = np.concatenate(self._extra_codes, axis=0)
-            ids = np.concatenate(self._extra_ids)
-            keys = pack_codes(codes)
-            order = np.argsort(keys, kind="stable")
-            keys = keys[order]
-            ids = ids[order]
-            change = np.nonzero(keys[1:] != keys[:-1])[0] + 1
-            starts = np.concatenate(([0], change)).astype(np.int64)
-            ends = np.concatenate((change, [keys.shape[0]])).astype(np.int64)
-            self._overlay = (keys[starts], ids, starts, ends)
-        return self._overlay
+        with self._overlay_lock:
+            overlay = self._overlay
+            if overlay is None:
+                if not self._extra_codes:
+                    empty_keys = np.empty(0, dtype=f"S{8 * self.code_dim}")
+                    empty = np.empty(0, dtype=np.int64)
+                    overlay = (empty_keys, empty, empty, empty)
+                else:
+                    codes = np.concatenate(self._extra_codes, axis=0)
+                    ids = np.concatenate(self._extra_ids)
+                    keys = pack_codes(codes)
+                    order = np.argsort(keys, kind="stable")
+                    keys = keys[order]
+                    ids = ids[order]
+                    change = np.nonzero(keys[1:] != keys[:-1])[0] + 1
+                    starts = np.concatenate(([0], change)).astype(np.int64)
+                    ends = np.concatenate(
+                        (change, [keys.shape[0]])).astype(np.int64)
+                    overlay = (keys[starts], ids, starts, ends)
+                self._overlay = overlay
+        return overlay
 
     @property
     def bucket_codes(self) -> np.ndarray:

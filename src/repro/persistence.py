@@ -17,7 +17,7 @@ deterministic and cheaper than serializing the derived structures.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -323,7 +323,8 @@ def _forest_restore(meta: dict, arrays) -> LSHForest:
 
 # --------------------------------------------------------------- public API
 
-def save_index(index, path: str) -> None:
+def save_index(index: Union[StandardLSH, BiLevelLSH, LSHForest],
+               path: str) -> None:
     """Persist a fitted index to ``path`` (a ``.npz`` archive)."""
     arrays: Dict[str, np.ndarray] = {}
     if isinstance(index, BiLevelLSH):
@@ -340,7 +341,7 @@ def save_index(index, path: str) -> None:
         json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays)
 
 
-def load_index(path: str):
+def load_index(path: str) -> Union[StandardLSH, BiLevelLSH, LSHForest]:
     """Load an index previously written by :func:`save_index`."""
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))

@@ -15,7 +15,7 @@ Each sweep costs ``O(|S|)`` distance evaluations, so ``m`` sweeps cost
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +36,8 @@ def _farthest_from(points: np.ndarray, anchor: np.ndarray) -> Tuple[int, float]:
 
 def approximate_diameter(points: np.ndarray, m: int = 40,
                          seed: SeedLike = None,
-                         return_sequence: bool = False):
+                         return_sequence: bool = False,
+                         ) -> Union[float, Tuple[float, List[float]]]:
     """Estimate the diameter of ``points`` with ``m`` farthest-point sweeps.
 
     Parameters

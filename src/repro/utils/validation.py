@@ -7,15 +7,22 @@ uniform, descriptive errors for invalid parameters.
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
+from numpy.typing import ArrayLike
+
+Numeric = Union[int, float, np.integer, np.floating]
 
 
-def as_float_matrix(data, name: str = "data") -> np.ndarray:
+def as_float_matrix(data: ArrayLike, name: str = "data") -> np.ndarray:
     """Coerce ``data`` to a 2-D C-contiguous float64 array.
 
     Raises ``ValueError`` for empty input, wrong dimensionality, or
     non-finite entries.
     """
+    if np.ndim(data) == 0:
+        raise ValueError(f"{name} must be array-like, got a scalar")
     arr = np.ascontiguousarray(data, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr.reshape(1, -1)
@@ -28,8 +35,11 @@ def as_float_matrix(data, name: str = "data") -> np.ndarray:
     return arr
 
 
-def as_float_vector(vec, dim: int = None, name: str = "query") -> np.ndarray:
+def as_float_vector(vec: ArrayLike, dim: Optional[int] = None,
+                    name: str = "query") -> np.ndarray:
     """Coerce ``vec`` to a 1-D float64 array, optionally checking its length."""
+    if np.ndim(vec) == 0:
+        raise ValueError(f"{name} must be array-like, got a scalar")
     arr = np.ascontiguousarray(vec, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError(f"{name} must be 1-D, got ndim={arr.ndim}")
@@ -40,7 +50,7 @@ def as_float_vector(vec, dim: int = None, name: str = "query") -> np.ndarray:
     return arr
 
 
-def check_k(k: int, n_points: int = None) -> int:
+def check_k(k: int, n_points: Optional[int] = None) -> int:
     """Validate a neighbor count ``k`` (positive integer, optionally <= n)."""
     if not isinstance(k, (int, np.integer)) or isinstance(k, bool):
         raise TypeError(f"k must be an integer, got {type(k)!r}")
@@ -51,7 +61,7 @@ def check_k(k: int, n_points: int = None) -> int:
     return int(k)
 
 
-def check_positive(value, name: str, strict: bool = True):
+def check_positive(value: Numeric, name: str, strict: bool = True) -> Numeric:
     """Validate that a numeric parameter is positive (or non-negative)."""
     if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
         raise TypeError(f"{name} must be numeric, got {type(value)!r}")
@@ -62,7 +72,7 @@ def check_positive(value, name: str, strict: bool = True):
     return value
 
 
-def check_probability(value, name: str) -> float:
+def check_probability(value: Numeric, name: str) -> float:
     """Validate that ``value`` lies in the closed interval [0, 1]."""
     check_positive(value, name, strict=False)
     if value > 1:

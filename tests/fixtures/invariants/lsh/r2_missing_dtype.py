@@ -1,0 +1,15 @@
+"""Seeded R2 violations: dtype-less array construction in a hot-path module.
+
+The ``lsh`` directory component puts this fixture on the checker's
+hot path.  Parsed by the self-tests, never imported.
+"""
+
+import numpy as np
+
+
+def make_buffer(n: int) -> np.ndarray:
+    return np.zeros((n, 4))
+
+
+def id_range(n: int) -> np.ndarray:
+    return np.arange(n)

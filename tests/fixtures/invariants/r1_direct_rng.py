@@ -1,0 +1,17 @@
+"""Seeded R1 violations: direct RNG access outside ``utils/rng``.
+
+This file is a checker fixture — it is parsed, never imported.
+"""
+
+import random
+
+import numpy as np
+
+
+def sample_noise(n: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.standard_normal(n)
+
+
+def pick_one(seq: list) -> object:
+    return random.choice(seq)

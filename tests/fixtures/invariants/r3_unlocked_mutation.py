@@ -1,0 +1,25 @@
+"""Seeded R3 violations: worker-reachable mutation of shared index state.
+
+``query_batch`` is a worker root; it reaches ``_refresh``, which
+reassigns the guarded ``_starts``/``_ends`` attributes without holding
+a lock.  Parsed by the self-tests, never imported.
+"""
+
+import threading
+
+import numpy as np
+
+
+class MiniTable:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._starts = np.empty(0, dtype=np.int64)
+        self._ends = np.empty(0, dtype=np.int64)
+
+    def query_batch(self, codes: np.ndarray) -> np.ndarray:
+        self._refresh(codes)
+        return self._starts
+
+    def _refresh(self, codes: np.ndarray) -> None:
+        self._starts = np.arange(codes.shape[0], dtype=np.int64)
+        self._ends = self._starts + 1

@@ -1,0 +1,18 @@
+"""Seeded R4 violations: incomplete typing on public functions.
+
+Parsed by the self-tests, never imported.
+"""
+
+import numpy as np
+
+
+def lookup(data, k=5):
+    return data[:k]
+
+
+def scale(x: np.ndarray, factor: float = 1.0):
+    return x * factor
+
+
+def make_view(data: np.ndarray, dim: int = None) -> np.ndarray:
+    return data.reshape(-1, dim)

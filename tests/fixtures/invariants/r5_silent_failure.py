@@ -1,0 +1,17 @@
+"""Seeded R5 violations: silent exception swallowing and a mutable default.
+
+Parsed by the self-tests, never imported.
+"""
+
+
+def load(path: str) -> dict:
+    try:
+        return {"path": path}
+    except:
+        pass
+    return {}
+
+
+def collect(item: int, acc: list = []) -> list:
+    acc.append(item)
+    return acc

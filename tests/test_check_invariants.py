@@ -1,0 +1,173 @@
+"""Self-tests for the invariant checker (``repro.analysis`` + CLI).
+
+Two halves: (a) the repository's own ``src/`` tree is clean under every
+rule, and (b) each seeded-violation fixture under
+``tests/fixtures/invariants/`` makes exactly its target rule fire — so a
+refactor that silently disables a rule breaks the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths, format_violations
+from repro.analysis.checker import (
+    ALL_RULES,
+    RULE_SUMMARIES,
+    analyze_modules,
+    discover_files,
+    parse_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "invariants"
+CHECKER = REPO_ROOT / "tools" / "check_invariants.py"
+
+#: fixture file -> the single rule it is allowed (and required) to trip.
+FIXTURE_RULES = {
+    "r1_direct_rng.py": "R1",
+    "lsh/r2_missing_dtype.py": "R2",
+    "r3_unlocked_mutation.py": "R3",
+    "r4_untyped_api.py": "R4",
+    "r5_silent_failure.py": "R5",
+}
+
+
+def _check_source(source: str, rules=ALL_RULES, name: str = "fixture.py"):
+    config = AnalysisConfig(rules=tuple(rules))
+    return analyze_modules([parse_source(source, name)], config)
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_violations(self):
+        violations = analyze_paths([str(SRC)])
+        assert violations == [], "\n" + format_violations(violations)
+
+    def test_discovery_sees_the_whole_tree(self):
+        files = discover_files([str(SRC)], AnalysisConfig())
+        # Sanity: the walk really covers the package, not a subset.
+        assert len(files) > 40
+        assert any(f.name == "table.py" for f in files)
+        assert not any("__pycache__" in f.parts for f in files)
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize("relpath,rule", sorted(FIXTURE_RULES.items()))
+    def test_fixture_trips_exactly_its_rule(self, relpath, rule):
+        violations = analyze_paths([str(FIXTURES / relpath)])
+        assert violations, f"{relpath} should trip {rule}"
+        assert {v.rule for v in violations} == {rule}
+
+    def test_all_rules_have_a_fixture(self):
+        assert set(FIXTURE_RULES.values()) == set(ALL_RULES) == set(RULE_SUMMARIES)
+
+    def test_fixture_directory_trips_every_rule_at_once(self):
+        violations = analyze_paths([str(FIXTURES)])
+        assert {v.rule for v in violations} == set(ALL_RULES)
+
+
+class TestRuleDetails:
+    def test_pragma_suppresses_a_violation(self):
+        src = (
+            "import numpy as np\n"
+            "def noise(n: int) -> float:\n"
+            "    return np.random.rand(n)  # invariant: disable=R1\n"
+        )
+        assert _check_source(src, rules=("R1",)) == []
+
+    def test_pragma_only_suppresses_named_rule(self):
+        src = (
+            "import numpy as np\n"
+            "def noise(n: int) -> float:\n"
+            "    return np.random.rand(n)  # invariant: disable=R2\n"
+        )
+        assert [v.rule for v in _check_source(src, rules=("R1",))] == ["R1"]
+
+    def test_r2_only_applies_on_hot_path(self):
+        src = "import numpy as np\nx = np.zeros(3)\n"
+        assert _check_source(src, rules=("R2",), name="plots/draw.py") == []
+        hot = _check_source(src, rules=("R2",), name="lsh/fast.py")
+        assert [v.rule for v in hot] == ["R2"]
+
+    def test_r3_lock_scope_exempts_mutation(self):
+        src = (
+            "class T:\n"
+            "    def lookup(self, code):\n"
+            "        with self._overlay_lock:\n"
+            "            self._overlay = None\n"
+        )
+        assert _check_source(src, rules=("R3",)) == []
+
+    def test_r3_unreachable_mutation_is_allowed(self):
+        # Same mutation, but nothing named like a worker root reaches it.
+        src = (
+            "class T:\n"
+            "    def rebuild(self):\n"
+            "        self._overlay = None\n"
+        )
+        assert _check_source(src, rules=("R3",)) == []
+
+    def test_r4_resolves_optional_aliases(self):
+        src = (
+            "from typing import Optional\n"
+            "MaybeInt = Optional[int]\n"
+            "def f(x: MaybeInt = None) -> int:\n"
+            "    return 0 if x is None else x\n"
+        )
+        assert _check_source(src, rules=("R4",)) == []
+
+    def test_r5_allows_handled_exceptions(self):
+        src = (
+            "def f() -> int:\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:\n"
+            "        raise RuntimeError('context')\n"
+        )
+        assert _check_source(src, rules=("R5",)) == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        violations = analyze_paths([str(bad)])
+        assert len(violations) == 1
+        assert violations[0].rule == "parse"
+
+
+class TestCommandLine:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, str(CHECKER), *args],
+            capture_output=True, text=True, cwd=str(REPO_ROOT),
+        )
+
+    def test_clean_tree_exits_zero(self):
+        proc = self._run("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "invariants OK" in proc.stdout
+
+    def test_seeded_fixture_exits_one(self):
+        proc = self._run(str(FIXTURES / "r1_direct_rng.py"))
+        assert proc.returncode == 1
+        assert "[R1]" in proc.stdout
+
+    def test_rule_filter(self):
+        # The R4 fixture is clean under R1 alone but dirty under R4.
+        target = str(FIXTURES / "r4_untyped_api.py")
+        assert self._run("--rules", "R1", target).returncode == 0
+        assert self._run("--rules", "R4", target).returncode == 1
+
+    def test_unknown_rule_is_a_usage_error(self):
+        assert self._run("--rules", "R9", "src").returncode == 2
+
+    def test_missing_path_is_a_usage_error(self):
+        assert self._run("no/such/dir").returncode == 2
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule in ALL_RULES:
+            assert rule in proc.stdout

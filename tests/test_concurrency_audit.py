@@ -1,0 +1,191 @@
+"""Concurrency audit: hammer insert/delete/query_batch from threads.
+
+The update path promises two things (see DESIGN.md "Invariants", R3):
+writers (``insert``/``delete``/rebuilds) serialize on an internal lock,
+and queries are lock-free but only ever observe immutable snapshots —
+published arrays are swapped atomically, never mutated in place.
+
+These tests exercise that contract three ways:
+
+1. read-only parallelism: identical concurrent batches must reproduce
+   the serial answer bit-for-bit;
+2. crash/consistency safety: queries racing a stream of inserts and
+   deletes must stay well-formed (no exceptions, no out-of-range ids,
+   no non-finite distances for real neighbors);
+3. serial parity: across many randomized interleavings of writer and
+   reader threads, the *final* index state must answer queries exactly
+   like a serial replay of the same operations.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.lsh.table import LSHTable
+
+N_TRIALS = 100  # randomized interleavings in the parity sweep
+
+
+def _bilevel(seed: int, n_jobs: int = 4) -> BiLevelLSH:
+    return BiLevelLSH(BiLevelConfig(
+        n_groups=4, n_tables=2, n_hashes=4, bucket_width=8.0,
+        n_jobs=n_jobs, seed=seed))
+
+
+class TestConcurrentQueries:
+    def test_parallel_query_batches_match_serial(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((400, 16))
+        queries = rng.standard_normal((20, 16))
+        index = _bilevel(seed=0).fit(data)
+        ids0, dists0, _ = index.query_batch(queries, 5)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(index.query_batch, queries, 5)
+                       for _ in range(16)]
+            for future in futures:
+                ids, dists, _ = future.result()
+                np.testing.assert_array_equal(ids, ids0)
+                np.testing.assert_allclose(dists, dists0)
+
+    def test_queries_during_mutation_are_well_formed(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((300, 8))
+        extra = rng.standard_normal((120, 8))
+        queries = rng.standard_normal((10, 8))
+        index = _bilevel(seed=1).fit(data)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    ids, dists, _ = index.query_batch(queries, 5)
+                    assert ids.shape == (10, 5)
+                    assert dists.shape == (10, 5)
+                    valid = ids >= 0
+                    assert np.all(ids[valid] < data.shape[0] + extra.shape[0])
+                    assert np.all(np.isfinite(dists[valid]))
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(0, extra.shape[0], 10):
+                index.insert(extra[i:i + 10])
+            index.delete(np.arange(0, 50, dtype=np.int64))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert errors == []
+        # Quiesced index agrees with itself and respects the tombstones.
+        ids, _, _ = index.query_batch(data[:4], 5)
+        assert not np.any((ids >= 0) & (ids < 50))
+
+
+class TestSerialParity:
+    """Final state after a threaded hammer == a serial replay of the ops.
+
+    Inserts land in thread order, so global ids differ run to run; the
+    replay applies the recorded blocks sorted by their assigned ids,
+    which reconstructs the exact final data layout.  Deletes only touch
+    base ids (alive from the start), so they commute with everything.
+    """
+
+    def _run_trial(self, trial: int) -> None:
+        rng = np.random.default_rng(1000 + trial)
+        base = rng.standard_normal((160, 6))
+        queries = rng.standard_normal((8, 6))
+        blocks = [rng.standard_normal((4, 6)) for _ in range(4)]
+        deletions = [np.arange(10 * i, 10 * i + 5, dtype=np.int64)
+                     for i in range(2)]
+
+        hammered = _bilevel(seed=trial, n_jobs=2).fit(base)
+        recorded = []
+
+        def do_insert(block):
+            recorded.append((hammered.insert(block), block))
+
+        ops = ([lambda b=b: do_insert(b) for b in blocks] +
+               [lambda d=d: hammered.delete(d) for d in deletions] +
+               [lambda: hammered.query_batch(queries, 5)] * 2)
+        order = rng.permutation(len(ops))
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            done, _ = wait([pool.submit(ops[i]) for i in order])
+        for future in done:
+            future.result()  # re-raise anything a thread swallowed
+
+        replay = _bilevel(seed=trial, n_jobs=1).fit(base)
+        for ids, block in sorted(recorded, key=lambda r: int(r[0][0])):
+            got = replay.insert(block)
+            np.testing.assert_array_equal(got, ids)
+        for dead in deletions:
+            replay.delete(dead)
+
+        ids_h, dists_h, _ = hammered.query_batch(queries, 5)
+        ids_r, dists_r, _ = replay.query_batch(queries, 5)
+        np.testing.assert_array_equal(ids_h, ids_r,
+                                      err_msg=f"trial {trial}: id mismatch")
+        np.testing.assert_allclose(dists_h, dists_r,
+                                   err_msg=f"trial {trial}: distance mismatch")
+
+    def test_randomized_interleavings_match_serial_replay(self):
+        for trial in range(N_TRIALS):
+            self._run_trial(trial)
+
+
+class TestTableOverlayRaces:
+    """LSHTable.add racing the lazy overlay-CSR merge (gather_batch)."""
+
+    def test_concurrent_add_and_gather(self):
+        rng = np.random.default_rng(7)
+        base_codes = rng.integers(-3, 4, size=(200, 3))
+        extra_codes = rng.integers(-3, 4, size=(160, 3))
+        extra_ids = np.arange(200, 360, dtype=np.int64)
+        probe = np.unique(np.vstack([base_codes, extra_codes]), axis=0)
+
+        table = LSHTable(base_codes)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    ids, counts = table.gather_batch(probe)
+                    assert ids.size == int(counts.sum())
+                    assert np.all((ids >= 0) & (ids < 360))
+            except Exception as exc:
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        try:
+            chunks = [(extra_codes[i:i + 10], extra_ids[i:i + 10])
+                      for i in range(0, 160, 10)]
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                done, _ = wait([pool.submit(table.add, c, i)
+                                for c, i in chunks])
+            for future in done:
+                future.result()
+        finally:
+            stop.set()
+            for t in readers:
+                t.join()
+        assert errors == []
+
+        reference = LSHTable(
+            np.vstack([base_codes, extra_codes]),
+            np.concatenate([np.arange(200, dtype=np.int64), extra_ids]))
+        got_ids, got_counts = table.gather_batch(probe)
+        ref_ids, ref_counts = reference.gather_batch(probe)
+        np.testing.assert_array_equal(got_counts, ref_counts)
+        offsets = np.concatenate(([0], np.cumsum(got_counts)))
+        for row in range(probe.shape[0]):
+            lo, hi = offsets[row], offsets[row + 1]
+            assert set(got_ids[lo:hi]) == set(ref_ids[lo:hi])

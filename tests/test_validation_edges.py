@@ -1,0 +1,100 @@
+"""Edge cases of repro.utils.validation (satellite of the typing pass).
+
+Complements the happy-path coverage in test_utils.py: 0-d inputs,
+non-finite entries, dimension mismatches, and the Optional parameters
+whose annotations were fixed (``dim``, ``n_points``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_float_matrix,
+    as_float_vector,
+    check_k,
+    check_positive,
+    check_probability,
+)
+
+
+class TestZeroDimensional:
+    def test_matrix_rejects_0d(self):
+        with pytest.raises(ValueError, match="scalar"):
+            as_float_matrix(np.float64(3.0))
+
+    def test_matrix_rejects_python_scalar(self):
+        with pytest.raises(ValueError, match="scalar"):
+            as_float_matrix(3.0)
+
+    def test_vector_rejects_0d(self):
+        with pytest.raises(ValueError, match="scalar"):
+            as_float_vector(np.float64(3.0))
+
+    def test_vector_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_float_vector(np.zeros((2, 2)))
+
+
+class TestNonFinite:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_vector_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_float_vector([1.0, bad, 3.0])
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_matrix_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            as_float_matrix([[1.0, 2.0], [bad, 4.0]])
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="queries"):
+            as_float_matrix([[np.nan]], name="queries")
+
+
+class TestDimChecks:
+    def test_vector_dim_match_passes(self):
+        out = as_float_vector([1, 2, 3], dim=3)
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_vector_dim_mismatch(self):
+        with pytest.raises(ValueError, match="dimension 3, expected 4"):
+            as_float_vector([1.0, 2.0, 3.0], dim=4)
+
+    def test_vector_dim_none_accepts_any_length(self):
+        for n in (1, 5, 17):
+            assert as_float_vector(np.ones(n), dim=None).shape == (n,)
+
+    def test_matrix_promotes_1d_row(self):
+        assert as_float_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+
+class TestScalarValidators:
+    def test_check_k_optional_bound(self):
+        assert check_k(5) == 5
+        assert check_k(5, n_points=5) == 5
+        with pytest.raises(ValueError, match="exceeds"):
+            check_k(6, n_points=5)
+
+    def test_check_k_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_k(True)
+
+    def test_check_k_accepts_numpy_integer(self):
+        out = check_k(np.int64(3))
+        assert out == 3 and isinstance(out, int)
+
+    def test_check_positive_strictness(self):
+        assert check_positive(0, "w", strict=False) == 0
+        with pytest.raises(ValueError):
+            check_positive(0, "w", strict=True)
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "w", strict=False)
+
+    def test_check_probability_bounds(self):
+        assert check_probability(0, "p") == 0.0
+        assert check_probability(1, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")

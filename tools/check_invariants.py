@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Gate the repository's machine-checked invariants (rules R1–R5).
+
+Usage::
+
+    python tools/check_invariants.py src/           # the standard gate
+    python tools/check_invariants.py --rules R2,R4 src/repro/lsh
+    python tools/check_invariants.py --list-rules
+
+Exits 0 when every checked file is clean, 1 when any violation is found,
+2 on usage errors.  The rules and their rationale are documented in
+DESIGN.md ("Invariants") and implemented in ``src/repro/analysis/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.checker import (  # noqa: E402  (path bootstrap above)
+    ALL_RULES,
+    RULE_SUMMARIES,
+    AnalysisConfig,
+    analyze_paths,
+    format_violations,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_invariants",
+        description="AST-based invariant checker for the Bi-level LSH repo.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--rules", default=",".join(ALL_RULES),
+        help="comma-separated rule ids to enable (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule index and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-violation output; exit code only",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule}  {RULE_SUMMARIES[rule]}")
+        return 0
+
+    rules = tuple(rule.strip() for rule in args.rules.split(",") if rule.strip())
+    unknown = [rule for rule in rules if rule not in ALL_RULES]
+    if unknown:
+        parser.error(f"unknown rules: {', '.join(unknown)}")
+    paths = args.paths or ["src"]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    violations = analyze_paths(paths, AnalysisConfig(rules=rules))
+    if violations:
+        if not args.quiet:
+            print(format_violations(violations))
+            print(f"\n{len(violations)} invariant violation(s) "
+                  f"in {len({v.path for v in violations})} file(s)")
+        return 1
+    if not args.quiet:
+        checked = ", ".join(paths)
+        print(f"invariants OK ({', '.join(rules)}) over {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
