@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Observability overhead guard for the vectorized query engine.
+
+Times four configurations of the same :class:`StandardLSH` batch query,
+interleaved round-robin so machine drift cancels:
+
+- ``plain``   — the engine body called directly with no observer
+  (bypasses even the once-per-batch ``obs.active()`` gate read);
+- ``off``     — the public path with observability disabled (what every
+  production query pays: one module-global read per batch);
+- ``metrics`` — observability enabled, metrics only (0% trace sampling);
+- ``sampled`` — observability enabled with 1% per-query trace sampling.
+
+The guard compares *minimum* batch times (the low-noise statistic):
+``off`` must be within ``--max-disabled-pct`` (default 2%) of ``plain``,
+and ``sampled`` within ``--max-sampled-pct`` (default 10%).  A noisy
+attempt is re-measured up to ``--retries`` times — scheduler
+interference can fake a 2% delta at millisecond batch times, while a
+real regression fails every attempt.  Exits nonzero when the last
+attempt still violates a limit — CI runs this as the observability
+overhead gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick] \
+        [--metrics-out metrics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from conftest import interleaved_times
+
+from repro import obs
+from repro.experiments.workloads import Scale, make_workload
+from repro.lsh.index import StandardLSH
+from repro.obs.registry import MetricsRegistry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRACE_RATE = 0.01
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale run (seconds)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="interleaved timing rounds per configuration")
+    parser.add_argument("--max-disabled-pct", type=float, default=2.0,
+                        help="allowed %% overhead of the disabled path "
+                             "(off vs plain)")
+    parser.add_argument("--max-sampled-pct", type=float, default=10.0,
+                        help="allowed %% overhead at 1%% trace sampling "
+                             "(sampled vs plain)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="re-measure attempts when an attempt exceeds "
+                             "a limit (noise robustness)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="write the sampled run's metrics snapshot here")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_obs_overhead.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        scale = Scale(n_train=4000, n_queries=600, dim=32, k=10,
+                      n_tables=6, seed=0)
+        rounds = args.rounds or 7
+    else:
+        scale = Scale(n_train=20000, n_queries=2000, dim=64, k=10,
+                      n_tables=10, seed=0)
+        rounds = args.rounds or 9
+
+    print(f"workload: labelme-like n={scale.n_train} q={scale.n_queries} "
+          f"dim={scale.dim} L={scale.n_tables}, {rounds} rounds")
+    workload = make_workload("labelme", scale)
+    width = 3.0 * workload.reference_width
+    index = StandardLSH(n_hashes=scale.n_hashes, n_tables=scale.n_tables,
+                        bucket_width=width, seed=scale.seed).fit(
+                            workload.train)
+    queries, k = workload.queries, scale.k
+
+    registry = MetricsRegistry()
+
+    def run_plain():
+        # The engine body with the observer hard-wired to None: no gate
+        # read, no StageTimer, nothing — the floor the public path chases.
+        return index._vectorized_engine(queries, k, "median", None)
+
+    def run_off():
+        obs.disable()
+        return index.query_batch(queries, k, engine="vectorized")
+
+    def run_metrics():
+        obs.enable(registry=registry)
+        try:
+            return index.query_batch(queries, k, engine="vectorized")
+        finally:
+            obs.disable()
+
+    def run_sampled():
+        obs.enable(registry=registry, trace_sample_rate=TRACE_RATE)
+        try:
+            return index.query_batch(queries, k, engine="vectorized")
+        finally:
+            obs.disable()
+
+    configs = {
+        "plain": run_plain,
+        "off": run_off,
+        "metrics": run_metrics,
+        "sampled": run_sampled,
+    }
+    attempts = 0
+    while True:
+        attempts += 1
+        timings = interleaved_times(configs, rounds=rounds, warmup=2)
+        base = timings["plain"].best
+        disabled_pct = (timings["off"].best / base - 1.0) * 100.0
+        sampled_pct = (timings["sampled"].best / base - 1.0) * 100.0
+        if (disabled_pct <= args.max_disabled_pct
+                and sampled_pct <= args.max_sampled_pct):
+            break
+        if attempts > args.retries:
+            break
+        print(f"attempt {attempts} noisy (disabled {disabled_pct:+.2f}%, "
+              f"sampled {sampled_pct:+.2f}%); re-measuring")
+
+    rows = []
+    for name, timing in timings.items():
+        rows.append({
+            "config": name,
+            "batch_seconds_best": timing.best,
+            "batch_seconds_p50": timing.p50,
+            "overhead_pct_vs_plain": (timing.best / base - 1.0) * 100.0,
+            "warmup_seconds": timing.warmup_seconds,
+        })
+    report = {
+        "benchmark": "obs_overhead",
+        "quick": bool(args.quick),
+        "platform": platform.platform(),
+        "workload": {"name": "labelme", "n_train": scale.n_train,
+                     "n_queries": scale.n_queries, "dim": scale.dim,
+                     "k": k, "n_tables": scale.n_tables,
+                     "bucket_width": width},
+        "rounds": rounds,
+        "attempts": attempts,
+        "trace_sample_rate": TRACE_RATE,
+        "results": rows,
+        "disabled_overhead_pct": disabled_pct,
+        "sampled_overhead_pct": sampled_pct,
+        "max_disabled_pct": args.max_disabled_pct,
+        "max_sampled_pct": args.max_sampled_pct,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(obs.full_snapshot(registry), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote metrics snapshot to {args.metrics_out}")
+
+    print(f"\n{'config':<10}{'best batch s':>14}{'p50 batch s':>13}"
+          f"{'vs plain':>10}")
+    for row in rows:
+        print(f"{row['config']:<10}{row['batch_seconds_best']:>14.5f}"
+              f"{row['batch_seconds_p50']:>13.5f}"
+              f"{row['overhead_pct_vs_plain']:>9.2f}%")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if disabled_pct > args.max_disabled_pct:
+        failures.append(
+            f"disabled-path overhead {disabled_pct:.2f}% exceeds "
+            f"{args.max_disabled_pct:.2f}% (off vs plain)")
+    if sampled_pct > args.max_sampled_pct:
+        failures.append(
+            f"1% trace-sampling overhead {sampled_pct:.2f}% exceeds "
+            f"{args.max_sampled_pct:.2f}% (sampled vs plain)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"overhead guard OK: disabled {disabled_pct:+.2f}% "
+              f"(limit {args.max_disabled_pct}%), sampled "
+              f"{sampled_pct:+.2f}% (limit {args.max_sampled_pct}%)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

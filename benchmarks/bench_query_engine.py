@@ -9,8 +9,9 @@ contribution (serial and thread-pooled per-group dispatch).
 
 Writes ``BENCH_query_engine.json`` next to the repository root with
 per-configuration p50/p95 batch latency, QPS, recall@10 and the
-scalar→vectorized speedup, plus an ``ids_match`` flag confirming both
-engines returned the same neighbors.
+scalar→vectorized speedup, an ``ids_match`` flag confirming both
+engines returned the same neighbors, and a ``repro.obs`` metrics
+snapshot (plus derived summary) from one instrumented extra batch.
 
 Usage::
 
@@ -22,30 +23,21 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import time
 from pathlib import Path
 
 import numpy as np
+from conftest import latency_row, time_calls
 
+from repro import obs
 from repro.core.bilevel import BiLevelLSH
 from repro.core.config import BiLevelConfig
 from repro.evaluation.metrics import recall_ratio
 from repro.experiments.workloads import Scale, make_workload
 from repro.lsh.index import StandardLSH
+from repro.obs.registry import MetricsRegistry
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RECALL_K = 10
-
-
-def _time_engine(index, queries, k, engine, n_repeats):
-    """Run ``n_repeats`` timed batches; returns (result, batch_seconds)."""
-    result = index.query_batch(queries, k, engine=engine)  # warmup + output
-    times = []
-    for _ in range(n_repeats):
-        t0 = time.perf_counter()
-        index.query_batch(queries, k, engine=engine)
-        times.append(time.perf_counter() - t0)
-    return result, np.asarray(times)
 
 
 def bench_method(name, index, workload, k, n_repeats):
@@ -55,24 +47,17 @@ def bench_method(name, index, workload, k, n_repeats):
     rows = []
     outputs = {}
     for engine in ("scalar", "vectorized"):
-        (ids, dists, stats), times = _time_engine(index, queries, k,
-                                                  engine, n_repeats)
+        timing = time_calls(
+            lambda: index.query_batch(queries, k, engine=engine), n_repeats)
+        ids, dists, stats = timing.result
         outputs[engine] = (ids, dists)
         recall = float(recall_ratio(exact_ids, ids[:, :RECALL_K]).mean())
-        batch_p50 = float(np.percentile(times, 50))
-        rows.append({
+        rows.append(latency_row(timing, queries.shape[0], extra={
             "method": name,
             "engine": engine,
-            "n_queries": int(queries.shape[0]),
-            "batch_seconds_p50": batch_p50,
-            "batch_seconds_p95": float(np.percentile(times, 95)),
-            "per_query_ms_p50": batch_p50 / queries.shape[0] * 1e3,
-            "per_query_ms_p95": float(np.percentile(times, 95))
-            / queries.shape[0] * 1e3,
-            "qps": queries.shape[0] / batch_p50,
             f"recall_at_{RECALL_K}": recall,
             "mean_candidates": float(stats.n_candidates.mean()),
-        })
+        }))
     ids_match = bool(np.array_equal(outputs["scalar"][0],
                                     outputs["vectorized"][0]))
     dists_match = bool(np.allclose(outputs["scalar"][1],
@@ -82,6 +67,17 @@ def bench_method(name, index, workload, k, n_repeats):
         row["ids_match"] = ids_match
         row["dists_match"] = dists_match
     return rows, speedup
+
+
+def instrumented_snapshot(index, queries, k):
+    """One extra batch with observability on; returns the snapshot dict."""
+    registry = MetricsRegistry()
+    obs.enable(registry=registry)
+    try:
+        index.query_batch(queries, k)
+    finally:
+        obs.disable()
+    return obs.full_snapshot(registry)
 
 
 def main(argv=None):
@@ -132,20 +128,15 @@ def main(argv=None):
 
     # Thread-pooled per-group dispatch rides on the vectorized engine only.
     bilevel.config = base_cfg.with_(n_jobs=-1)
-    (_, _, _), times = _time_engine(bilevel, workload.queries, k,
-                                    "vectorized", n_repeats)
-    batch_p50 = float(np.percentile(times, 50))
-    results.append({
+    timing = time_calls(
+        lambda: bilevel.query_batch(workload.queries, k, engine="vectorized"),
+        n_repeats)
+    results.append(latency_row(timing, workload.queries.shape[0], extra={
         "method": "bilevel n_jobs=-1",
         "engine": "vectorized",
-        "n_queries": int(workload.queries.shape[0]),
-        "batch_seconds_p50": batch_p50,
-        "batch_seconds_p95": float(np.percentile(times, 95)),
-        "per_query_ms_p50": batch_p50 / workload.queries.shape[0] * 1e3,
-        "per_query_ms_p95": float(np.percentile(times, 95))
-        / workload.queries.shape[0] * 1e3,
-        "qps": workload.queries.shape[0] / batch_p50,
-    })
+    }))
+
+    snapshot = instrumented_snapshot(bilevel, workload.queries, k)
 
     report = {
         "benchmark": "query_engine",
@@ -158,6 +149,8 @@ def main(argv=None):
         "n_repeats": n_repeats,
         "results": results,
         "speedup_scalar_to_vectorized": speedups,
+        "metrics": snapshot["metrics"],
+        "metrics_derived": snapshot["derived"],
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 

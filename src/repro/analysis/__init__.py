@@ -19,6 +19,9 @@ This package machine-checks them with an AST lint pass:
   annotations.
 - **R5** ``no-silent-failure`` — no bare/silent ``except`` and no
   mutable (or shared-instance) default arguments.
+- **R6** ``obs-centralized`` — pipeline modules emit telemetry only
+  through :mod:`repro.obs`; no raw ``time.perf_counter()`` reads or
+  ``print`` instrumentation outside the observability package.
 
 Run via ``python tools/check_invariants.py src/`` or through
 :func:`analyze_paths`.

@@ -21,11 +21,12 @@ from repro.analysis.rules import (
     check_explicit_dtype,
     check_locked_mutation,
     check_no_silent_failure,
+    check_obs_centralized,
     check_rng_centralized,
     check_typed_api,
 )
 
-ALL_RULES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5")
+ALL_RULES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5", "R6")
 
 #: Human-readable rule index, kept in sync with ``repro.analysis.rules``.
 RULE_SUMMARIES: Dict[str, str] = {
@@ -35,6 +36,8 @@ RULE_SUMMARIES: Dict[str, str] = {
           "state only under a declared lock",
     "R4": "typed-api: public functions carry complete type annotations",
     "R5": "no-silent-failure: no bare/silent except, no mutable defaults",
+    "R6": "obs-centralized: pipeline modules emit telemetry only through "
+          "repro.obs (no raw time.perf_counter()/print instrumentation)",
 }
 
 
@@ -62,6 +65,14 @@ class AnalysisConfig:
         "_sq_norms", "_deleted", "_data", "_ids", "n_points",
         "group_indexes", "group_widths", "partitioner",
     }))
+    #: Packages whose modules count as the instrumented pipeline (R6):
+    #: telemetry there must flow through ``repro.obs``.
+    telemetry_scope_parts: Tuple[str, ...] = (
+        "lsh", "lattice", "core", "hierarchy", "gpu", "rptree", "cluster",
+    )
+    #: Path parts identifying the observability package itself, which is
+    #: the one place allowed to read the wall clock (R6 exemption).
+    obs_module_parts: Tuple[str, ...] = ("obs",)
     #: Directory names never descended into during file discovery.
     skip_dirs: Tuple[str, ...] = (
         "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
@@ -101,6 +112,10 @@ def analyze_modules(
         violations += check_typed_api(modules, aliases)
     if "R5" in config.rules:
         violations += check_no_silent_failure(modules)
+    if "R6" in config.rules:
+        violations += check_obs_centralized(
+            modules, config.telemetry_scope_parts, config.obs_module_parts
+        )
     by_path = {module.posix_path: module for module in modules}
     kept = [
         v for v in violations

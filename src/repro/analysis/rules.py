@@ -403,3 +403,72 @@ def check_no_silent_failure(modules: Sequence[ModuleInfo]) -> List[Violation]:
                             "threads); use None and construct per call",
                         ))
     return violations
+
+
+# --------------------------------------------------------------------- R6
+
+#: Wall-clock reads whose presence in a pipeline module marks ad-hoc
+#: instrumentation (``time.<name>`` calls or ``from time import <name>``).
+WALL_CLOCK_READS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+
+
+def check_obs_centralized(
+    modules: Sequence[ModuleInfo],
+    telemetry_scope_parts: Tuple[str, ...],
+    obs_module_parts: Tuple[str, ...],
+) -> List[Violation]:
+    """R6: hot-path telemetry flows only through :mod:`repro.obs`.
+
+    Inside the pipeline packages (``lsh``, ``lattice``, ``core``,
+    ``hierarchy``, ``gpu``, ``rptree``, ``cluster`` by default), raw
+    wall-clock reads (``time.perf_counter()`` and friends, or importing
+    them from :mod:`time`) and ``print()`` calls are flagged: ad-hoc
+    instrumentation bypasses the metrics registry's aggregation and label
+    discipline, and — unlike the gated ``repro.obs`` sites — costs time
+    even when observability is disabled.  The :mod:`repro.obs` package
+    itself is exempt (it is where the clock reads are supposed to live);
+    benchmarks and tools are outside the checked tree entirely.
+    """
+    violations: List[Violation] = []
+    scope = set(telemetry_scope_parts)
+    obs_parts = set(obs_module_parts)
+    for module in modules:
+        parts = set(module.path_parts())
+        if parts & obs_parts or not parts & scope:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    names = [alias.name for alias in node.names
+                             if alias.name in WALL_CLOCK_READS]
+                    for name in names:
+                        violations.append(Violation(
+                            "R6", module.posix_path, node.lineno,
+                            f"'from time import {name}' in a pipeline "
+                            "module; emit telemetry through repro.obs "
+                            "(StageTimer/Span) instead of timing inline",
+                        ))
+            elif isinstance(node, ast.Call):
+                dotted = dotted_attribute(node.func)
+                if dotted is None:
+                    continue
+                if dotted == "print":
+                    violations.append(Violation(
+                        "R6", module.posix_path, node.lineno,
+                        "print() in a pipeline module; record a metric via "
+                        "repro.obs or raise — stdout is not telemetry",
+                    ))
+                elif dotted.startswith("time."):
+                    fn = dotted.split(".", 1)[1]
+                    if fn in WALL_CLOCK_READS:
+                        violations.append(Violation(
+                            "R6", module.posix_path, node.lineno,
+                            f"raw {dotted}() in a pipeline module; emit "
+                            "telemetry through repro.obs (StageTimer/Span) "
+                            "so it aggregates and gates off cleanly",
+                        ))
+    return violations

@@ -5,19 +5,23 @@ Usage (installed as ``repro-knn``, or ``python -m repro.cli``)::
     repro-knn build  features.npy index.npz --groups 16 --tables 10 --tune
     repro-knn query  index.npz queries.npy -k 10 --output results.npz
     repro-knn info   index.npz
+    repro-knn stats  index.npz --queries queries.npy -k 10 --format prom
     repro-knn bench  --figure fig05 --scale smoke
     repro-knn synth  out.npy --preset labelme --n 10000
 
 Feature files are ``.npy`` matrices or raw binary (pass ``--dim`` and
-``--dtype``).
+``--dtype``).  ``query`` and ``bench`` accept ``--metrics-out FILE`` to
+run with observability on and dump a JSON metrics snapshot; ``stats``
+prints one directly (JSON or Prometheus text).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -27,6 +31,31 @@ def _load_features(path: str, dim: Optional[int], dtype: str,
     from repro.datasets.loaders import load_matrix
 
     return load_matrix(path, dim=dim, dtype=dtype, mmap=mmap)
+
+
+@contextlib.contextmanager
+def _observed(metrics_out: Optional[str],
+              trace_sample: float = 0.0) -> Iterator[None]:
+    """Enable observability into a private registry for the body, then
+    write ``{"metrics": ..., "derived": ...}`` to ``metrics_out``.
+
+    A no-op context when ``metrics_out`` is falsy.
+    """
+    if not metrics_out:
+        yield
+        return
+    from repro import obs
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    obs.enable(registry=registry, trace_sample_rate=trace_sample)
+    try:
+        yield
+    finally:
+        obs.disable()
+    with open(metrics_out, "w", encoding="utf-8") as fh:
+        json.dump(obs.full_snapshot(registry), fh, indent=2, sort_keys=True)
+    print(f"wrote metrics snapshot to {metrics_out}")
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -68,7 +97,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     queries = np.asarray(
         _load_features(args.queries, args.dim, args.dtype, False),
         dtype=np.float64)
-    ids, dists, stats = index.query_batch(queries, args.k)
+    with _observed(args.metrics_out):
+        ids, dists, stats = index.query_batch(queries, args.k)
     if args.output:
         np.savez(args.output, ids=ids, distances=dists,
                  n_candidates=stats.n_candidates)
@@ -119,7 +149,50 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.figure!r}; available: {names}",
               file=sys.stderr)
         return 2
-    driver(scale)
+    with _observed(args.metrics_out):
+        driver(scale)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a query batch with observability on; print/write the snapshot."""
+    from repro import obs
+    from repro.evaluation.diagnostics import escalation_report
+    from repro.obs.registry import MetricsRegistry
+    from repro.persistence import load_index
+
+    index = load_index(args.index)
+    queries = np.asarray(
+        _load_features(args.queries, args.dim, args.dtype, False),
+        dtype=np.float64)
+    registry = MetricsRegistry()
+    obs.enable(registry=registry, trace_sample_rate=args.trace_sample,
+               trace_seed=args.seed)
+    try:
+        index.query_batch(queries, args.k)
+        traces = obs.recent_traces()
+    finally:
+        obs.disable()
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        payload = {
+            "index": args.index,
+            "n_queries": int(queries.shape[0]),
+            "k": int(args.k),
+            "escalation": escalation_report(registry),
+            "metrics": registry.snapshot(),
+            "derived": obs.derived_summary(registry),
+        }
+        if args.trace_sample > 0.0:
+            payload["traces"] = [trace.to_dict() for trace in traces]
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + ("" if text.endswith("\n") else "\n"))
+        print(f"wrote {args.format} snapshot to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -181,16 +254,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write results to an .npz instead of printing")
     p.add_argument("--show", type=int, default=5,
                    help="queries to print when no --output is given")
+    p.add_argument("--metrics-out", default=None,
+                   help="run with observability on; write a JSON metrics "
+                        "snapshot here")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("info", help="inspect a saved index")
     p.add_argument("index")
     p.set_defaults(func=cmd_info)
 
+    p = sub.add_parser("stats", parents=[common_feat],
+                       help="run queries with observability on and report "
+                            "the metrics snapshot")
+    p.add_argument("index")
+    p.add_argument("--queries", required=True,
+                   help="query feature file to drive the instrumented run")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--trace-sample", type=float, default=0.0,
+                   help="fraction of queries to trace (0 disables tracing)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="trace-sampling seed")
+    p.add_argument("--format", choices=["json", "prom"], default="json",
+                   help="snapshot format: JSON or Prometheus text")
+    p.add_argument("--out", default=None,
+                   help="write the snapshot to a file instead of stdout")
+    p.set_defaults(func=cmd_stats)
+
     p = sub.add_parser("bench", help="run one paper-figure driver")
     p.add_argument("--figure", default="fig05")
     p.add_argument("--scale", choices=["smoke", "default", "paper"],
                    default="smoke")
+    p.add_argument("--metrics-out", default=None,
+                   help="run with observability on; write a JSON metrics "
+                        "snapshot here")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("synth", help="generate a synthetic feature file")

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.kmeans import KMeansPartitioner
 from repro.core.config import BiLevelConfig
 from repro.lsh.index import QueryStats, StandardLSH
@@ -228,6 +229,8 @@ class BiLevelLSH:
         self._check_fitted()
         queries = as_float_matrix(queries, name="queries")
         k = check_k(k)
+        ob = obs.active()
+        timer = obs.StageTimer(ob)
         nq = queries.shape[0]
         ids_out = np.full((nq, k), -1, dtype=np.int64)
         dists_out = np.full((nq, k), np.inf, dtype=np.float64)
@@ -247,6 +250,7 @@ class BiLevelLSH:
             membership = [(g, np.asarray(rows, dtype=np.int64))
                           for g, rows in enumerate(per_group)]
         active = [(g, rows) for g, rows in membership if rows.size]
+        timer.lap("bilevel.route")
 
         def run_group(g: int, rows: np.ndarray,
                       ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
@@ -260,6 +264,7 @@ class BiLevelLSH:
                 results = list(pool.map(lambda item: run_group(*item), active))
         else:
             results = [run_group(g, rows) for g, rows in active]
+        timer.lap("bilevel.dispatch")
         for (g, rows), (ids_g, dists_g, stats_g) in zip(active, results):
             if spill <= 1:
                 ids_out[rows] = ids_g
@@ -271,6 +276,12 @@ class BiLevelLSH:
                                        ids_g, dists_g, k)
                 n_candidates[rows] += stats_g.n_candidates
                 escalated[rows] |= stats_g.escalated
+        timer.lap("bilevel.merge")
+        if ob is not None:
+            ob.record_index_size(self.n_points)
+            for (g, rows), (_ids_g, _dists_g, stats_g) in zip(active, results):
+                ob.record_group(g, int(rows.size),
+                                int(np.count_nonzero(stats_g.escalated)))
         return ids_out, dists_out, QueryStats(n_candidates, escalated)
 
     @staticmethod

@@ -18,10 +18,12 @@ Tools for inspecting *why* the Bi-level scheme behaves as it does:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
 
 import numpy as np
 
+from repro import obs
+from repro.obs.registry import CounterFamily, HistogramFamily, MetricsRegistry
 from repro.utils.validation import as_float_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - import-time types only
@@ -139,17 +141,80 @@ def routing_loss(index: BiLevelLSH, queries: np.ndarray,
     return out
 
 
-def escalation_report(stats: QueryStats) -> Dict[str, float]:
-    """Summarize a :class:`~repro.lsh.index.QueryStats` escalation pass."""
-    return {
-        "n_queries": int(stats.escalated.size),
-        "n_escalated": int(stats.escalated.sum()),
-        "escalated_fraction": float(stats.escalated.mean())
-        if stats.escalated.size else 0.0,
-        "candidates_mean": float(stats.n_candidates.mean())
-        if stats.n_candidates.size else 0.0,
-        "candidates_min": int(stats.n_candidates.min())
-        if stats.n_candidates.size else 0,
-        "candidates_max": int(stats.n_candidates.max())
-        if stats.n_candidates.size else 0,
+def escalation_report(stats: "Union[QueryStats, MetricsRegistry]",
+                      ) -> Dict[str, float]:
+    """Summarize an escalation pass from either data source.
+
+    Accepts a :class:`~repro.lsh.index.QueryStats` (one batch's exact
+    per-query arrays) or a live :class:`~repro.obs.registry.MetricsRegistry`
+    recorded by an instrumented run (``repro.obs``), in which case the
+    candidate distribution comes from the ``repro_shortlist_size``
+    histogram — percentiles are then bucket-interpolated estimates and
+    min/max are the 0th/100th bucket percentiles.
+
+    All ratios are guarded: an empty batch, or a batch where *every*
+    query escalated (leaving no unescalated slice to average), reports
+    ``0.0`` instead of dividing by zero.
+    """
+    if isinstance(stats, MetricsRegistry):
+        return _escalation_report_from_registry(stats)
+    n = stats.n_candidates
+    escalated = stats.escalated
+    report = {
+        "n_queries": int(escalated.size),
+        "n_escalated": int(escalated.sum()),
+        "escalated_fraction": float(escalated.mean())
+        if escalated.size else 0.0,
+        "candidates_mean": float(n.mean()) if n.size else 0.0,
+        "candidates_min": int(n.min()) if n.size else 0,
+        "candidates_max": int(n.max()) if n.size else 0,
     }
+    if n.size:
+        p50, p95, p99 = np.percentile(n, [50.0, 95.0, 99.0])
+        report["candidates_p50"] = float(p50)
+        report["candidates_p95"] = float(p95)
+        report["candidates_p99"] = float(p99)
+    else:
+        report["candidates_p50"] = 0.0
+        report["candidates_p95"] = 0.0
+        report["candidates_p99"] = 0.0
+    escalated_slice = n[escalated]
+    unescalated_slice = n[~escalated]
+    report["candidates_mean_escalated"] = (
+        float(escalated_slice.mean()) if escalated_slice.size else 0.0)
+    report["candidates_mean_unescalated"] = (
+        float(unescalated_slice.mean()) if unescalated_slice.size else 0.0)
+    return report
+
+
+def _escalation_report_from_registry(registry: MetricsRegistry,
+                                     ) -> Dict[str, float]:
+    """The registry-backed path of :func:`escalation_report`."""
+    queries = registry.get(obs.QUERIES_TOTAL)
+    n_queries = (queries.total()
+                 if isinstance(queries, CounterFamily) else 0.0)
+    escalations = registry.get(obs.ESCALATIONS_TOTAL)
+    n_escalated = (escalations.total()
+                   if isinstance(escalations, CounterFamily) else 0.0)
+    report: Dict[str, float] = {
+        "n_queries": int(n_queries),
+        "n_escalated": int(n_escalated),
+        "escalated_fraction": (n_escalated / n_queries
+                               if n_queries else 0.0),
+        "candidates_mean": 0.0,
+        "candidates_min": 0,
+        "candidates_max": 0,
+        "candidates_p50": 0.0,
+        "candidates_p95": 0.0,
+        "candidates_p99": 0.0,
+    }
+    shortlist = registry.get(obs.SHORTLIST_SIZE)
+    if isinstance(shortlist, HistogramFamily) and shortlist.count:
+        hist = shortlist.labels()
+        report["candidates_mean"] = hist.sum / hist.count
+        report["candidates_min"] = int(hist.percentile(0.0))
+        report["candidates_max"] = int(np.ceil(hist.percentile(100.0)))
+        report["candidates_p50"] = hist.percentile(50.0)
+        report["candidates_p95"] = hist.percentile(95.0)
+        report["candidates_p99"] = hist.percentile(99.0)
+    return report

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.gpu.cuckoo import CuckooHashTable, compress_code
 from repro.gpu.device import CPUModel, DeviceModel, ExecutionTimer
 from repro.gpu.shortlist import (
@@ -159,6 +160,17 @@ class GPUPipeline:
                                           device=self.device)
         timing = PipelineTiming(lookup_seconds=lookup_seconds,
                                 shortlist_seconds=result.seconds)
+        ob = obs.active()
+        if ob is not None:
+            # cpu_* modes are the device-unavailable fallbacks of the
+            # paper's pipeline comparison; phase times are the simulated
+            # device seconds, not wall clock.
+            ob.record_gpu_run(mode,
+                              fallback=mode in ("cpu_lshkit", "cpu_shortlist"),
+                              phase_seconds={
+                                  "lookup": timing.lookup_seconds,
+                                  "shortlist": timing.shortlist_seconds,
+                              })
         return result, timing
 
     def compare_modes(self, data: np.ndarray, queries: np.ndarray, k: int,

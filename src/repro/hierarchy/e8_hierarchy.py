@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.lattice.base import Lattice
 from repro.lsh.table import LSHTable
 
@@ -104,16 +105,23 @@ class E8Hierarchy:
         populated branch within the built levels).
         """
         code = np.asarray(code, dtype=np.int64).reshape(1, -1)
+        ob = obs.active()
         best = np.empty(0, dtype=np.int64)
+        best_level = 0
         for level, anc in self.lattice.ancestor_chain(code, self.n_levels):
             buckets = self.levels[level].get(anc[0].tobytes())
             if buckets is None:
                 continue
             ids = self._bucket_ids(buckets)
             if ids.size >= min_count:
+                if ob is not None:
+                    ob.record_escalation_depth("e8", level)
                 return np.unique(ids)
             if ids.size > best.size:
                 best = ids
+                best_level = level
+        if ob is not None:
+            ob.record_escalation_depth("e8", best_level)
         return np.unique(best) if best.size else best
 
     def deepest_match(self, code: np.ndarray) -> Optional[int]:

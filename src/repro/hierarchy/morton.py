@@ -25,6 +25,7 @@ from typing import List
 
 import numpy as np
 
+from repro import obs
 from repro.lsh.table import LSHTable
 
 
@@ -176,6 +177,9 @@ class MortonHierarchy:
             lo2, hi2 = self._prefix_window(morton, dropped)
             lo = min(lo, lo2)
             hi = max(hi, hi2)
+        ob = obs.active()
+        if ob is not None:
+            ob.record_escalation_depth("morton", dropped)
         return np.unique(self._ids_in_window(lo, hi))
 
     def shared_msb(self, code: np.ndarray) -> int:

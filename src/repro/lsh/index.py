@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.lattice.base import Lattice
 from repro.lattice.e8 import E8Lattice
 from repro.lattice.zm import ZMLattice
@@ -194,6 +195,9 @@ class StandardLSH:
                     hierarchies.append(self._build_hierarchy(table))
             self._tables = tables
             self._hierarchies = hierarchies
+            ob = obs.active()
+            if ob is not None:
+                ob.record_rebuild()
 
     # -------------------------------------------------------------- updates
 
@@ -372,6 +376,8 @@ class StandardLSH:
 
     def _gather_candidates_batch(self, projections: List[np.ndarray],
                                  codes: List[np.ndarray], nq: int,
+                                 ob: "Optional[obs.Observer]" = None,
+                                 probe_out: Optional[Dict[str, np.ndarray]] = None,
                                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Candidate gathering for the whole batch, array-at-a-time.
 
@@ -379,18 +385,32 @@ class StandardLSH:
         and resolved with a single packed-key ``searchsorted``
         (:meth:`LSHTable.gather_batch`); the per-table results are then
         concatenated and deduplicated per query with one global sort.
+
+        When an :class:`repro.obs.Observer` is passed, per-table bucket
+        lookup/miss/probe counters are recorded and the per-query probe
+        totals are returned through ``probe_out['probes_per_query']``.
         """
         id_parts: List[np.ndarray] = []
         q_parts: List[np.ndarray] = []
+        probes_acc = (np.zeros(nq, dtype=np.int64)
+                      if ob is not None else None)
         for t in range(self.n_tables):
             codes_all, row_q = self._probe_rows(projections, codes, t)
             ids_flat, counts = self._tables[t].gather_batch(codes_all)
+            if ob is not None and probes_acc is not None:
+                ob.record_table_lookup(
+                    t, n_lookups=int(codes_all.shape[0]),
+                    n_misses=int(np.count_nonzero(counts == 0)),
+                    n_probes=int(codes_all.shape[0]) - nq)
+                probes_acc += np.bincount(row_q, minlength=nq)[:nq] - 1
             id_parts.append(ids_flat)
             q_parts.append(np.repeat(row_q, counts))
         local_ids = (np.concatenate(id_parts) if id_parts
                      else np.empty(0, dtype=np.int64))
         qidx = (np.concatenate(q_parts) if q_parts
                 else np.empty(0, dtype=np.int64))
+        if probe_out is not None and probes_acc is not None:
+            probe_out["probes_per_query"] = probes_acc
         return self._dedup_per_query(local_ids, qidx, nq)
 
     def _gather_candidates(self, projections: List[np.ndarray],
@@ -497,11 +517,26 @@ class StandardLSH:
     def _query_batch_vectorized(self, queries: np.ndarray, k: int,
                                 hierarchy_threshold: Union[str, int],
                                 ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        # The observability gate is one module-global read per batch; the
+        # engine itself takes the observer as a plain argument so the
+        # overhead benchmark can time the gate-bypassing path directly.
+        return self._vectorized_engine(queries, k, hierarchy_threshold,
+                                       obs.active())
+
+    def _vectorized_engine(self, queries: np.ndarray, k: int,
+                           hierarchy_threshold: Union[str, int],
+                           ob: "Optional[obs.Observer]",
+                           ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         nq = queries.shape[0]
+        timer = obs.StageTimer(ob)
         projections = [family.project(queries) for family in self._families]
         codes = [self._lattice.quantize(proj) for proj in projections]
+        timer.lap("lsh.hash")
+        probe_out: Optional[Dict[str, np.ndarray]] = \
+            {} if ob is not None else None
         cand, qidx, counts = self._gather_candidates_batch(
-            projections, codes, nq)
+            projections, codes, nq, ob=ob, probe_out=probe_out)
+        timer.lap("lsh.gather")
         escalated = np.zeros(nq, dtype=bool)
         if self.use_hierarchy:
             threshold = self._resolve_threshold(counts, k, hierarchy_threshold)
@@ -524,8 +559,15 @@ class StandardLSH:
                                 np.full(ids_t.size, qi, dtype=np.int64))
                 cand, qidx, counts = self._dedup_per_query(
                     np.concatenate(extra_ids), np.concatenate(extra_q), nq)
+            timer.lap("lsh.escalate")
         ids_out, dists_out = self._rank_shortlists(queries, k, cand, qidx,
                                                    counts)
+        timer.lap("lsh.rank")
+        if ob is not None:
+            probes = (probe_out.get("probes_per_query")
+                      if probe_out is not None else None)
+            ob.record_batch("vectorized", counts, escalated, timer.stages,
+                            probes=probes)
         return ids_out, dists_out, QueryStats(counts, escalated)
 
     #: Flattened-candidate rows ranked per fused-kernel chunk (bounds the
@@ -609,6 +651,9 @@ class StandardLSH:
             top = top[np.argsort(dists[top], kind="stable")]
             ids_out[qi, :take] = self._ids[cand[top]]
             dists_out[qi, :take] = dists[top]
+        ob = obs.active()
+        if ob is not None:
+            ob.record_batch("scalar", n_candidates, escalated, {})
         return ids_out, dists_out, QueryStats(n_candidates, escalated)
 
     def candidate_sets(self, queries: np.ndarray,

@@ -23,6 +23,8 @@ from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 Perturbation = Tuple[int, int]  # (dimension, delta)
 
 
@@ -181,6 +183,10 @@ def adaptive_probes_batch(y: np.ndarray, codes: np.ndarray, max_probes: int,
         labels = [column_label(int(c), m) for c in order[qi]]
         out.append(_emit_adaptive(codes[qi], scores[qi], labels,
                                   max_probes, confidence))
+    ob = obs.active()
+    if ob is not None and out:
+        ob.record_adaptive_budget(
+            np.array([probes.shape[0] for probes in out], dtype=np.int64))
     return out
 
 

@@ -23,6 +23,8 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 #: Sign-bit flip making the unsigned byte order of an int64 match its
 #: signed numeric order.
 _SIGN_FLIP = np.uint64(1 << 63)
@@ -168,6 +170,9 @@ class LSHTable:
                     ends = np.concatenate(
                         (change, [keys.shape[0]])).astype(np.int64)
                     overlay = (keys[starts], ids, starts, ends)
+                    ob = obs.active()
+                    if ob is not None:
+                        ob.record_overlay_merge()
                 self._overlay = overlay
         return overlay
 

@@ -1,0 +1,24 @@
+"""Seeded R6 violations: raw wall-clock / stdout telemetry in a pipeline module.
+
+The ``lsh`` directory component puts this fixture inside the checker's
+telemetry scope; every timing read and ``print`` here should instead go
+through ``repro.obs``.  Parsed by the self-tests, never imported.
+"""
+
+import time
+from time import perf_counter
+
+
+def timed_lookup(n: int) -> float:
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += i
+    elapsed = time.perf_counter() - start
+    print(f"lookup took {elapsed:.6f}s for {total} steps")
+    return elapsed
+
+
+def timed_rank() -> float:
+    t0 = perf_counter()
+    return perf_counter() - t0

@@ -33,6 +33,7 @@ FIXTURE_RULES = {
     "r3_unlocked_mutation.py": "R3",
     "r4_untyped_api.py": "R4",
     "r5_silent_failure.py": "R5",
+    "lsh/r6_raw_telemetry.py": "R6",
 }
 
 
@@ -128,6 +129,52 @@ class TestRuleDetails:
             "        raise RuntimeError('context')\n"
         )
         assert _check_source(src, rules=("R5",)) == []
+
+    def test_r6_flags_wall_clock_in_pipeline_module(self):
+        src = (
+            "import time\n"
+            "def lookup() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+        hot = _check_source(src, rules=("R6",), name="core/fast.py")
+        assert [v.rule for v in hot] == ["R6"]
+
+    def test_r6_only_applies_inside_telemetry_scope(self):
+        src = (
+            "import time\n"
+            "def lookup() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+        assert _check_source(src, rules=("R6",), name="plots/draw.py") == []
+
+    def test_r6_exempts_the_obs_package(self):
+        src = (
+            "import time\n"
+            "def now() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+        assert _check_source(src, rules=("R6",), name="obs/core.py") == []
+
+    def test_r6_flags_print_instrumentation(self):
+        src = (
+            "def rank(n: int) -> None:\n"
+            "    print('ranked', n)\n"
+        )
+        hot = _check_source(src, rules=("R6",), name="lsh/rank.py")
+        assert [v.rule for v in hot] == ["R6"]
+
+    def test_r6_flags_from_time_import(self):
+        src = "from time import perf_counter\n"
+        hot = _check_source(src, rules=("R6",), name="hierarchy/walk.py")
+        assert [v.rule for v in hot] == ["R6"]
+
+    def test_r6_allows_non_clock_time_functions(self):
+        src = (
+            "import time\n"
+            "def pause() -> None:\n"
+            "    time.sleep(0.01)\n"
+        )
+        assert _check_source(src, rules=("R6",), name="lsh/retry.py") == []
 
     def test_syntax_error_is_reported_not_raised(self, tmp_path):
         bad = tmp_path / "broken.py"

@@ -86,6 +86,81 @@ class TestBuildQueryInfo:
                      "--show", "1"]) == 0
 
 
+@pytest.fixture()
+def index_file(tmp_path, feature_file):
+    path = str(tmp_path / "stats_index.npz")
+    assert main(["build", feature_file, path, "--groups", "4",
+                 "--tables", "3", "--width", "8.0", "--seed", "2"]) == 0
+    return path
+
+
+class TestStats:
+    def test_json_snapshot(self, index_file, query_file, capsys):
+        capsys.readouterr()
+        assert main(["stats", index_file, "--queries", query_file,
+                     "-k", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_queries"] == 30
+        assert payload["escalation"]["n_queries"] == 30
+        derived = payload["derived"]
+        assert derived["queries_total"] == 30
+        assert derived["per_group"]
+        for stats in derived["per_group"].values():
+            assert 0.0 <= stats["escalation_fraction"] <= 1.0
+        assert "repro_shortlist_size" in payload["metrics"]
+        assert "repro_stage_seconds" in payload["metrics"]
+        assert "traces" not in payload
+
+    def test_prometheus_format(self, index_file, query_file, capsys):
+        capsys.readouterr()
+        assert main(["stats", index_file, "--queries", query_file,
+                     "--format", "prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_shortlist_size_bucket" in text
+        assert 'le="+Inf"' in text
+
+    def test_traces_and_out_file(self, tmp_path, index_file, query_file):
+        out = tmp_path / "snap.json"
+        assert main(["stats", index_file, "--queries", query_file,
+                     "--trace-sample", "1.0", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["traces"]) == 30
+        assert payload["traces"][0]["engine"] == "vectorized"
+
+    def test_trace_sampling_is_seed_deterministic(self, tmp_path, index_file,
+                                                  query_file):
+        def indices(run: int):
+            out = tmp_path / f"snap{run}.json"
+            assert main(["stats", index_file, "--queries", query_file,
+                         "--trace-sample", "0.3", "--seed", "9",
+                         "--out", str(out)]) == 0
+            payload = json.loads(out.read_text())
+            return [t["query_index"] for t in payload["traces"]]
+
+        assert indices(0) == indices(1)
+
+
+class TestMetricsOut:
+    def test_query_metrics_out(self, tmp_path, index_file, query_file):
+        metrics = tmp_path / "metrics.json"
+        assert main(["query", index_file, query_file, "-k", "5",
+                     "--output", str(tmp_path / "res.npz"),
+                     "--metrics-out", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert set(snapshot) == {"metrics", "derived"}
+        assert snapshot["derived"]["queries_total"] == 30
+
+    def test_query_without_metrics_out_writes_nothing(self, tmp_path,
+                                                      index_file, query_file):
+        from repro import obs
+
+        assert main(["query", index_file, query_file, "-k", "5",
+                     "--output", str(tmp_path / "res.npz")]) == 0
+        assert not obs.enabled()
+        assert list(tmp_path.glob("*.json")) == []
+
+
 class TestBench:
     def test_unknown_figure_fails(self, capsys):
         assert main(["bench", "--figure", "fig99"]) == 2

@@ -137,3 +137,69 @@ class TestEscalationReport:
         assert report["n_queries"] == 30
         assert 0 <= report["escalated_fraction"] <= 1
         assert report["candidates_min"] <= report["candidates_max"]
+
+    def test_percentiles(self, gaussian_data, gaussian_queries):
+        from repro.lsh.index import StandardLSH
+
+        idx = StandardLSH(bucket_width=2.0, n_tables=3, hierarchy=True,
+                          seed=12).fit(gaussian_data)
+        _, _, stats = idx.query_batch(gaussian_queries, 5)
+        report = escalation_report(stats)
+        n = stats.n_candidates
+        assert report["candidates_p50"] == pytest.approx(np.percentile(n, 50))
+        assert report["candidates_p95"] == pytest.approx(np.percentile(n, 95))
+        assert (report["candidates_min"] <= report["candidates_p50"]
+                <= report["candidates_p95"] <= report["candidates_p99"]
+                <= report["candidates_max"])
+
+    def test_all_escalated_guards_division(self):
+        from repro.lsh.index import QueryStats
+
+        stats = QueryStats(
+            n_candidates=np.array([3, 5, 9], dtype=np.int64),
+            escalated=np.array([True, True, True]))
+        report = escalation_report(stats)
+        assert report["escalated_fraction"] == 1.0
+        assert report["candidates_mean_unescalated"] == 0.0
+        assert report["candidates_mean_escalated"] == pytest.approx(17 / 3)
+
+    def test_empty_batch_is_all_zeros(self):
+        from repro.lsh.index import QueryStats
+
+        stats = QueryStats(n_candidates=np.empty(0, dtype=np.int64),
+                           escalated=np.empty(0, dtype=bool))
+        report = escalation_report(stats)
+        assert report["n_queries"] == 0
+        assert report["escalated_fraction"] == 0.0
+        assert report["candidates_p50"] == 0.0
+
+    def test_registry_source(self, gaussian_data, gaussian_queries):
+        from repro import obs
+        from repro.lsh.index import StandardLSH
+        from repro.obs.registry import MetricsRegistry
+
+        idx = StandardLSH(bucket_width=2.0, n_tables=3, hierarchy=True,
+                          seed=12).fit(gaussian_data)
+        _, _, stats = idx.query_batch(gaussian_queries, 5)
+        registry = MetricsRegistry()
+        obs.enable(registry=registry)
+        try:
+            idx.query_batch(gaussian_queries, 5)
+        finally:
+            obs.disable()
+        report = escalation_report(registry)
+        assert report["n_queries"] == gaussian_queries.shape[0]
+        assert report["n_escalated"] == int(stats.escalated.sum())
+        assert report["candidates_mean"] == pytest.approx(
+            float(stats.n_candidates.mean()))
+        # Histogram-backed percentiles are bucket estimates: order only.
+        assert (report["candidates_p50"] <= report["candidates_p95"]
+                <= report["candidates_p99"])
+
+    def test_empty_registry_is_all_zeros(self):
+        from repro.obs.registry import MetricsRegistry
+
+        report = escalation_report(MetricsRegistry())
+        assert report["n_queries"] == 0
+        assert report["escalated_fraction"] == 0.0
+        assert report["candidates_max"] == 0
