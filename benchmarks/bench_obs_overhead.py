@@ -1,15 +1,25 @@
 #!/usr/bin/env python
-"""Observability overhead guard for the vectorized query engine.
+"""Observability + resilience overhead guard for the vectorized engine.
 
-Times four configurations of the same :class:`StandardLSH` batch query,
+Times five configurations of the same :class:`StandardLSH` batch query,
 interleaved round-robin so machine drift cancels:
 
 - ``plain``   — the engine body called directly with no observer
   (bypasses even the once-per-batch ``obs.active()`` gate read);
-- ``off``     — the public path with observability disabled (what every
-  production query pays: one module-global read per batch);
+- ``off``     — the public path with observability disabled AND no
+  resilience policy installed (what every production query pays: one
+  module-global read per batch for each gate — obs, faults, policy);
 - ``metrics`` — observability enabled, metrics only (0% trace sampling);
-- ``sampled`` — observability enabled with 1% per-query trace sampling.
+- ``sampled`` — observability enabled with 1% per-query trace sampling;
+- ``supervised`` — obs off but a :class:`ResiliencePolicy` threaded
+  through the batch (per-table dispatch runs under ``policy.run``).
+
+Because ``query_batch`` consults the fault-injection and policy gates
+unconditionally, the ``off`` vs ``plain`` guard doubles as the
+resilience-disabled overhead proof: both gates are read and found empty
+on every timed ``off`` batch.  ``supervised`` is reported (and bounded
+loosely by ``--max-supervised-pct``) to keep the cost of the supervision
+wrappers visible.
 
 The guard compares *minimum* batch times (the low-noise statistic):
 ``off`` must be within ``--max-disabled-pct`` (default 2%) of ``plain``,
@@ -40,6 +50,7 @@ from repro import obs
 from repro.experiments.workloads import Scale, make_workload
 from repro.lsh.index import StandardLSH
 from repro.obs.registry import MetricsRegistry
+from repro.resilience import ResiliencePolicy
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TRACE_RATE = 0.01
@@ -57,6 +68,10 @@ def main(argv=None):
     parser.add_argument("--max-sampled-pct", type=float, default=10.0,
                         help="allowed %% overhead at 1%% trace sampling "
                              "(sampled vs plain)")
+    parser.add_argument("--max-supervised-pct", type=float, default=25.0,
+                        help="allowed %% overhead with a ResiliencePolicy "
+                             "threaded through the batch (supervised vs "
+                             "plain)")
     parser.add_argument("--retries", type=int, default=2,
                         help="re-measure attempts when an attempt exceeds "
                              "a limit (noise robustness)")
@@ -109,11 +124,20 @@ def main(argv=None):
         finally:
             obs.disable()
 
+    policy = ResiliencePolicy(max_retries=1)
+
+    def run_supervised():
+        obs.disable()
+        policy.clear_failures()
+        return index.query_batch(queries, k, engine="vectorized",
+                                 policy=policy)
+
     configs = {
         "plain": run_plain,
         "off": run_off,
         "metrics": run_metrics,
         "sampled": run_sampled,
+        "supervised": run_supervised,
     }
     attempts = 0
     while True:
@@ -122,8 +146,10 @@ def main(argv=None):
         base = timings["plain"].best
         disabled_pct = (timings["off"].best / base - 1.0) * 100.0
         sampled_pct = (timings["sampled"].best / base - 1.0) * 100.0
+        supervised_pct = (timings["supervised"].best / base - 1.0) * 100.0
         if (disabled_pct <= args.max_disabled_pct
-                and sampled_pct <= args.max_sampled_pct):
+                and sampled_pct <= args.max_sampled_pct
+                and supervised_pct <= args.max_supervised_pct):
             break
         if attempts > args.retries:
             break
@@ -153,8 +179,10 @@ def main(argv=None):
         "results": rows,
         "disabled_overhead_pct": disabled_pct,
         "sampled_overhead_pct": sampled_pct,
+        "supervised_overhead_pct": supervised_pct,
         "max_disabled_pct": args.max_disabled_pct,
         "max_sampled_pct": args.max_sampled_pct,
+        "max_supervised_pct": args.max_supervised_pct,
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -181,12 +209,18 @@ def main(argv=None):
         failures.append(
             f"1% trace-sampling overhead {sampled_pct:.2f}% exceeds "
             f"{args.max_sampled_pct:.2f}% (sampled vs plain)")
+    if supervised_pct > args.max_supervised_pct:
+        failures.append(
+            f"supervised-dispatch overhead {supervised_pct:.2f}% exceeds "
+            f"{args.max_supervised_pct:.2f}% (supervised vs plain)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
         print(f"overhead guard OK: disabled {disabled_pct:+.2f}% "
               f"(limit {args.max_disabled_pct}%), sampled "
-              f"{sampled_pct:+.2f}% (limit {args.max_sampled_pct}%)")
+              f"{sampled_pct:+.2f}% (limit {args.max_sampled_pct}%), "
+              f"supervised {supervised_pct:+.2f}% "
+              f"(limit {args.max_supervised_pct}%)")
     return 1 if failures else 0
 
 

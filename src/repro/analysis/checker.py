@@ -22,11 +22,12 @@ from repro.analysis.rules import (
     check_locked_mutation,
     check_no_silent_failure,
     check_obs_centralized,
+    check_recorded_failures,
     check_rng_centralized,
     check_typed_api,
 )
 
-ALL_RULES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5", "R6")
+ALL_RULES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
 
 #: Human-readable rule index, kept in sync with ``repro.analysis.rules``.
 RULE_SUMMARIES: Dict[str, str] = {
@@ -38,6 +39,9 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R5": "no-silent-failure: no bare/silent except, no mutable defaults",
     "R6": "obs-centralized: pipeline modules emit telemetry only through "
           "repro.obs (no raw time.perf_counter()/print instrumentation)",
+    "R7": "recorded-failures: pipeline except handlers re-raise or record "
+          "the failure (policy.note_failure / obs record_*) — no silently "
+          "swallowed errors outside the supervision boundary",
 }
 
 
@@ -71,8 +75,15 @@ class AnalysisConfig:
         "lsh", "lattice", "core", "hierarchy", "gpu", "rptree", "cluster",
     )
     #: Path parts identifying the observability package itself, which is
-    #: the one place allowed to read the wall clock (R6 exemption).
-    obs_module_parts: Tuple[str, ...] = ("obs",)
+    #: the one place allowed to read the wall clock (R6 exemption).  The
+    #: resilience package shares the exemption: deadlines and backoff are
+    #: clock reads by design, behind the same module-gate pattern.
+    obs_module_parts: Tuple[str, ...] = ("obs", "resilience")
+    #: Path parts exempt from R7: the supervision boundary itself (where
+    #: ``except Exception`` is the mechanism), the obs layer, and the
+    #: analysis package (handlers there report through Violations).
+    resilience_exempt_parts: Tuple[str, ...] = ("obs", "resilience",
+                                                "analysis")
     #: Directory names never descended into during file discovery.
     skip_dirs: Tuple[str, ...] = (
         "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
@@ -115,6 +126,11 @@ def analyze_modules(
     if "R6" in config.rules:
         violations += check_obs_centralized(
             modules, config.telemetry_scope_parts, config.obs_module_parts
+        )
+    if "R7" in config.rules:
+        violations += check_recorded_failures(
+            modules, config.telemetry_scope_parts,
+            config.resilience_exempt_parts
         )
     by_path = {module.posix_path: module for module in modules}
     kept = [

@@ -1,4 +1,4 @@
-"""The repo-specific invariant rules R1–R5.
+"""The repo-specific invariant rules R1–R7.
 
 Each rule is a pure function from parsed modules (plus shared context:
 type-alias table, call graph) to a list of :class:`Violation`.  Rules are
@@ -471,4 +471,66 @@ def check_obs_centralized(
                             "telemetry through repro.obs (StageTimer/Span) "
                             "so it aggregates and gates off cleanly",
                         ))
+    return violations
+
+
+# --------------------------------------------------------------------- R7
+
+#: Method names that record a handled failure into the resilience policy
+#: or the observability layer — catching an exception is legal only if the
+#: handler re-raises or makes one of these calls.
+FAILURE_RECORDING_CALLS = frozenset({
+    "note_failure", "record_failure", "record_fault", "record_retry",
+    "record_fallback", "record_degraded", "record_deadline_exhausted",
+})
+
+
+def _handler_records_or_raises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body re-raises or records the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = dotted_attribute(node.func)
+            if dotted is not None:
+                if dotted.rpartition(".")[2] in FAILURE_RECORDING_CALLS:
+                    return True
+    return False
+
+
+def check_recorded_failures(
+    modules: Sequence[ModuleInfo],
+    telemetry_scope_parts: Tuple[str, ...],
+    resilience_exempt_parts: Tuple[str, ...],
+) -> List[Violation]:
+    """R7: pipeline ``except`` handlers re-raise or record every failure.
+
+    R5 already bans bare/empty handlers; R7 closes the remaining hole —
+    a typed handler that *does* something (returns a default, logs to a
+    local) but lets the error vanish from the batch's failure accounting.
+    Inside the pipeline packages every handler must either contain a
+    ``raise`` or call a failure-recording API
+    (:meth:`ResiliencePolicy.note_failure`, ``Observer.record_*``).  The
+    supervision boundary itself — :mod:`repro.resilience`, where
+    ``except Exception`` is the whole point — plus :mod:`repro.obs` and
+    the analysis package are exempt.
+    """
+    violations: List[Violation] = []
+    scope = set(telemetry_scope_parts)
+    exempt = set(resilience_exempt_parts)
+    for module in modules:
+        parts = set(module.path_parts())
+        if parts & exempt or not parts & scope:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _handler_records_or_raises(node):
+                continue
+            violations.append(Violation(
+                "R7", module.posix_path, node.lineno,
+                "except handler swallows the failure: re-raise, or record "
+                "it via ResiliencePolicy.note_failure / an obs record_* "
+                "call so the batch's failure accounting stays honest",
+            ))
     return violations

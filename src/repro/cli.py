@@ -5,6 +5,7 @@ Usage (installed as ``repro-knn``, or ``python -m repro.cli``)::
     repro-knn build  features.npy index.npz --groups 16 --tables 10 --tune
     repro-knn query  index.npz queries.npy -k 10 --output results.npz
     repro-knn info   index.npz
+    repro-knn verify-index index.npz
     repro-knn stats  index.npz --queries queries.npy -k 10 --format prom
     repro-knn bench  --figure fig05 --scale smoke
     repro-knn synth  out.npy --preset labelme --n 10000
@@ -92,16 +93,24 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.persistence import load_index
+    from repro.resilience import ResiliencePolicy
 
     index = load_index(args.index)
     queries = np.asarray(
         _load_features(args.queries, args.dim, args.dtype, False),
         dtype=np.float64)
+    policy = ResiliencePolicy() if args.resilient else None
     with _observed(args.metrics_out):
-        ids, dists, stats = index.query_batch(queries, args.k)
+        ids, dists, stats = index.query_batch(
+            queries, args.k, deadline_ms=args.deadline_ms, policy=policy)
     if args.output:
+        extra = {}
+        if stats.degraded is not None:
+            extra["degraded"] = stats.degraded
+        if stats.exhausted_budget is not None:
+            extra["exhausted_budget"] = stats.exhausted_budget
         np.savez(args.output, ids=ids, distances=dists,
-                 n_candidates=stats.n_candidates)
+                 n_candidates=stats.n_candidates, **extra)
         print(f"wrote {queries.shape[0]} results to {args.output}")
     else:
         for qi in range(min(queries.shape[0], args.show)):
@@ -111,6 +120,31 @@ def cmd_query(args: argparse.Namespace) -> int:
     sel = stats.n_candidates.mean() / max(index.n_points, 1)
     print(f"mean short-list: {stats.n_candidates.mean():.1f} "
           f"(selectivity {sel:.4f})")
+    n_degraded = int(stats.degraded_mask().sum())
+    n_exhausted = int(stats.exhausted_mask().sum())
+    if n_degraded or n_exhausted:
+        print(f"resilience: {n_degraded} degraded, "
+              f"{n_exhausted} budget-exhausted "
+              f"({len(stats.failures or ())} recorded failures)")
+    return 0
+
+
+def cmd_verify_index(args: argparse.Namespace) -> int:
+    from repro.persistence import verify_index
+    from repro.resilience import CorruptIndexError
+
+    try:
+        report = verify_index(args.index)
+    except CorruptIndexError as error:
+        print(f"CORRUPT: {error}", file=sys.stderr)
+        return 3
+    except (ValueError, OSError) as error:
+        print(f"error: cannot verify {args.index}: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["checksummed"]:
+        print("note: version-1 archive carries no checksums; re-save to "
+              "enable verification", file=sys.stderr)
     return 0
 
 
@@ -257,11 +291,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None,
                    help="run with observability on; write a JSON metrics "
                         "snapshot here")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="wall-clock budget for the batch; past it, queries "
+                        "return best-effort results flagged "
+                        "exhausted_budget")
+    p.add_argument("--resilient", action="store_true",
+                   help="run under a default ResiliencePolicy: worker "
+                        "failures retry, then fall back, and are reported "
+                        "instead of crashing the batch")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("info", help="inspect a saved index")
     p.add_argument("index")
     p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("verify-index",
+                       help="verify a saved index's per-array checksums "
+                            "(exit 3 if corrupt)")
+    p.add_argument("index")
+    p.set_defaults(func=cmd_verify_index)
 
     p = sub.add_parser("stats", parents=[common_feat],
                        help="run queries with observability on and report "

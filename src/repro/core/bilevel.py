@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,9 +33,15 @@ from repro.cluster.kmeans import KMeansPartitioner
 from repro.core.config import BiLevelConfig
 from repro.lsh.index import QueryStats, StandardLSH
 from repro.lsh.params import CollisionModel, tune_bucket_width
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import InjectedFault, QueryValidationError
+from repro.resilience.faults import faults_active
+from repro.resilience.policy import (FailureRecord, ResiliencePolicy,
+                                     active_policy)
 from repro.rptree.tree import RPTree
 from repro.utils.rng import spawn_rngs
-from repro.utils.validation import as_float_matrix, check_k
+from repro.utils.validation import (as_float_matrix, as_query_matrix,
+                                    check_k)
 
 
 class BiLevelLSH:
@@ -211,9 +217,60 @@ class BiLevelLSH:
             n_jobs = os.cpu_count() or 1
         return max(1, min(n_jobs, n_work))
 
+    def _validate_query_batch(self, queries: np.ndarray, k: int,
+                              allow_nonfinite: bool,
+                              ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        """Typed top-of-query validation (mirrors StandardLSH's)."""
+        try:
+            queries, finite_row = as_query_matrix(
+                queries, dim=self._data.shape[1], name="queries",
+                allow_nonfinite=allow_nonfinite)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="queries") from error
+        try:
+            k = check_k(k)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="k") from error
+        return queries, finite_row, k
+
+    def _group_live_points(self, g: int) -> int:
+        """Non-tombstoned point count in group ``g`` (fallback stats)."""
+        index = self.group_indexes[g]
+        deleted = index._deleted
+        n = index.n_points
+        return n - int(deleted.sum()) if deleted is not None else n
+
+    def _fallback_results(self, g: int, rows: np.ndarray, k: int, kind: str,
+                          queries: np.ndarray,
+                          ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Build a fallback answer for group ``g``'s sub-batch.
+
+        ``kind='bruteforce'`` scans the group's live points exactly (the
+        answers are *correct*, but flagged degraded because the primary
+        path failed); ``kind='empty'`` is the last resort — padded results
+        so the batch still returns with the failure visible in the flags.
+        """
+        nr = rows.shape[0]
+        degraded = np.ones(nr, dtype=bool)
+        escalated = np.zeros(nr, dtype=bool)
+        if kind == "bruteforce":
+            ids_g, dists_g = self.group_indexes[g].brute_force_batch(
+                queries[rows], k)
+            n_candidates = np.full(nr, self._group_live_points(g),
+                                   dtype=np.int64)
+        else:
+            ids_g = np.full((nr, k), -1, dtype=np.int64)
+            dists_g = np.full((nr, k), np.inf, dtype=np.float64)
+            n_candidates = np.zeros(nr, dtype=np.int64)
+        return ids_g, dists_g, QueryStats(n_candidates, escalated,
+                                          degraded=degraded)
+
     def query_batch(self, queries: np.ndarray, k: int,
                     hierarchy_threshold: Union[str, int] = "median",
                     engine: str = "vectorized",
+                    deadline_ms: Optional[float] = None,
+                    deadline: Optional[Deadline] = None,
+                    policy: Optional[ResiliencePolicy] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch; see :meth:`StandardLSH.query_batch`.
 
@@ -225,17 +282,42 @@ class BiLevelLSH:
         the independent group sub-batches run on a thread pool (numpy
         releases the GIL inside the hashing/ranking kernels); results are
         merged in deterministic group order either way.
+
+        With a :class:`~repro.resilience.policy.ResiliencePolicy` (passed
+        explicitly or installed via :func:`repro.resilience.set_policy`),
+        each group sub-batch is a supervised unit: a group worker that
+        fails (or times out) is retried, then answered by an exact
+        brute-force scan over the group's points, then by a flagged empty
+        result — the batch always returns, with ``stats.degraded`` marking
+        every query that took a fallback and ``stats.failures`` carrying
+        the reasons.  ``deadline_ms`` bounds the batch by wall-clock:
+        groups not yet dispatched when the budget expires return empty
+        best-effort results flagged ``exhausted_budget``, and the budget
+        is also threaded into each group's escalation loop.
         """
         self._check_fitted()
-        queries = as_float_matrix(queries, name="queries")
-        k = check_k(k)
+        pol = policy if policy is not None else active_policy()
+        queries, finite_row, k = self._validate_query_batch(
+            queries, k, allow_nonfinite=pol is not None)
+        if deadline is None:
+            deadline = Deadline.from_ms(deadline_ms)
+        if finite_row is not None:
+            return self._query_batch_nonfinite(
+                queries, k, hierarchy_threshold, engine, finite_row,
+                deadline, pol)
         ob = obs.active()
+        plan = faults_active()
         timer = obs.StageTimer(ob)
         nq = queries.shape[0]
         ids_out = np.full((nq, k), -1, dtype=np.int64)
         dists_out = np.full((nq, k), np.inf, dtype=np.float64)
         n_candidates = np.zeros(nq, dtype=np.int64)
         escalated = np.zeros(nq, dtype=bool)
+        degraded: Optional[np.ndarray] = \
+            np.zeros(nq, dtype=bool) if pol is not None else None
+        exhausted: Optional[np.ndarray] = \
+            np.zeros(nq, dtype=bool) if deadline is not None else None
+        failures: List[FailureRecord] = []
         spill = min(self.config.multi_assign, len(self.group_indexes))
         if spill <= 1:
             groups = self.partitioner.assign(queries)
@@ -254,18 +336,18 @@ class BiLevelLSH:
 
         def run_group(g: int, rows: np.ndarray,
                       ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+            if plan is not None and plan.check("bilevel.dispatch", group=g):
+                raise InjectedFault("bilevel.dispatch",
+                                    f"group={g} corruption")
             return self.group_indexes[g].query_batch(
                 queries[rows], k, hierarchy_threshold=hierarchy_threshold,
-                engine=engine)
+                engine=engine, deadline=deadline, policy=pol)
 
-        jobs = self._resolve_jobs(len(active))
-        if jobs > 1:
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                results = list(pool.map(lambda item: run_group(*item), active))
-        else:
-            results = [run_group(g, rows) for g, rows in active]
+        results = self._dispatch_groups(active, run_group, queries, k,
+                                        pol, deadline, exhausted, failures)
         timer.lap("bilevel.dispatch")
-        for (g, rows), (ids_g, dists_g, stats_g) in zip(active, results):
+        for (g, rows), outcome in zip(active, results):
+            ids_g, dists_g, stats_g = outcome
             if spill <= 1:
                 ids_out[rows] = ids_g
                 dists_out[rows] = dists_g
@@ -276,13 +358,142 @@ class BiLevelLSH:
                                        ids_g, dists_g, k)
                 n_candidates[rows] += stats_g.n_candidates
                 escalated[rows] |= stats_g.escalated
+            if degraded is not None and stats_g.degraded is not None:
+                degraded[rows] |= stats_g.degraded
+            if exhausted is not None and stats_g.exhausted_budget is not None:
+                exhausted[rows] |= stats_g.exhausted_budget
+            if stats_g.failures:
+                failures.extend(stats_g.failures)
         timer.lap("bilevel.merge")
         if ob is not None:
             ob.record_index_size(self.n_points)
             for (g, rows), (_ids_g, _dists_g, stats_g) in zip(active, results):
                 ob.record_group(g, int(rows.size),
                                 int(np.count_nonzero(stats_g.escalated)))
-        return ids_out, dists_out, QueryStats(n_candidates, escalated)
+            if degraded is not None:
+                ob.record_degraded("dispatch", int(np.count_nonzero(degraded)))
+            if exhausted is not None:
+                ob.record_deadline_exhausted(
+                    "bilevel.dispatch", int(np.count_nonzero(exhausted)))
+        return ids_out, dists_out, QueryStats(
+            n_candidates, escalated, degraded=degraded,
+            exhausted_budget=exhausted,
+            failures=tuple(failures) if failures else None)
+
+    def _dispatch_groups(self, active: List[Tuple[int, np.ndarray]],
+                         run_group: "Callable[[int, np.ndarray], Tuple[np.ndarray, np.ndarray, QueryStats]]",
+                         queries: np.ndarray, k: int,
+                         pol: Optional[ResiliencePolicy],
+                         deadline: Optional[Deadline],
+                         exhausted: Optional[np.ndarray],
+                         failures: List[FailureRecord],
+                         ) -> List[Tuple[np.ndarray, np.ndarray, QueryStats]]:
+        """Run every group sub-batch, supervised when a policy is active.
+
+        Serial path: groups run in order, with the deadline checked before
+        each one — a group whose turn never comes returns an empty
+        best-effort result flagged ``exhausted_budget``.  Parallel path:
+        all groups are submitted at once (the deadline applies inside each
+        group) and each future is awaited under the policy's timeout, so a
+        hung worker is abandoned and answered by the fallback chain
+        instead of hanging the batch.
+        """
+        jobs = self._resolve_jobs(len(active))
+
+        def fallbacks_for(g: int, rows: np.ndarray,
+                          ) -> List[Tuple[str, "Callable[[], Tuple[np.ndarray, np.ndarray, QueryStats]]"]]:
+            return [
+                ("bruteforce", lambda: self._fallback_results(
+                    g, rows, k, "bruteforce", queries)),
+                ("empty", lambda: self._fallback_results(
+                    g, rows, k, "empty", queries)),
+            ]
+
+        results: List[Tuple[np.ndarray, np.ndarray, QueryStats]] = []
+        if jobs > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = [pool.submit(run_group, g, rows)
+                           for g, rows in active]
+                for (g, rows), future in zip(active, futures):
+                    if pol is None:
+                        results.append(future.result())
+                        continue
+                    outcome, action, records = pol.await_future(
+                        "bilevel.dispatch", f"group={g}", future,
+                        fallbacks=fallbacks_for(g, rows))
+                    failures.extend(records)
+                    if outcome is None:
+                        outcome = self._fallback_results(
+                            g, rows, k, "empty", queries)
+                    results.append(outcome)
+            return results
+        for g, rows in active:
+            if deadline is not None and deadline.expired():
+                empty = self._fallback_results(g, rows, k, "empty", queries)
+                # Budget ran out before this group's turn: best-effort
+                # empty answer, flagged exhausted rather than degraded.
+                results.append((empty[0], empty[1],
+                                QueryStats(empty[2].n_candidates,
+                                           empty[2].escalated)))
+                if exhausted is not None:
+                    exhausted[rows] = True
+                continue
+            if pol is None:
+                results.append(run_group(g, rows))
+                continue
+            outcome, action, records = pol.run(
+                "bilevel.dispatch", f"group={g}",
+                lambda g=g, rows=rows: run_group(g, rows),
+                fallbacks=fallbacks_for(g, rows))
+            failures.extend(records)
+            if outcome is None:
+                outcome = self._fallback_results(g, rows, k, "empty", queries)
+            results.append(outcome)
+        return results
+
+    def _query_batch_nonfinite(self, queries: np.ndarray, k: int,
+                               hierarchy_threshold: Union[str, int],
+                               engine: str, finite_row: np.ndarray,
+                               deadline: Optional[Deadline],
+                               pol: ResiliencePolicy,
+                               ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Answer the finite rows, flag the NaN/Inf rows degraded."""
+        nq = queries.shape[0]
+        good = np.nonzero(finite_row)[0]
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        n_candidates = np.zeros(nq, dtype=np.int64)
+        escalated = np.zeros(nq, dtype=bool)
+        degraded = ~finite_row
+        exhausted = (np.zeros(nq, dtype=bool) if deadline is not None
+                     else None)
+        failures: List[FailureRecord] = []
+        if good.size:
+            sub_ids, sub_dists, sub_stats = self.query_batch(
+                queries[good], k, hierarchy_threshold=hierarchy_threshold,
+                engine=engine, deadline=deadline, policy=pol)
+            ids_out[good] = sub_ids
+            dists_out[good] = sub_dists
+            n_candidates[good] = sub_stats.n_candidates
+            escalated[good] = sub_stats.escalated
+            if sub_stats.degraded is not None:
+                degraded[good] |= sub_stats.degraded
+            if exhausted is not None and sub_stats.exhausted_budget is not None:
+                exhausted[good] = sub_stats.exhausted_budget
+            if sub_stats.failures:
+                failures.extend(sub_stats.failures)
+        n_bad = int(nq - good.size)
+        failures.append(pol.note_failure(
+            "bilevel.validate", f"rows={n_bad}",
+            QueryValidationError("query rows contain NaN or infinite "
+                                 "values", field="queries"),
+            "degraded"))
+        ob = obs.active()
+        if ob is not None:
+            ob.record_degraded("nonfinite_query", n_bad)
+        return ids_out, dists_out, QueryStats(
+            n_candidates, escalated, degraded=degraded,
+            exhausted_budget=exhausted, failures=tuple(failures))
 
     @staticmethod
     def _merge_topk_batch(ids_out: np.ndarray, dists_out: np.ndarray,

@@ -31,8 +31,14 @@ from repro.lattice.zm import ZMLattice
 from repro.lsh.functions import PStableHashFamily
 from repro.lsh.multiprobe import adaptive_probes, adaptive_probes_batch
 from repro.lsh.table import LSHTable
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import InjectedFault, QueryValidationError
+from repro.resilience.faults import FaultPlan, faults_active
+from repro.resilience.policy import (FailureRecord, ResiliencePolicy,
+                                     active_policy)
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
-from repro.utils.validation import as_float_matrix, check_k, check_positive
+from repro.utils.validation import (as_float_matrix, as_query_matrix, check_k,
+                                    check_positive)
 
 
 def make_lattice(kind: str, dim: int) -> Lattice:
@@ -61,15 +67,41 @@ class QueryStats:
         numerator of the paper's selectivity metric (Eq. (5)).
     escalated:
         Whether the hierarchical table escalated this query.
+    degraded:
+        Boolean mask of queries answered by a resilience fallback (or
+        flagged empty after one), plus non-finite input rows; ``None``
+        on the fast path when no resilience feature was engaged.
+    exhausted_budget:
+        Boolean mask of queries whose ``deadline_ms`` budget expired
+        mid-pipeline (best-effort answer returned); ``None`` when no
+        deadline was requested.
+    failures:
+        The :class:`~repro.resilience.policy.FailureRecord` entries this
+        batch generated (``None`` when nothing failed).
     """
 
     n_candidates: np.ndarray
     escalated: np.ndarray
+    degraded: Optional[np.ndarray] = None
+    exhausted_budget: Optional[np.ndarray] = None
+    failures: Optional[Tuple[FailureRecord, ...]] = None
 
     def selectivity(self, dataset_size: int) -> np.ndarray:
         """Selectivity ``tau(v) = |A(v)| / |S|`` per query."""
         check_positive(dataset_size, "dataset_size")
         return self.n_candidates / float(dataset_size)
+
+    def degraded_mask(self) -> np.ndarray:
+        """``degraded`` as a concrete mask (all-False when ``None``)."""
+        if self.degraded is None:
+            return np.zeros(self.n_candidates.shape[0], dtype=bool)
+        return self.degraded
+
+    def exhausted_mask(self) -> np.ndarray:
+        """``exhausted_budget`` as a concrete mask (all-False when ``None``)."""
+        if self.exhausted_budget is None:
+            return np.zeros(self.n_candidates.shape[0], dtype=bool)
+        return self.exhausted_budget
 
 
 class StandardLSH:
@@ -374,10 +406,39 @@ class StandardLSH:
         counts = np.bincount(qidx, minlength=nq).astype(np.int64)
         return local_ids, qidx, counts
 
+    def _gather_table(self, projections: List[np.ndarray],
+                      codes: List[np.ndarray], t: int, nq: int,
+                      ob: "Optional[obs.Observer]",
+                      probes_acc: Optional[np.ndarray],
+                      plan: Optional[FaultPlan],
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """One table's flattened candidate contribution (the supervised unit).
+
+        This is the body the resilience policy retries/drops per table; the
+        ``lsh.gather`` fault site sits at its top.  A corruption-kind hit
+        is escalated to :class:`InjectedFault` here because a gather has no
+        integrity check that could catch silently corrupted candidates
+        (unlike ``persistence.load``, whose checksums do).
+        """
+        if plan is not None and plan.check("lsh.gather", table=t):
+            raise InjectedFault("lsh.gather", f"table={t} corruption")
+        codes_all, row_q = self._probe_rows(projections, codes, t)
+        ids_flat, counts = self._tables[t].gather_batch(codes_all)
+        if ob is not None and probes_acc is not None:
+            ob.record_table_lookup(
+                t, n_lookups=int(codes_all.shape[0]),
+                n_misses=int(np.count_nonzero(counts == 0)),
+                n_probes=int(codes_all.shape[0]) - nq)
+            probes_acc += np.bincount(row_q, minlength=nq)[:nq] - 1
+        return ids_flat, np.repeat(row_q, counts)
+
     def _gather_candidates_batch(self, projections: List[np.ndarray],
                                  codes: List[np.ndarray], nq: int,
                                  ob: "Optional[obs.Observer]" = None,
                                  probe_out: Optional[Dict[str, np.ndarray]] = None,
+                                 plan: Optional[FaultPlan] = None,
+                                 pol: Optional[ResiliencePolicy] = None,
+                                 res_out: Optional[Dict[str, List[object]]] = None,
                                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Candidate gathering for the whole batch, array-at-a-time.
 
@@ -389,22 +450,35 @@ class StandardLSH:
         When an :class:`repro.obs.Observer` is passed, per-table bucket
         lookup/miss/probe counters are recorded and the per-query probe
         totals are returned through ``probe_out['probes_per_query']``.
+
+        When a :class:`ResiliencePolicy` is passed, each table runs as a
+        supervised unit: a table that still fails after retries is dropped
+        (its ids/tables recorded in ``res_out``) and gathering continues
+        with the remaining tables — the caller flags the sub-batch
+        degraded.  Without a policy, failures propagate.
         """
         id_parts: List[np.ndarray] = []
         q_parts: List[np.ndarray] = []
         probes_acc = (np.zeros(nq, dtype=np.int64)
                       if ob is not None else None)
         for t in range(self.n_tables):
-            codes_all, row_q = self._probe_rows(projections, codes, t)
-            ids_flat, counts = self._tables[t].gather_batch(codes_all)
-            if ob is not None and probes_acc is not None:
-                ob.record_table_lookup(
-                    t, n_lookups=int(codes_all.shape[0]),
-                    n_misses=int(np.count_nonzero(counts == 0)),
-                    n_probes=int(codes_all.shape[0]) - nq)
-                probes_acc += np.bincount(row_q, minlength=nq)[:nq] - 1
+            if pol is None:
+                ids_flat, q_flat = self._gather_table(
+                    projections, codes, t, nq, ob, probes_acc, plan)
+            else:
+                result, action, records = pol.run(
+                    "lsh.gather", f"table={t}",
+                    lambda t=t: self._gather_table(
+                        projections, codes, t, nq, ob, probes_acc, plan))
+                if res_out is not None and records:
+                    res_out["failures"].extend(records)
+                if action == "gave_up" or result is None:
+                    if res_out is not None:
+                        res_out["dropped_tables"].append(t)
+                    continue
+                ids_flat, q_flat = result
             id_parts.append(ids_flat)
-            q_parts.append(np.repeat(row_q, counts))
+            q_parts.append(q_flat)
         local_ids = (np.concatenate(id_parts) if id_parts
                      else np.empty(0, dtype=np.int64))
         qidx = (np.concatenate(q_parts) if q_parts
@@ -456,9 +530,34 @@ class StandardLSH:
         ids, dists, _ = self.query_batch(np.atleast_2d(query), k)
         return ids[0], dists[0]
 
+    def _validate_query_batch(self, queries: np.ndarray, k: int,
+                              allow_nonfinite: bool,
+                              ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        """Typed top-of-query validation shared by every engine.
+
+        Returns ``(queries, finite_row_mask_or_None, k)``; shape, dim and
+        ``k`` problems raise :class:`QueryValidationError` (a
+        ``ValueError`` subclass, so pre-existing callers keep working)
+        instead of a downstream broadcasting or index error.
+        """
+        try:
+            queries, finite_row = as_query_matrix(
+                queries, dim=self._data.shape[1], name="queries",
+                allow_nonfinite=allow_nonfinite)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="queries") from error
+        try:
+            k = check_k(k)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="k") from error
+        return queries, finite_row, k
+
     def query_batch(self, queries: np.ndarray, k: int,
                     hierarchy_threshold: Union[str, int] = "median",
                     engine: str = "vectorized",
+                    deadline_ms: Optional[float] = None,
+                    deadline: Optional[Deadline] = None,
+                    policy: Optional[ResiliencePolicy] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch of queries.
 
@@ -482,27 +581,99 @@ class StandardLSH:
             (the vectorized engine breaks exact distance ties by ascending
             id, and its fused kernel may differ from the scalar one in the
             last float ulp).
+        deadline_ms / deadline:
+            Optional wall-clock budget (vectorized engine only).  The
+            budget is checked between escalation rounds; queries whose
+            escalation the budget cut short return their best-effort base
+            results with ``stats.exhausted_budget`` set.
+        policy:
+            Optional :class:`~repro.resilience.policy.ResiliencePolicy`
+            supervising the per-table gather loop: a failing table is
+            retried, then dropped, with every affected query flagged in
+            ``stats.degraded`` instead of crashing the batch.  When a
+            policy is active, query rows containing NaN/Inf also get
+            flagged-degraded empty results instead of raising.  Falls
+            back to the process-wide policy installed with
+            :func:`repro.resilience.set_policy`.
 
         Returns
         -------
         ids, distances, stats:
             ``ids``/``distances`` of shape ``(q, k)``; :class:`QueryStats`
-            with per-query candidate counts (for selectivity) and
-            escalation flags.
+            with per-query candidate counts (for selectivity), escalation
+            flags, and — when resilience features engaged — degraded /
+            budget-exhausted masks.
         """
         self._check_fitted()
-        queries = as_float_matrix(queries, name="queries")
-        if queries.shape[1] != self._data.shape[1]:
-            raise ValueError(
-                f"queries have dim {queries.shape[1]}, index has dim "
-                f"{self._data.shape[1]}")
-        k = check_k(k)
+        pol = policy if policy is not None else active_policy()
+        queries, finite_row, k = self._validate_query_batch(
+            queries, k, allow_nonfinite=pol is not None)
+        if deadline is None:
+            deadline = Deadline.from_ms(deadline_ms)
         if engine == "vectorized":
-            return self._query_batch_vectorized(queries, k, hierarchy_threshold)
+            if finite_row is not None:
+                return self._query_batch_nonfinite(
+                    queries, k, hierarchy_threshold, finite_row,
+                    deadline, pol)
+            return self._query_batch_vectorized(queries, k,
+                                                hierarchy_threshold,
+                                                deadline, pol)
         if engine == "scalar":
+            if deadline is not None or pol is not None:
+                raise QueryValidationError(
+                    "deadline/policy supervision requires the "
+                    "'vectorized' engine", field="engine")
             return self._query_batch_scalar(queries, k, hierarchy_threshold)
         raise ValueError(
             f"engine must be 'vectorized' or 'scalar', got {engine!r}")
+
+    def _query_batch_nonfinite(self, queries: np.ndarray, k: int,
+                               hierarchy_threshold: Union[str, int],
+                               finite_row: np.ndarray,
+                               deadline: Optional[Deadline],
+                               pol: ResiliencePolicy,
+                               ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Answer the finite rows, flag the NaN/Inf rows degraded.
+
+        The bad rows never enter the batch top-k merge (one NaN distance
+        would otherwise poison every comparison it participates in); they
+        get padded results and ``degraded=True`` with a recorded failure.
+        """
+        nq = queries.shape[0]
+        good = np.nonzero(finite_row)[0]
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        n_candidates = np.zeros(nq, dtype=np.int64)
+        escalated = np.zeros(nq, dtype=bool)
+        degraded = ~finite_row
+        exhausted = (np.zeros(nq, dtype=bool) if deadline is not None
+                     else None)
+        failures: List[FailureRecord] = []
+        if good.size:
+            sub_ids, sub_dists, sub_stats = self._query_batch_vectorized(
+                queries[good], k, hierarchy_threshold, deadline, pol)
+            ids_out[good] = sub_ids
+            dists_out[good] = sub_dists
+            n_candidates[good] = sub_stats.n_candidates
+            escalated[good] = sub_stats.escalated
+            if sub_stats.degraded is not None:
+                degraded[good] |= sub_stats.degraded
+            if exhausted is not None and sub_stats.exhausted_budget is not None:
+                exhausted[good] = sub_stats.exhausted_budget
+            if sub_stats.failures:
+                failures.extend(sub_stats.failures)
+        n_bad = int(nq - good.size)
+        failures.append(pol.note_failure(
+            "lsh.validate", f"rows={n_bad}",
+            QueryValidationError("query rows contain NaN or infinite "
+                                 "values", field="queries"),
+            "degraded"))
+        ob = obs.active()
+        if ob is not None:
+            ob.record_degraded("nonfinite_query", n_bad)
+        return ids_out, dists_out, QueryStats(
+            n_candidates, escalated, degraded=degraded,
+            exhausted_budget=exhausted, failures=tuple(failures))
 
     def _resolve_threshold(self, counts: np.ndarray, k: int,
                            hierarchy_threshold: Union[str, int]) -> int:
@@ -516,28 +687,42 @@ class StandardLSH:
 
     def _query_batch_vectorized(self, queries: np.ndarray, k: int,
                                 hierarchy_threshold: Union[str, int],
+                                deadline: Optional[Deadline] = None,
+                                pol: Optional[ResiliencePolicy] = None,
                                 ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         # The observability gate is one module-global read per batch; the
         # engine itself takes the observer as a plain argument so the
         # overhead benchmark can time the gate-bypassing path directly.
         return self._vectorized_engine(queries, k, hierarchy_threshold,
-                                       obs.active())
+                                       obs.active(), deadline=deadline,
+                                       pol=pol)
 
     def _vectorized_engine(self, queries: np.ndarray, k: int,
                            hierarchy_threshold: Union[str, int],
                            ob: "Optional[obs.Observer]",
+                           deadline: Optional[Deadline] = None,
+                           pol: Optional[ResiliencePolicy] = None,
                            ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         nq = queries.shape[0]
         timer = obs.StageTimer(ob)
+        # Like the observer gate: one module-global read per batch; every
+        # fault site below is behind `plan is not None`.  Faults fire with
+        # or without a policy — unsupervised batches crash on them, which
+        # is exactly the behavior the supervision layer exists to fix.
+        plan = faults_active()
+        res_out: Optional[Dict[str, List[object]]] = \
+            {"dropped_tables": [], "failures": []} if pol is not None else None
         projections = [family.project(queries) for family in self._families]
         codes = [self._lattice.quantize(proj) for proj in projections]
         timer.lap("lsh.hash")
         probe_out: Optional[Dict[str, np.ndarray]] = \
             {} if ob is not None else None
         cand, qidx, counts = self._gather_candidates_batch(
-            projections, codes, nq, ob=ob, probe_out=probe_out)
+            projections, codes, nq, ob=ob, probe_out=probe_out,
+            plan=plan, pol=pol, res_out=res_out)
         timer.lap("lsh.gather")
         escalated = np.zeros(nq, dtype=bool)
+        exhausted: Optional[np.ndarray] = None
         if self.use_hierarchy:
             threshold = self._resolve_threshold(counts, k, hierarchy_threshold)
             escalated = counts < threshold
@@ -546,10 +731,17 @@ class StandardLSH:
                 # Hierarchy walks are per query (each escalated query takes
                 # its own path up the bucket tree); their extra ids are
                 # appended to the flattened layout and folded in with one
-                # more global sort + dedup.
+                # more global sort + dedup.  With a deadline, the budget is
+                # re-checked between per-query walks: queries whose walk
+                # was cut short keep their base short-list and are flagged
+                # `exhausted_budget` (they were *not* escalated).
                 extra_ids = [cand]
                 extra_q = [qidx]
-                for qi in esc_rows:
+                done = esc_rows.size
+                for i, qi in enumerate(esc_rows):
+                    if deadline is not None and deadline.expired():
+                        done = i
+                        break
                     for t in range(self.n_tables):
                         ids_t = self._hierarchies[t].candidates(
                             codes[t][qi], threshold)
@@ -557,18 +749,42 @@ class StandardLSH:
                             extra_ids.append(ids_t)
                             extra_q.append(
                                 np.full(ids_t.size, qi, dtype=np.int64))
+                if done < esc_rows.size:
+                    skipped = esc_rows[done:]
+                    escalated[skipped] = False
+                    exhausted = np.zeros(nq, dtype=bool)
+                    exhausted[skipped] = True
+                    if ob is not None:
+                        ob.record_deadline_exhausted(
+                            "lsh.escalate", int(skipped.size))
                 cand, qidx, counts = self._dedup_per_query(
                     np.concatenate(extra_ids), np.concatenate(extra_q), nq)
             timer.lap("lsh.escalate")
         ids_out, dists_out = self._rank_shortlists(queries, k, cand, qidx,
                                                    counts)
         timer.lap("lsh.rank")
+        degraded: Optional[np.ndarray] = None
+        failures: Optional[Tuple[FailureRecord, ...]] = None
+        if res_out is not None and res_out["dropped_tables"]:
+            # A dropped table removes candidates from *every* query in the
+            # sub-batch; all of them are flagged rather than silently
+            # returning possibly-weaker answers.
+            degraded = np.ones(nq, dtype=bool)
+            failures = tuple(res_out["failures"])  # type: ignore[arg-type]
+            if ob is not None:
+                ob.record_degraded("table_dropped", nq)
+        elif res_out is not None and res_out["failures"]:
+            failures = tuple(res_out["failures"])  # type: ignore[arg-type]
+        if deadline is not None and exhausted is None:
+            exhausted = np.zeros(nq, dtype=bool)
         if ob is not None:
             probes = (probe_out.get("probes_per_query")
                       if probe_out is not None else None)
             ob.record_batch("vectorized", counts, escalated, timer.stages,
                             probes=probes)
-        return ids_out, dists_out, QueryStats(counts, escalated)
+        return ids_out, dists_out, QueryStats(
+            counts, escalated, degraded=degraded,
+            exhausted_budget=exhausted, failures=failures)
 
     #: Flattened-candidate rows ranked per fused-kernel chunk (bounds the
     #: gathered ``(rows, D)`` temporary to ~chunk * D floats).
@@ -615,6 +831,76 @@ class StandardLSH:
         ids_out[rows_out, rel] = self._ids[cand[pick]]
         dists_out[rows_out, rel] = dists[pick]
         return ids_out, dists_out
+
+    #: Data rows scanned per brute-force block (bounds the distance
+    #: temporary to ~block * nq floats).
+    BRUTE_FORCE_BLOCK = 4096
+
+    def brute_force_batch(self, queries: np.ndarray, k: int,
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact KNN over this index's live points (the resilience fallback).
+
+        Scans every non-deleted row in blocks, so it needs no tables, no
+        hierarchies and no hash families — only ``_data``/``_ids`` — which
+        is what makes it a usable fallback when the probabilistic
+        structures are the thing that failed.  Returns ``(ids, dists)`` of
+        shape ``(nq, k)``, padded with ``-1`` / ``inf`` when fewer than
+        ``k`` live points exist, with exact ties broken by ascending id
+        (the vectorized engine's convention).
+        """
+        self._check_fitted()
+        queries, _, k = self._validate_query_batch(queries, k,
+                                                   allow_nonfinite=False)
+        nq = queries.shape[0]
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        data = self._data
+        ext_ids = self._ids
+        deleted = self._deleted
+        keep = (np.nonzero(~deleted)[0] if deleted is not None
+                else np.arange(data.shape[0], dtype=np.int64))
+        if keep.size == 0:
+            return ids_out, dists_out
+        q_sq = np.einsum("ij,ij->i", queries, queries)
+        for s in range(0, keep.size, self.BRUTE_FORCE_BLOCK):
+            rows = keep[s:s + self.BRUTE_FORCE_BLOCK]
+            chunk = data[rows]
+            chunk_sq = np.einsum("ij,ij->i", chunk, chunk)
+            d2 = q_sq[:, None] - 2.0 * (queries @ chunk.T) + chunk_sq[None, :]
+            np.maximum(d2, 0.0, out=d2)
+            self._merge_block_topk(ids_out, dists_out, ext_ids[rows],
+                                   np.sqrt(d2), k)
+        return ids_out, dists_out
+
+    @staticmethod
+    def _merge_block_topk(ids_out: np.ndarray, dists_out: np.ndarray,
+                          block_ids: np.ndarray, block_dists: np.ndarray,
+                          k: int) -> None:
+        """Fold one ``(nq, b)`` distance block into the running top-k.
+
+        Stacks current and new columns and reselects each row's best ``k``
+        with one flat ``lexsort`` by ``(row, distance, id)`` — padding
+        entries carry id ``-1`` / distance ``inf`` so they sort last and
+        are restored after selection.
+        """
+        nq = ids_out.shape[0]
+        all_ids = np.concatenate(
+            [ids_out, np.broadcast_to(block_ids, (nq, block_ids.shape[0]))],
+            axis=1)
+        all_dists = np.concatenate([dists_out, block_dists], axis=1)
+        r, w = all_ids.shape
+        rowidx = np.repeat(np.arange(r, dtype=np.int64), w)
+        flat_order = np.lexsort((all_ids.ravel(), all_dists.ravel(), rowidx))
+        col_order = (flat_order.reshape(r, w)
+                     - np.arange(r, dtype=np.int64)[:, None] * w)
+        top = col_order[:, :k]
+        sel_ids = np.take_along_axis(all_ids, top, axis=1)
+        sel_dists = np.take_along_axis(all_dists, top, axis=1)
+        pad = ~np.isfinite(sel_dists)
+        sel_ids[pad] = -1
+        sel_dists[pad] = np.inf
+        ids_out[:, :] = sel_ids
+        dists_out[:, :] = sel_dists
 
     # ------------------------------------------------ scalar (seed) engine
 

@@ -79,6 +79,11 @@ INDEX_POINTS = "repro_index_points"                # gauge
 GPU_RUNS_TOTAL = "repro_gpu_runs_total"            # counter{mode}
 GPU_FALLBACKS_TOTAL = "repro_gpu_fallbacks_total"  # counter{mode}
 GPU_PHASE_SECONDS = "repro_gpu_phase_seconds"      # histogram{phase,mode}
+FAULTS_INJECTED_TOTAL = "repro_faults_injected_total"      # counter{site}
+FALLBACKS_TOTAL = "repro_fallbacks_total"          # counter{site,kind}
+RETRIES_TOTAL = "repro_retries_total"              # counter{site}
+DEGRADED_QUERIES_TOTAL = "repro_degraded_queries_total"    # counter{reason}
+DEADLINE_EXHAUSTED_TOTAL = "repro_deadline_exhausted_total"  # counter{stage}
 
 
 class Observer:
@@ -194,6 +199,39 @@ class Observer:
             ESCALATION_DEPTH,
             "Hierarchy levels climbed per escalated query.",
             buckets=COUNT_BUCKETS).labels(kind=kind).observe(depth)
+
+    # -- resilience events ---------------------------------------------------
+
+    def record_fault(self, site: str) -> None:
+        self.registry.counter(
+            FAULTS_INJECTED_TOTAL,
+            "Injected faults fired, per site.").labels(site=site).inc()
+
+    def record_retry(self, site: str) -> None:
+        self.registry.counter(
+            RETRIES_TOTAL,
+            "Supervised calls that needed a retry, per site.").labels(
+                site=site).inc()
+
+    def record_fallback(self, site: str, kind: str) -> None:
+        self.registry.counter(
+            FALLBACKS_TOTAL,
+            "Supervised calls answered by a fallback, per site.").labels(
+                site=site, kind=kind).inc()
+
+    def record_degraded(self, reason: str, n_queries: int) -> None:
+        if n_queries:
+            self.registry.counter(
+                DEGRADED_QUERIES_TOTAL,
+                "Queries answered with a degraded result.").labels(
+                    reason=reason).inc(n_queries)
+
+    def record_deadline_exhausted(self, stage: str, n_queries: int) -> None:
+        if n_queries:
+            self.registry.counter(
+                DEADLINE_EXHAUSTED_TOTAL,
+                "Queries whose wall-clock budget expired mid-pipeline."
+                ).labels(stage=stage).inc(n_queries)
 
     # -- GPU pipeline events -----------------------------------------------
 

@@ -50,6 +50,39 @@ def as_float_vector(vec: ArrayLike, dim: Optional[int] = None,
     return arr
 
 
+def as_query_matrix(data: ArrayLike, dim: Optional[int] = None,
+                    name: str = "queries",
+                    allow_nonfinite: bool = False,
+                    ) -> "tuple[np.ndarray, Optional[np.ndarray]]":
+    """Coerce a query batch to 2-D float64 and report non-finite rows.
+
+    Like :func:`as_float_matrix` plus an optional expected dimension, but
+    under ``allow_nonfinite=True`` rows containing NaN/Inf do not raise:
+    the second return value is then a boolean ``finite_row`` mask (or
+    ``None`` when every row is finite) so the caller can answer the good
+    rows and flag the bad ones degraded instead of rejecting the batch.
+    """
+    if np.ndim(data) == 0:
+        raise ValueError(f"{name} must be array-like, got a scalar")
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(
+            f"{name} must be 2-D (n_queries, dim), got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if dim is not None and arr.shape[1] != dim:
+        raise ValueError(
+            f"{name} has dimension {arr.shape[1]}, expected {dim}")
+    finite_row = np.isfinite(arr).all(axis=1)
+    if bool(finite_row.all()):
+        return arr, None
+    if not allow_nonfinite:
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr, finite_row
+
+
 def check_k(k: int, n_points: Optional[int] = None) -> int:
     """Validate a neighbor count ``k`` (positive integer, optionally <= n)."""
     if not isinstance(k, (int, np.integer)) or isinstance(k, bool):

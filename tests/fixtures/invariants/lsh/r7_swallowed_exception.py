@@ -1,0 +1,21 @@
+"""Seeded violation: R7 (and only R7) must fire on this file.
+
+The handler is typed (not R5's bare ``except:``) and its body does
+something observable (``return None``, so R5's silent-body check stays
+quiet) — but the failure neither re-raises nor reaches a recording call,
+so the batch's failure accounting would lose it.  Everything else is
+fully annotated and dtype-explicit so no other rule trips.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def lossy_mean(values: np.ndarray) -> Optional[float]:
+    try:
+        return float(values.sum(dtype=np.float64) / values.shape[0])
+    except ZeroDivisionError:
+        return None

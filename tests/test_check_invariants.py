@@ -34,6 +34,7 @@ FIXTURE_RULES = {
     "r4_untyped_api.py": "R4",
     "r5_silent_failure.py": "R5",
     "lsh/r6_raw_telemetry.py": "R6",
+    "lsh/r7_swallowed_exception.py": "R7",
 }
 
 

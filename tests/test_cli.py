@@ -173,3 +173,46 @@ class TestBench:
         assert rc == 0
         out = capsys.readouterr().out
         assert "RP-tree vs K-means" in out
+
+
+class TestResilienceCLI:
+    def test_query_with_deadline_and_resilient(self, tmp_path, index_file,
+                                               query_file, capsys):
+        out = str(tmp_path / "res.npz")
+        rc = main(["query", index_file, query_file, "-k", "5",
+                   "--deadline-ms", "60000", "--resilient",
+                   "--output", out])
+        assert rc == 0
+        results = np.load(out)
+        # A deadline run always materializes the exhausted mask.
+        assert "exhausted_budget" in results.files
+        assert not results["exhausted_budget"].any()
+
+    def test_query_expired_deadline_flags_everything(self, index_file,
+                                                     query_file, capsys):
+        rc = main(["query", index_file, query_file, "-k", "5",
+                   "--deadline-ms", "0.000001", "--show", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "budget-exhausted" in out
+
+    def test_verify_index_ok(self, index_file, capsys):
+        assert main(["verify-index", index_file]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["checksummed"] is True
+        assert report["n_verified"] == report["n_arrays"]
+
+    def test_verify_index_corrupt_exits_3(self, index_file, capsys):
+        with np.load(index_file) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+        victim = sorted(meta["checksums"])[0]
+        damaged = arrays[victim].copy()
+        damaged.flat[0] = damaged.flat[0] + 1
+        arrays[victim] = damaged
+        np.savez_compressed(index_file, **arrays)
+        assert main(["verify-index", index_file]) == 3
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_verify_index_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["verify-index", str(tmp_path / "nope.npz")]) == 2

@@ -1,4 +1,7 @@
-"""Unit tests for index persistence (save/load round trips)."""
+"""Unit tests for index persistence (round trips, checksums, atomicity)."""
+
+import json
+import os
 
 import numpy as np
 import pytest
@@ -7,7 +10,14 @@ from repro.core.bilevel import BiLevelLSH
 from repro.core.config import BiLevelConfig
 from repro.lsh.forest import LSHForest
 from repro.lsh.index import StandardLSH
-from repro.persistence import load_index, save_index
+from repro.persistence import load_index, save_index, verify_index
+from repro.resilience import (
+    CorruptIndexError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    injected_faults,
+)
 
 
 def _roundtrip(index, tmp_path, name="index.npz"):
@@ -140,3 +150,124 @@ class TestErrors:
         np.savez_compressed(path, **arrays)
         with pytest.raises(ValueError, match="version"):
             load_index(path)
+
+
+def _rewrite_archive(path, mutate):
+    """Load every entry, apply ``mutate(meta, arrays)``, write back."""
+    with np.load(path) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+    mutate(meta, arrays)
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+class TestVerifiedPersistence:
+    @pytest.fixture()
+    def saved(self, gaussian_data, tmp_path):
+        path = str(tmp_path / "x.npz")
+        index = StandardLSH(bucket_width=8.0, n_tables=2,
+                            seed=12).fit(gaussian_data)
+        save_index(index, path)
+        return path, index
+
+    def test_verify_index_report(self, saved):
+        path, _ = saved
+        report = verify_index(path)
+        assert report["path"] == path and report["version"] == 2
+        assert report["checksummed"] is True
+        assert report["n_verified"] == report["n_arrays"] > 0
+
+    def test_flipped_bytes_are_caught(self, saved):
+        path, _ = saved
+
+        def corrupt(meta, arrays):
+            damaged = arrays["index/data"].copy()
+            damaged.flat[0] += 1.0
+            arrays["index/data"] = damaged
+
+        _rewrite_archive(path, corrupt)
+        with pytest.raises(CorruptIndexError) as err:
+            load_index(path)
+        assert err.value.key == "index/data"
+        with pytest.raises(CorruptIndexError):
+            verify_index(path)
+
+    def test_missing_array_is_caught(self, saved):
+        path, _ = saved
+        _rewrite_archive(path, lambda meta, arrays: arrays.pop("index/ids"))
+        with pytest.raises(CorruptIndexError) as err:
+            load_index(path)
+        assert err.value.key == "index/ids"
+
+    def test_dtype_drift_is_caught(self, saved):
+        path, _ = saved
+
+        def retype(meta, arrays):
+            arrays["index/ids"] = arrays["index/ids"].astype(np.int32)
+
+        _rewrite_archive(path, retype)
+        with pytest.raises(CorruptIndexError, match="index/ids"):
+            load_index(path)
+
+    def test_v1_archive_loads_without_checksums(self, saved, gaussian_data,
+                                                gaussian_queries):
+        path, index = saved
+
+        def downgrade(meta, arrays):
+            meta["version"] = 1
+            meta.pop("checksums", None)
+
+        _rewrite_archive(path, downgrade)
+        loaded = load_index(path)
+        _same_results(index, loaded, gaussian_queries)
+        report = verify_index(path)
+        assert report["checksummed"] is False and report["n_verified"] == 0
+
+    def test_save_normalizes_missing_suffix(self, gaussian_data, tmp_path):
+        index = StandardLSH(bucket_width=8.0, n_tables=2,
+                            seed=13).fit(gaussian_data)
+        save_index(index, str(tmp_path / "noext"))
+        assert (tmp_path / "noext.npz").exists()
+        assert not (tmp_path / "noext").exists()
+
+    def test_injected_load_corruption_is_caught(self, saved):
+        path, _ = saved
+        plan = FaultPlan([FaultSpec(site="persistence.load",
+                                    kind="corruption", max_hits=1)], seed=0)
+        with injected_faults(plan):
+            with pytest.raises(CorruptIndexError):
+                load_index(path)
+        # The plan is exhausted: the very next load is clean.
+        load_index(path)
+
+    def test_crashed_save_preserves_previous_file(self, saved, gaussian_data,
+                                                  gaussian_queries,
+                                                  tmp_path):
+        path, index = saved
+        before = open(path, "rb").read()
+        replacement = StandardLSH(bucket_width=4.0, n_tables=3,
+                                  seed=14).fit(gaussian_data)
+        plan = FaultPlan([FaultSpec(site="persistence.save",
+                                    max_hits=1)], seed=0)
+        with injected_faults(plan):
+            with pytest.raises(InjectedFault):
+                save_index(replacement, path)
+        assert open(path, "rb").read() == before
+        assert not os.path.exists(path + ".tmp")
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+        _same_results(index, load_index(path), gaussian_queries)
+
+    def test_save_after_crash_succeeds(self, saved, gaussian_data,
+                                       gaussian_queries):
+        path, _ = saved
+        replacement = StandardLSH(bucket_width=4.0, n_tables=3,
+                                  seed=14).fit(gaussian_data)
+        plan = FaultPlan([FaultSpec(site="persistence.save",
+                                    max_hits=1)], seed=0)
+        with injected_faults(plan):
+            with pytest.raises(InjectedFault):
+                save_index(replacement, path)
+            save_index(replacement, path)  # plan exhausted: commit goes through
+        _same_results(replacement, load_index(path), gaussian_queries)

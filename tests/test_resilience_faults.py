@@ -1,0 +1,238 @@
+"""The chaos matrix: seeded faults x dispatch mode x spill, end to end.
+
+Acceptance properties (the CI ``chaos`` job runs this file):
+
+1. **No crashed batches** — under a supervising policy, every faulted
+   ``query_batch`` returns a full result set.
+2. **No silently wrong answers** — every query is either bit-identical
+   to the fault-free run or flagged in ``stats.degraded`` /
+   ``stats.exhausted_budget``, with the failure recorded.
+3. **Faults really fire** — the same plans crash an *unsupervised*
+   batch, so the recovery above is doing real work.
+
+All plans are seeded: a failure here reproduces with
+``PYTHONHASHSEED=0`` and no flakes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.bilevel import BiLevelLSH
+from repro.core.config import BiLevelConfig
+from repro.lsh.index import StandardLSH
+from repro.obs.registry import MetricsRegistry
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResiliencePolicy,
+    injected_faults,
+)
+
+N_QUERIES = 40
+VICTIM_GROUP = 1
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(2024)
+    return rng.standard_normal((900, 24))
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    return np.random.default_rng(2025).standard_normal((N_QUERIES, 24))
+
+
+@pytest.fixture(scope="module")
+def bilevel_cache(dataset, queries):
+    """(n_jobs, spill) -> (index, baseline ids, baseline dists)."""
+    cache = {}
+
+    def get(n_jobs, spill):
+        key = (n_jobs, spill)
+        if key not in cache:
+            cfg = BiLevelConfig(n_groups=4, n_tables=6, bucket_width=8.0,
+                                multi_assign=spill, n_jobs=n_jobs, seed=5)
+            index = BiLevelLSH(cfg).fit(dataset)
+            ids, dists, _ = index.query_batch(queries, 10)
+            cache[key] = (index, ids, dists)
+        return cache[key]
+
+    return get
+
+
+def dispatch_plan(**kwargs):
+    return FaultPlan([FaultSpec(site="bilevel.dispatch",
+                                match={"group": VICTIM_GROUP}, **kwargs)],
+                     seed=11)
+
+
+def gather_plan(**kwargs):
+    return FaultPlan([FaultSpec(site="lsh.gather", match={"table": 0},
+                                **kwargs)], seed=11)
+
+
+PLAN_MAKERS = {"bilevel.dispatch": dispatch_plan, "lsh.gather": gather_plan}
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("site", sorted(PLAN_MAKERS))
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    @pytest.mark.parametrize("spill", [1, 2])
+    def test_supervised_batch_survives(self, bilevel_cache, queries,
+                                       site, n_jobs, spill):
+        index, base_ids, base_dists = bilevel_cache(n_jobs, spill)
+        # max_hits=1: exactly one victim (one group's dispatch, or one
+        # group's table-0 gather); every other query must be untouched.
+        plan = PLAN_MAKERS[site](max_hits=1)
+        pol = ResiliencePolicy(max_retries=0)
+        with injected_faults(plan):
+            ids, dists, stats = index.query_batch(queries, 10, policy=pol)
+        assert plan.hits()[site] == 1
+        assert ids.shape == base_ids.shape
+        assert stats.degraded is not None and stats.degraded.any()
+        ok = ~stats.degraded
+        assert ok.any(), "fault should not degrade the whole batch"
+        assert np.array_equal(ids[ok], base_ids[ok])
+        assert np.array_equal(dists[ok], base_dists[ok])
+        # Degraded rows still carry well-formed (possibly padded) results.
+        assert ids[stats.degraded].max() < index.n_points
+        assert stats.failures and any(r.site == site for r in stats.failures)
+
+    @pytest.mark.parametrize("site", sorted(PLAN_MAKERS))
+    def test_unsupervised_batch_crashes(self, bilevel_cache, queries, site):
+        # Same plans, no policy: the fault must escape, proving the
+        # supervised run above recovered from a real failure.
+        index, _, _ = bilevel_cache(1, 1)
+        with injected_faults(PLAN_MAKERS[site](max_hits=1)):
+            with pytest.raises(InjectedFault):
+                index.query_batch(queries, 10)
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_retry_heals_transient_dispatch_fault(self, bilevel_cache,
+                                                  queries, n_jobs):
+        # Serial dispatch re-runs the group; parallel dispatch cannot
+        # re-run a consumed future, so it heals via the exact bruteforce
+        # fallback instead — either way nothing is silently wrong.
+        index, base_ids, base_dists = bilevel_cache(n_jobs, 1)
+        pol = ResiliencePolicy(max_retries=1)
+        with injected_faults(dispatch_plan(max_hits=1)):
+            ids, dists, stats = index.query_batch(queries, 10, policy=pol)
+        if n_jobs == 1:
+            assert stats.degraded is None or not stats.degraded.any()
+            assert np.array_equal(ids, base_ids)
+            assert np.array_equal(dists, base_dists)
+            assert any(r.action == "retried" for r in stats.failures)
+        else:
+            ok = ~stats.degraded_mask()
+            assert np.array_equal(ids[ok], base_ids[ok])
+            assert any(r.action.startswith("fallback:")
+                       for r in stats.failures)
+
+    def test_gather_fault_in_standard_lsh(self, dataset, queries):
+        index = StandardLSH(n_tables=6, bucket_width=8.0, seed=5).fit(dataset)
+        base_ids, _, _ = index.query_batch(queries, 10)
+        pol = ResiliencePolicy(max_retries=0)
+        with injected_faults(gather_plan()):
+            ids, _, stats = index.query_batch(queries, 10, policy=pol)
+        # One dropped table degrades the whole batch (any query may have
+        # lost candidates) but the batch still answers from the other 5.
+        assert stats.degraded is not None and stats.degraded.all()
+        assert ids.shape == base_ids.shape
+        assert any(r.site == "lsh.gather" for r in stats.failures)
+
+    def test_gather_retry_is_bit_identical(self, dataset, queries):
+        index = StandardLSH(n_tables=6, bucket_width=8.0, seed=5).fit(dataset)
+        base_ids, base_dists, _ = index.query_batch(queries, 10)
+        pol = ResiliencePolicy(max_retries=1)
+        with injected_faults(gather_plan(max_hits=1)):
+            ids, dists, stats = index.query_batch(queries, 10, policy=pol)
+        assert stats.degraded is None or not stats.degraded.any()
+        assert np.array_equal(ids, base_ids)
+        assert np.array_equal(dists, base_dists)
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("n_jobs,spill", [(1, 1), (4, 2)])
+    def test_random_faults_never_crash_or_lie(self, bilevel_cache, queries,
+                                              n_jobs, spill):
+        # Sub-unit rates at both compute sites, several batches: every
+        # batch returns, and every row is bit-identical or flagged.
+        index, base_ids, base_dists = bilevel_cache(n_jobs, spill)
+        plan = FaultPlan([
+            FaultSpec(site="bilevel.dispatch", rate=0.3),
+            FaultSpec(site="lsh.gather", rate=0.05),
+        ], seed=99)
+        pol = ResiliencePolicy(max_retries=1)
+        with injected_faults(plan):
+            for _ in range(4):
+                ids, dists, stats = index.query_batch(queries, 10,
+                                                      policy=pol)
+                ok = ~stats.degraded_mask()
+                assert np.array_equal(ids[ok], base_ids[ok])
+                assert np.array_equal(dists[ok], base_dists[ok])
+        assert sum(plan.hits().values()) > 0
+        assert pol.failures(), "sweep should have recorded failures"
+
+
+class TestTimeoutsAndDeadlines:
+    def test_stalled_group_times_out_to_fallback(self, bilevel_cache,
+                                                 queries):
+        index, base_ids, base_dists = bilevel_cache(1, 1)
+        plan = FaultPlan([FaultSpec(site="bilevel.dispatch", kind="delay",
+                                    delay_ms=300.0,
+                                    match={"group": VICTIM_GROUP},
+                                    max_hits=1)], seed=3)
+        pol = ResiliencePolicy(max_retries=0, group_timeout_ms=60.0)
+        with injected_faults(plan):
+            ids, dists, stats = index.query_batch(queries, 10, policy=pol)
+        assert any(r.error_type == "TimeoutError" for r in stats.failures)
+        assert stats.degraded is not None and stats.degraded.any()
+        ok = ~stats.degraded
+        assert np.array_equal(ids[ok], base_ids[ok])
+        assert np.array_equal(dists[ok], base_dists[ok])
+
+    def test_expired_deadline_returns_best_effort(self, bilevel_cache,
+                                                  queries):
+        index, _, _ = bilevel_cache(1, 1)
+        ids, dists, stats = index.query_batch(queries, 10, deadline_ms=1e-6)
+        assert stats.exhausted_budget is not None
+        assert stats.exhausted_budget.all()
+        assert ids.shape == (N_QUERIES, 10)
+        # Budget exhaustion is not degradation: nothing failed.
+        assert not stats.degraded_mask().any()
+
+    def test_generous_deadline_changes_nothing(self, bilevel_cache, queries):
+        index, base_ids, base_dists = bilevel_cache(1, 1)
+        ids, dists, stats = index.query_batch(queries, 10,
+                                              deadline_ms=60_000.0)
+        assert not stats.exhausted_mask().any()
+        assert np.array_equal(ids, base_ids)
+        assert np.array_equal(dists, base_dists)
+
+    def test_standard_lsh_deadline_skips_escalation(self, dataset, queries):
+        index = StandardLSH(n_tables=6, bucket_width=2.0, hierarchy=True,
+                            seed=5).fit(dataset)
+        ids, _, stats = index.query_batch(queries, 10, deadline_ms=1e-6)
+        assert stats.exhausted_budget is not None
+        assert ids.shape == (N_QUERIES, 10)
+
+
+class TestObsIntegration:
+    def test_fallbacks_and_degradation_are_metered(self, bilevel_cache,
+                                                   queries):
+        index, _, _ = bilevel_cache(1, 1)
+        registry = MetricsRegistry()
+        obs.enable(registry=registry)
+        try:
+            pol = ResiliencePolicy(max_retries=1)
+            with injected_faults(dispatch_plan()):
+                index.query_batch(queries, 10, policy=pol)
+        finally:
+            obs.disable()
+        keys = " ".join(registry.snapshot())
+        assert obs.RETRIES_TOTAL in keys or obs.FALLBACKS_TOTAL in keys
+        assert obs.DEGRADED_QUERIES_TOTAL in keys or any(
+            r.action == "retried" for r in pol.failures())
