@@ -99,10 +99,15 @@ def cmd_query(args: argparse.Namespace) -> int:
     queries = np.asarray(
         _load_features(args.queries, args.dim, args.dtype, False),
         dtype=np.float64)
-    policy = ResiliencePolicy() if args.resilient else None
+    # Only pass resilience kwargs when requested: index types that do not
+    # take them (plain baselines) keep working for a vanilla query.
+    kwargs = {}
+    if args.deadline_ms is not None:
+        kwargs["deadline_ms"] = args.deadline_ms
+    if args.resilient:
+        kwargs["policy"] = ResiliencePolicy()
     with _observed(args.metrics_out):
-        ids, dists, stats = index.query_batch(
-            queries, args.k, deadline_ms=args.deadline_ms, policy=policy)
+        ids, dists, stats = index.query_batch(queries, args.k, **kwargs)
     if args.output:
         extra = {}
         if stats.degraded is not None:

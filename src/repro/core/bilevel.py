@@ -411,7 +411,13 @@ class BiLevelLSH:
 
         results: List[Tuple[np.ndarray, np.ndarray, QueryStats]] = []
         if jobs > 1:
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
+            # No context manager: `with` would shutdown(wait=True) on
+            # exit and block on workers that await_future already
+            # abandoned via timeout, voiding the wall-clock bound.
+            # Release the pool without waiting instead; orphaned threads
+            # finish in the background and their results are discarded.
+            pool = ThreadPoolExecutor(max_workers=jobs)
+            try:
                 futures = [pool.submit(run_group, g, rows)
                            for g, rows in active]
                 for (g, rows), future in zip(active, futures):
@@ -426,6 +432,8 @@ class BiLevelLSH:
                         outcome = self._fallback_results(
                             g, rows, k, "empty", queries)
                     results.append(outcome)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
             return results
         for g, rows in active:
             if deadline is not None and deadline.expired():

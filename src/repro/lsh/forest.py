@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.lsh.index import QueryStats
+from repro.resilience.deadline import Deadline
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.validation import as_float_matrix, check_k, check_positive
 
@@ -161,12 +162,20 @@ class LSHForest:
 
     def query_batch(self, queries: np.ndarray, k: int,
                     hierarchy_threshold: Union[str, int, None] = None,
+                    deadline_ms: Optional[float] = None,
+                    policy: Optional[object] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch; mirrors :meth:`StandardLSH.query_batch`.
 
-        ``hierarchy_threshold`` is accepted (and ignored) for interface
-        compatibility with the experiment runner.
+        ``hierarchy_threshold`` and ``policy`` are accepted (and ignored)
+        for interface compatibility with the experiment runner and the
+        CLI — the forest's per-query loop has no group workers for a
+        :class:`~repro.resilience.policy.ResiliencePolicy` to supervise.
+        ``deadline_ms`` is honoured: queries whose turn comes after the
+        budget expires return an empty best-effort answer flagged in
+        ``QueryStats.exhausted_budget``.
         """
+        del policy  # nothing to supervise on the single-threaded path
         self._check_fitted()
         queries = as_float_matrix(queries, name="queries")
         if queries.shape[1] != self._data.shape[1]:
@@ -174,13 +183,19 @@ class LSHForest:
                 f"queries have dim {queries.shape[1]}, index has dim "
                 f"{self._data.shape[1]}")
         k = check_k(k)
+        deadline = Deadline.from_ms(deadline_ms)
         nq = queries.shape[0]
         codes = [self._encode(queries, d) for d in self._directions]
         want = self.candidate_target * k
         ids_out = np.full((nq, k), -1, dtype=np.int64)
         dists_out = np.full((nq, k), np.inf, dtype=np.float64)
         n_candidates = np.zeros(nq, dtype=np.int64)
+        exhausted = (np.zeros(nq, dtype=bool) if deadline is not None
+                     else None)
         for qi in range(nq):
+            if deadline is not None and deadline.expired():
+                exhausted[qi] = True
+                continue
             cand = self._gather(codes, qi, want)
             n_candidates[qi] = cand.size
             if cand.size == 0:
@@ -193,7 +208,8 @@ class LSHForest:
             ids_out[qi, :take] = self._ids[cand[top]]
             dists_out[qi, :take] = dists[top]
         return ids_out, dists_out, QueryStats(
-            n_candidates, np.zeros(nq, dtype=bool))
+            n_candidates, np.zeros(nq, dtype=bool),
+            exhausted_budget=exhausted)
 
     def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
         """Raw candidate id sets per query (for the GPU pipeline benches).

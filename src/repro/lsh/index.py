@@ -408,10 +408,9 @@ class StandardLSH:
 
     def _gather_table(self, projections: List[np.ndarray],
                       codes: List[np.ndarray], t: int, nq: int,
-                      ob: "Optional[obs.Observer]",
-                      probes_acc: Optional[np.ndarray],
-                      plan: Optional[FaultPlan],
-                      ) -> Tuple[np.ndarray, np.ndarray]:
+                      want_obs: bool, plan: Optional[FaultPlan],
+                      ) -> Tuple[np.ndarray, np.ndarray,
+                                 Optional[Tuple[int, int, np.ndarray]]]:
         """One table's flattened candidate contribution (the supervised unit).
 
         This is the body the resilience policy retries/drops per table; the
@@ -419,18 +418,24 @@ class StandardLSH:
         is escalated to :class:`InjectedFault` here because a gather has no
         integrity check that could catch silently corrupted candidates
         (unlike ``persistence.load``, whose checksums do).
+
+        Observability stays local: the third element is
+        ``(n_lookups, n_misses, probes_per_query)`` (``None`` unless
+        ``want_obs``) and the *caller* commits it to the Observer and the
+        shared probe accumulator only after this attempt succeeds — a
+        timed-out, abandoned attempt must not race the retry on shared
+        counters or double-count its lookups.
         """
         if plan is not None and plan.check("lsh.gather", table=t):
             raise InjectedFault("lsh.gather", f"table={t} corruption")
         codes_all, row_q = self._probe_rows(projections, codes, t)
         ids_flat, counts = self._tables[t].gather_batch(codes_all)
-        if ob is not None and probes_acc is not None:
-            ob.record_table_lookup(
-                t, n_lookups=int(codes_all.shape[0]),
-                n_misses=int(np.count_nonzero(counts == 0)),
-                n_probes=int(codes_all.shape[0]) - nq)
-            probes_acc += np.bincount(row_q, minlength=nq)[:nq] - 1
-        return ids_flat, np.repeat(row_q, counts)
+        stats = None
+        if want_obs:
+            stats = (int(codes_all.shape[0]),
+                     int(np.count_nonzero(counts == 0)),
+                     np.bincount(row_q, minlength=nq)[:nq] - 1)
+        return ids_flat, np.repeat(row_q, counts), stats
 
     def _gather_candidates_batch(self, projections: List[np.ndarray],
                                  codes: List[np.ndarray], nq: int,
@@ -461,22 +466,32 @@ class StandardLSH:
         q_parts: List[np.ndarray] = []
         probes_acc = (np.zeros(nq, dtype=np.int64)
                       if ob is not None else None)
+        want_obs = ob is not None
         for t in range(self.n_tables):
             if pol is None:
-                ids_flat, q_flat = self._gather_table(
-                    projections, codes, t, nq, ob, probes_acc, plan)
+                ids_flat, q_flat, tstats = self._gather_table(
+                    projections, codes, t, nq, want_obs, plan)
             else:
                 result, action, records = pol.run(
                     "lsh.gather", f"table={t}",
                     lambda t=t: self._gather_table(
-                        projections, codes, t, nq, ob, probes_acc, plan))
+                        projections, codes, t, nq, want_obs, plan))
                 if res_out is not None and records:
                     res_out["failures"].extend(records)
                 if action == "gave_up" or result is None:
                     if res_out is not None:
                         res_out["dropped_tables"].append(t)
                     continue
-                ids_flat, q_flat = result
+                ids_flat, q_flat, tstats = result
+            # Commit observability only for the attempt whose result we
+            # keep — abandoned timed-out attempts threw theirs away.
+            if ob is not None and tstats is not None:
+                n_lookups, n_misses, probe_counts = tstats
+                ob.record_table_lookup(t, n_lookups=n_lookups,
+                                       n_misses=n_misses,
+                                       n_probes=n_lookups - nq)
+                if probes_acc is not None:
+                    probes_acc += probe_counts
             id_parts.append(ids_flat)
             q_parts.append(q_flat)
         local_ids = (np.concatenate(id_parts) if id_parts

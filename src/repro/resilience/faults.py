@@ -36,6 +36,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.resilience.errors import InjectedFault
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -149,6 +150,7 @@ class FaultPlan:
         corrupt = False
         fire_exception: Optional[FaultSpec] = None
         delay_s = 0.0
+        n_fired = 0
         with self._lock:
             for state in states:
                 spec = state.spec
@@ -161,12 +163,18 @@ class FaultPlan:
                     if float(state.rng.random()) >= spec.rate:
                         continue
                 state.hits += 1
+                n_fired += 1
                 if spec.kind == "exception":
                     fire_exception = spec
                 elif spec.kind == "delay":
                     delay_s += spec.delay_ms / 1000.0
                 else:
                     corrupt = True
+        if n_fired:
+            ob = obs.active()
+            if ob is not None:
+                for _ in range(n_fired):
+                    ob.record_fault(site)
         if delay_s > 0.0:
             time.sleep(delay_s)
         if fire_exception is not None:

@@ -118,9 +118,16 @@ class ResiliencePolicy:
         """
         if self.group_timeout_ms is None:
             return fn()
-        with ThreadPoolExecutor(max_workers=1) as pool:
+        # No context manager: `with` would call shutdown(wait=True) on
+        # exit and block on a hung worker, voiding the timeout.  Always
+        # release the pool without waiting — a timed-out worker's thread
+        # finishes in the background and its result is discarded.
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
             future = pool.submit(fn)
             return future.result(timeout=self.group_timeout_ms / 1000.0)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def run(self, site: str, label: str, fn: Callable[[], Any],
             fallbacks: Sequence[Tuple[str, Callable[[], Any]]] = (),
