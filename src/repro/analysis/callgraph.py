@@ -35,7 +35,13 @@ class FunctionNode:
 
 
 def _called_names(func: ast.FunctionDef) -> FrozenSet[str]:
-    """Bare names of every call target inside ``func`` (nested defs included)."""
+    """Bare names of every call target inside ``func`` (nested defs included).
+
+    Bound-method *references* passed as call arguments count too: a
+    staged query plan hands ``self._stage_gather`` to ``Stage(...)`` for
+    the executor to invoke later, and the graph must keep those bodies
+    reachable from the batch-query roots.
+    """
     names: Set[str] = set()
     for sub in ast.walk(func):
         if not isinstance(sub, ast.Call):
@@ -45,6 +51,9 @@ def _called_names(func: ast.FunctionDef) -> FrozenSet[str]:
             names.add(target.attr)
         elif isinstance(target, ast.Name):
             names.add(target.id)
+        for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+            if isinstance(arg, ast.Attribute):
+                names.add(arg.attr)
     return frozenset(names)
 
 

@@ -18,6 +18,7 @@ from repro.analysis.callgraph import CallGraph
 from repro.analysis.core import ModuleInfo, Violation, load_module
 from repro.analysis.rules import (
     build_alias_table,
+    check_exec_centralized,
     check_explicit_dtype,
     check_locked_mutation,
     check_no_silent_failure,
@@ -27,7 +28,9 @@ from repro.analysis.rules import (
     check_typed_api,
 )
 
-ALL_RULES: Tuple[str, ...] = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
+ALL_RULES: Tuple[str, ...] = (
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+)
 
 #: Human-readable rule index, kept in sync with ``repro.analysis.rules``.
 RULE_SUMMARIES: Dict[str, str] = {
@@ -42,6 +45,9 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R7": "recorded-failures: pipeline except handlers re-raise or record "
           "the failure (policy.note_failure / obs record_*) — no silently "
           "swallowed errors outside the supervision boundary",
+    "R8": "exec-centralized: front-end query_batch implementations "
+          "delegate to repro.exec.run_plan, and gate reads / Deadline / "
+          "StageTimer plumbing never reappears inline outside repro/exec",
 }
 
 
@@ -54,12 +60,13 @@ class AnalysisConfig:
     #: global RNG machinery).
     rng_module_suffixes: Tuple[str, ...] = ("utils/rng.py",)
     #: Packages whose modules form the dtype-sensitive hot path (R2).
-    hot_path_parts: Tuple[str, ...] = ("lsh", "lattice", "core")
+    hot_path_parts: Tuple[str, ...] = ("lsh", "lattice", "core", "exec")
     #: Bare names of the batch-query entry points that execute on the
     #: ``n_jobs`` worker pool — the roots of the R3 reachability walk.
     worker_roots: Tuple[str, ...] = (
         "query_batch", "candidate_sets", "gather_batch",
         "lookup_batch", "lookup", "lookup_many",
+        "run_plan", "execute_stages",
     )
     #: ``self.<attr>`` names that constitute shared index state (R3).
     guarded_attrs: frozenset = field(default_factory=lambda: frozenset({
@@ -73,6 +80,7 @@ class AnalysisConfig:
     #: telemetry there must flow through ``repro.obs``.
     telemetry_scope_parts: Tuple[str, ...] = (
         "lsh", "lattice", "core", "hierarchy", "gpu", "rptree", "cluster",
+        "exec",
     )
     #: Path parts identifying the observability package itself, which is
     #: the one place allowed to read the wall clock (R6 exemption).  The
@@ -84,6 +92,12 @@ class AnalysisConfig:
     #: analysis package (handlers there report through Violations).
     resilience_exempt_parts: Tuple[str, ...] = ("obs", "resilience",
                                                 "analysis")
+    #: Front-end packages whose ``query_batch`` definitions must delegate
+    #: to the shared executor, with no inline supervision plumbing (R8).
+    exec_scope_parts: Tuple[str, ...] = ("lsh", "core", "gpu", "evaluation")
+    #: Path parts identifying the execution core itself — the one place
+    #: the R8-banned plumbing is supposed to live.
+    exec_exempt_parts: Tuple[str, ...] = ("exec",)
     #: Directory names never descended into during file discovery.
     skip_dirs: Tuple[str, ...] = (
         "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
@@ -131,6 +145,10 @@ def analyze_modules(
         violations += check_recorded_failures(
             modules, config.telemetry_scope_parts,
             config.resilience_exempt_parts
+        )
+    if "R8" in config.rules:
+        violations += check_exec_centralized(
+            modules, config.exec_scope_parts, config.exec_exempt_parts
         )
     by_path = {module.posix_path: module for module in modules}
     kept = [

@@ -1,4 +1,4 @@
-"""The repo-specific invariant rules R1–R7.
+"""The repo-specific invariant rules R1–R8.
 
 Each rule is a pure function from parsed modules (plus shared context:
 type-alias table, call graph) to a list of :class:`Violation`.  Rules are
@@ -533,4 +533,91 @@ def check_recorded_failures(
                 "it via ResiliencePolicy.note_failure / an obs record_* "
                 "call so the batch's failure accounting stays honest",
             ))
+    return violations
+
+
+# --------------------------------------------------------------------- R8
+
+#: Supervision-gate reads and stage-timing constructors owned by the
+#: execution core: front-end modules must not call these inline.
+EXEC_PLUMBING_CALLS = frozenset({
+    "active_policy", "faults_active", "StageTimer",
+})
+
+
+def _is_stub_def_body(body: Sequence[ast.stmt]) -> bool:
+    """True for protocol/ABC stubs: only ``pass``/``...``/a docstring."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+def check_exec_centralized(
+    modules: Sequence[ModuleInfo],
+    exec_scope_parts: Tuple[str, ...],
+    exec_exempt_parts: Tuple[str, ...],
+) -> List[Violation]:
+    """R8: query execution is centralized in :mod:`repro.exec`.
+
+    Inside the front-end packages (``lsh``, ``core``, ``gpu``,
+    ``evaluation``), (a) every non-stub ``query_batch`` definition must
+    delegate to :func:`repro.exec.run_plan` — the one executor that owns
+    gate reads, deadlines, supervision, stage timing and batch sharding —
+    and (b) that executor-owned plumbing must not reappear inline: no
+    ``active_policy()`` / ``faults_active()`` gate reads, no
+    ``StageTimer`` construction, and no ``Deadline`` construction
+    (``Deadline(...)`` or ``Deadline.from_ms(...)``).  Protocol/ABC
+    stubs (bodies that are only ``...``/``pass``/a docstring) are
+    exempt, as is the execution core itself — it is where this plumbing
+    lives by design.
+    """
+    violations: List[Violation] = []
+    scope = set(exec_scope_parts)
+    exempt = set(exec_exempt_parts)
+    for module in modules:
+        parts = set(module.path_parts())
+        if parts & exempt or not parts & scope:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FUNC_DEFS) and node.name == "query_batch":
+                if _is_stub_def_body(node.body):
+                    continue
+                delegates = any(
+                    isinstance(sub, ast.Call)
+                    and (dotted_attribute(sub.func) or "").rpartition(".")[2]
+                    == "run_plan"
+                    for sub in ast.walk(node)
+                )
+                if not delegates:
+                    violations.append(Violation(
+                        "R8", module.posix_path, node.lineno,
+                        "query_batch does not delegate to "
+                        "repro.exec.run_plan; front-end query paths must "
+                        "execute through the shared staged executor",
+                    ))
+            elif isinstance(node, ast.Call):
+                dotted = dotted_attribute(node.func)
+                if dotted is None:
+                    continue
+                tail = dotted.rpartition(".")[2]
+                if tail in EXEC_PLUMBING_CALLS:
+                    violations.append(Violation(
+                        "R8", module.posix_path, node.lineno,
+                        f"inline {dotted}() in a front-end module; gate "
+                        "reads and stage timing belong to the execution "
+                        "core (repro.exec.run_plan)",
+                    ))
+                elif dotted == "Deadline" or (
+                    tail == "from_ms" and "Deadline" in dotted
+                ):
+                    violations.append(Violation(
+                        "R8", module.posix_path, node.lineno,
+                        f"inline {dotted}(...) deadline construction in a "
+                        "front-end module; pass deadline_ms/deadline to "
+                        "repro.exec.run_plan instead",
+                    ))
     return violations

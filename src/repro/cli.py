@@ -106,6 +106,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         kwargs["deadline_ms"] = args.deadline_ms
     if args.resilient:
         kwargs["policy"] = ResiliencePolicy()
+    if args.max_batch_rows is not None:
+        kwargs["max_batch_rows"] = args.max_batch_rows
     with _observed(args.metrics_out):
         ids, dists, stats = index.query_batch(queries, args.k, **kwargs)
     if args.output:
@@ -304,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under a default ResiliencePolicy: worker "
                         "failures retry, then fall back, and are reported "
                         "instead of crashing the batch")
+    p.add_argument("--max-batch-rows", type=int, default=None,
+                   help="bounded-memory sharding: split the batch into "
+                        "shards of at most this many queries (results are "
+                        "bit-identical to the unsharded run)")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("info", help="inspect a saved index")

@@ -28,16 +28,16 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro import obs
 from repro.cluster.kmeans import KMeansPartitioner
 from repro.core.config import BiLevelConfig
-from repro.lsh.index import QueryStats, StandardLSH
+from repro.exec import ExecutionContext, QueryPlan, QueryStats, Stage
+from repro.exec.executor import run_plan, run_shards
+from repro.exec.merge import merge_topk_rows
+from repro.lsh.index import StandardLSH
 from repro.lsh.params import CollisionModel, tune_bucket_width
 from repro.resilience.deadline import Deadline
 from repro.resilience.errors import InjectedFault, QueryValidationError
-from repro.resilience.faults import faults_active
-from repro.resilience.policy import (FailureRecord, ResiliencePolicy,
-                                     active_policy)
+from repro.resilience.policy import FailureRecord, ResiliencePolicy
 from repro.rptree.tree import RPTree
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import (as_float_matrix, as_query_matrix,
@@ -271,8 +271,14 @@ class BiLevelLSH:
                     deadline_ms: Optional[float] = None,
                     deadline: Optional[Deadline] = None,
                     policy: Optional[ResiliencePolicy] = None,
+                    max_batch_rows: Optional[int] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch; see :meth:`StandardLSH.query_batch`.
+
+        Execution goes through :func:`repro.exec.run_plan` with the
+        bi-level plan (route → dispatch → merge); validation, deadline
+        construction, policy resolution and batch sharding live in the
+        execution core.
 
         Queries are routed to their first-level group and answered by the
         group's LSH index.  With ``hierarchy=True`` the median short-list
@@ -294,91 +300,22 @@ class BiLevelLSH:
         groups not yet dispatched when the budget expires return empty
         best-effort results flagged ``exhausted_budget``, and the budget
         is also threaded into each group's escalation loop.
+
+        ``max_batch_rows`` (defaulting to ``config.max_batch_rows``)
+        bounds rows executed per shard; results are bit-identical to the
+        unsharded run given an integer ``hierarchy_threshold``.  The
+        bound is applied per *group sub-batch* inside the dispatch stage
+        (routing already splits the rows, and the scratch memory the
+        knob caps lives in the group gather/rank stages), so groups
+        already below the bound run exactly once with zero overhead.
         """
         self._check_fitted()
-        pol = policy if policy is not None else active_policy()
-        queries, finite_row, k = self._validate_query_batch(
-            queries, k, allow_nonfinite=pol is not None)
-        if deadline is None:
-            deadline = Deadline.from_ms(deadline_ms)
-        if finite_row is not None:
-            return self._query_batch_nonfinite(
-                queries, k, hierarchy_threshold, engine, finite_row,
-                deadline, pol)
-        ob = obs.active()
-        plan = faults_active()
-        timer = obs.StageTimer(ob)
-        nq = queries.shape[0]
-        ids_out = np.full((nq, k), -1, dtype=np.int64)
-        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
-        n_candidates = np.zeros(nq, dtype=np.int64)
-        escalated = np.zeros(nq, dtype=bool)
-        degraded: Optional[np.ndarray] = \
-            np.zeros(nq, dtype=bool) if pol is not None else None
-        exhausted: Optional[np.ndarray] = \
-            np.zeros(nq, dtype=bool) if deadline is not None else None
-        failures: List[FailureRecord] = []
-        spill = min(self.config.multi_assign, len(self.group_indexes))
-        if spill <= 1:
-            groups = self.partitioner.assign(queries)
-            membership = [(g, np.nonzero(groups == g)[0])
-                          for g in range(len(self.group_indexes))]
-        else:
-            multi = self.partitioner.assign_multi(queries, spill)
-            per_group = [[] for _ in self.group_indexes]
-            for qi, leaves in enumerate(multi):
-                for g in leaves:
-                    per_group[g].append(qi)
-            membership = [(g, np.asarray(rows, dtype=np.int64))
-                          for g, rows in enumerate(per_group)]
-        active = [(g, rows) for g, rows in membership if rows.size]
-        timer.lap("bilevel.route")
-
-        def run_group(g: int, rows: np.ndarray,
-                      ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-            if plan is not None and plan.check("bilevel.dispatch", group=g):
-                raise InjectedFault("bilevel.dispatch",
-                                    f"group={g} corruption")
-            return self.group_indexes[g].query_batch(
-                queries[rows], k, hierarchy_threshold=hierarchy_threshold,
-                engine=engine, deadline=deadline, policy=pol)
-
-        results = self._dispatch_groups(active, run_group, queries, k,
-                                        pol, deadline, exhausted, failures)
-        timer.lap("bilevel.dispatch")
-        for (g, rows), outcome in zip(active, results):
-            ids_g, dists_g, stats_g = outcome
-            if spill <= 1:
-                ids_out[rows] = ids_g
-                dists_out[rows] = dists_g
-                n_candidates[rows] = stats_g.n_candidates
-                escalated[rows] = stats_g.escalated
-            else:
-                self._merge_topk_batch(ids_out, dists_out, rows,
-                                       ids_g, dists_g, k)
-                n_candidates[rows] += stats_g.n_candidates
-                escalated[rows] |= stats_g.escalated
-            if degraded is not None and stats_g.degraded is not None:
-                degraded[rows] |= stats_g.degraded
-            if exhausted is not None and stats_g.exhausted_budget is not None:
-                exhausted[rows] |= stats_g.exhausted_budget
-            if stats_g.failures:
-                failures.extend(stats_g.failures)
-        timer.lap("bilevel.merge")
-        if ob is not None:
-            ob.record_index_size(self.n_points)
-            for (g, rows), (_ids_g, _dists_g, stats_g) in zip(active, results):
-                ob.record_group(g, int(rows.size),
-                                int(np.count_nonzero(stats_g.escalated)))
-            if degraded is not None:
-                ob.record_degraded("dispatch", int(np.count_nonzero(degraded)))
-            if exhausted is not None:
-                ob.record_deadline_exhausted(
-                    "bilevel.dispatch", int(np.count_nonzero(exhausted)))
-        return ids_out, dists_out, QueryStats(
-            n_candidates, escalated, degraded=degraded,
-            exhausted_budget=exhausted,
-            failures=tuple(failures) if failures else None)
+        if max_batch_rows is None:
+            max_batch_rows = self.config.max_batch_rows
+        plan = _BiLevelPlan(self, hierarchy_threshold, engine)
+        return run_plan(plan, queries, k, deadline_ms=deadline_ms,
+                        deadline=deadline, policy=policy,
+                        max_batch_rows=max_batch_rows)
 
     def _dispatch_groups(self, active: List[Tuple[int, np.ndarray]],
                          run_group: "Callable[[int, np.ndarray], Tuple[np.ndarray, np.ndarray, QueryStats]]",
@@ -459,82 +396,17 @@ class BiLevelLSH:
             results.append(outcome)
         return results
 
-    def _query_batch_nonfinite(self, queries: np.ndarray, k: int,
-                               hierarchy_threshold: Union[str, int],
-                               engine: str, finite_row: np.ndarray,
-                               deadline: Optional[Deadline],
-                               pol: ResiliencePolicy,
-                               ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-        """Answer the finite rows, flag the NaN/Inf rows degraded."""
-        nq = queries.shape[0]
-        good = np.nonzero(finite_row)[0]
-        ids_out = np.full((nq, k), -1, dtype=np.int64)
-        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
-        n_candidates = np.zeros(nq, dtype=np.int64)
-        escalated = np.zeros(nq, dtype=bool)
-        degraded = ~finite_row
-        exhausted = (np.zeros(nq, dtype=bool) if deadline is not None
-                     else None)
-        failures: List[FailureRecord] = []
-        if good.size:
-            sub_ids, sub_dists, sub_stats = self.query_batch(
-                queries[good], k, hierarchy_threshold=hierarchy_threshold,
-                engine=engine, deadline=deadline, policy=pol)
-            ids_out[good] = sub_ids
-            dists_out[good] = sub_dists
-            n_candidates[good] = sub_stats.n_candidates
-            escalated[good] = sub_stats.escalated
-            if sub_stats.degraded is not None:
-                degraded[good] |= sub_stats.degraded
-            if exhausted is not None and sub_stats.exhausted_budget is not None:
-                exhausted[good] = sub_stats.exhausted_budget
-            if sub_stats.failures:
-                failures.extend(sub_stats.failures)
-        n_bad = int(nq - good.size)
-        failures.append(pol.note_failure(
-            "bilevel.validate", f"rows={n_bad}",
-            QueryValidationError("query rows contain NaN or infinite "
-                                 "values", field="queries"),
-            "degraded"))
-        ob = obs.active()
-        if ob is not None:
-            ob.record_degraded("nonfinite_query", n_bad)
-        return ids_out, dists_out, QueryStats(
-            n_candidates, escalated, degraded=degraded,
-            exhausted_budget=exhausted, failures=tuple(failures))
-
     @staticmethod
     def _merge_topk_batch(ids_out: np.ndarray, dists_out: np.ndarray,
                           rows: np.ndarray, new_ids: np.ndarray,
                           new_dists: np.ndarray, k: int) -> None:
         """Merge a group's top-k blocks into the running top-k (in place).
 
-        All ``rows`` are merged at once: current and new ``(r, k)`` blocks
-        are stacked to ``(r, 2k)`` and each row's best ``k`` selected with
-        one flat ``lexsort`` by ``(row, distance, id)``.  Padding entries
-        (id ``-1``) carry distance ``inf`` so they sort last; groups
-        partition the point set, so the same id never arrives twice and no
-        dedup pass is needed.  Exact distance ties break by ascending id,
-        matching the scalar merge (unique-by-id then stable distance sort).
+        Thin alias over the execution core's shared
+        :func:`repro.exec.merge.merge_topk_rows` (kept for its long tail
+        of direct callers in tests).
         """
-        cur_ids = ids_out[rows]
-        cur_dists = dists_out[rows]
-        all_ids = np.concatenate([cur_ids, new_ids], axis=1)
-        all_dists = np.concatenate([cur_dists, new_dists], axis=1)
-        all_dists[all_ids < 0] = np.inf
-        r, w = all_ids.shape
-        rowidx = np.repeat(np.arange(r, dtype=np.int64), w)
-        flat_order = np.lexsort((all_ids.ravel(), all_dists.ravel(), rowidx))
-        col_order = (flat_order.reshape(r, w)
-                     - np.arange(r, dtype=np.int64)[:, None] * w)
-        top = col_order[:, :k]
-        sel_ids = np.take_along_axis(all_ids, top, axis=1)
-        sel_dists = np.take_along_axis(all_dists, top, axis=1)
-        pad = ~np.isfinite(sel_dists)
-        sel_ids[pad] = -1
-        sel_dists[pad] = np.inf
-        ids_out[rows] = sel_ids
-        dists_out[rows] = sel_dists
+        merge_topk_rows(ids_out, dists_out, rows, new_ids, new_dists, k)
 
     def _merge_topk(self, ids_out: np.ndarray, dists_out: np.ndarray, qi: int,
                     new_ids: np.ndarray, new_dists: np.ndarray, k: int) -> None:
@@ -584,3 +456,128 @@ class BiLevelLSH:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         fitted = "fitted" if self._data is not None else "unfitted"
         return f"BiLevelLSH({self.config!r}, {fitted})"
+
+
+class _BiLevelPlan(QueryPlan):
+    """Staged bi-level execution: route → dispatch → merge.
+
+    Lives here (not in repro/exec) because the stages need the index's
+    partitioner, group indexes and dispatch/fallback machinery.
+    """
+
+    site = "bilevel"
+    engine = "bilevel"
+    supports_supervision = True
+    #: ``max_batch_rows`` is applied per *group sub-batch* inside the
+    #: dispatch stage, not by slicing the top-level batch: routing
+    #: already fans the rows out across groups, so top-level shards
+    #: would re-pay every group's fixed per-table cost once per shard
+    #: while the gather/rank scratch this knob bounds lives inside the
+    #: group executions anyway.
+    delegates_sharding = True
+
+    def __init__(self, index: BiLevelLSH,
+                 hierarchy_threshold: Union[str, int],
+                 group_engine: str) -> None:
+        self.index = index
+        self.hierarchy_threshold = hierarchy_threshold
+        self.group_engine = group_engine
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        return self.index._validate_query_batch(queries, k, allow_nonfinite)
+
+    def stages(self) -> Tuple[Stage, ...]:
+        return (Stage("bilevel.route", self._stage_route),
+                Stage("bilevel.dispatch", self._stage_dispatch),
+                Stage("bilevel.merge", self._stage_merge))
+
+    def _stage_route(self, ctx: ExecutionContext) -> None:
+        index = self.index
+        if ctx.policy is not None:
+            ctx.ensure_degraded()
+        if ctx.deadline is not None:
+            ctx.ensure_exhausted()
+        spill = min(index.config.multi_assign, len(index.group_indexes))
+        if spill <= 1:
+            groups = index.partitioner.assign(ctx.queries)
+            membership = [(g, np.nonzero(groups == g)[0])
+                          for g in range(len(index.group_indexes))]
+        else:
+            multi = index.partitioner.assign_multi(ctx.queries, spill)
+            per_group: List[List[int]] = [[] for _ in index.group_indexes]
+            for qi, leaves in enumerate(multi):
+                for g in leaves:
+                    per_group[g].append(qi)
+            membership = [(g, np.asarray(rows, dtype=np.int64))
+                          for g, rows in enumerate(per_group)]
+        ctx.scratch["spill"] = spill
+        ctx.scratch["active"] = [(g, rows) for g, rows in membership
+                                 if rows.size]
+
+    def _stage_dispatch(self, ctx: ExecutionContext) -> None:
+        index = self.index
+        active = ctx.scratch["active"]
+        plan = ctx.fault_plan
+        deadline = ctx.deadline
+        pol = ctx.policy
+
+        def run_group(g: int, rows: np.ndarray,
+                      ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+            if plan is not None and plan.check("bilevel.dispatch", group=g):
+                raise InjectedFault("bilevel.dispatch",
+                                    f"group={g} corruption")
+            # Gate-free inner entry: the outer batch already validated
+            # the queries and resolved the obs/policy/fault gates, so
+            # per-group sub-batches skip run_plan's framing (which
+            # otherwise dominates small shards).  ``ctx.max_batch_rows``
+            # bounds rows per executed sub-shard here, at the group
+            # level (see _BiLevelPlan.delegates_sharding).
+            return run_shards(
+                index.group_indexes[g].execution_plan(
+                    self.group_engine, self.hierarchy_threshold),
+                ctx.queries[rows], ctx.k, ob=ctx.ob, deadline=deadline,
+                policy=pol, fault_plan=plan,
+                max_batch_rows=ctx.max_batch_rows)
+
+        ctx.scratch["results"] = index._dispatch_groups(
+            active, run_group, ctx.queries, ctx.k, pol, deadline,
+            ctx.exhausted, ctx.failures)
+
+    def _stage_merge(self, ctx: ExecutionContext) -> None:
+        active = ctx.scratch["active"]
+        results = ctx.scratch["results"]
+        spill = ctx.scratch["spill"]
+        for (g, rows), outcome in zip(active, results):
+            ids_g, dists_g, stats_g = outcome
+            if spill <= 1:
+                ctx.ids_out[rows] = ids_g
+                ctx.dists_out[rows] = dists_g
+                ctx.n_candidates[rows] = stats_g.n_candidates
+                ctx.escalated[rows] = stats_g.escalated
+            else:
+                merge_topk_rows(ctx.ids_out, ctx.dists_out, rows,
+                                ids_g, dists_g, ctx.k)
+                ctx.n_candidates[rows] += stats_g.n_candidates
+                ctx.escalated[rows] |= stats_g.escalated
+            if ctx.degraded is not None and stats_g.degraded is not None:
+                ctx.degraded[rows] |= stats_g.degraded
+            if ctx.exhausted is not None \
+                    and stats_g.exhausted_budget is not None:
+                ctx.exhausted[rows] |= stats_g.exhausted_budget
+            if stats_g.failures:
+                ctx.failures.extend(stats_g.failures)
+
+    def record_obs(self, ctx: ExecutionContext) -> None:
+        ob = ctx.ob
+        ob.record_index_size(self.index.n_points)
+        for (g, rows), (_ids_g, _dists_g, stats_g) in zip(
+                ctx.scratch["active"], ctx.scratch["results"]):
+            ob.record_group(g, int(rows.size),
+                            int(np.count_nonzero(stats_g.escalated)))
+        if ctx.degraded is not None:
+            ob.record_degraded("dispatch",
+                               int(np.count_nonzero(ctx.degraded)))
+        if ctx.exhausted is not None:
+            ob.record_deadline_exhausted(
+                "bilevel.dispatch", int(np.count_nonzero(ctx.exhausted)))

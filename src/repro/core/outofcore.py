@@ -32,18 +32,21 @@ from repro.lsh.index import StandardLSH, make_lattice
 from repro.lattice.base import Lattice
 from repro.lsh.functions import PStableHashFamily
 from repro.lsh.table import LSHTable
+from repro.resilience.errors import QueryValidationError
 from repro.utils.rng import ensure_rng, spawn_rngs
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_matrix_2d, check_positive
 
 DEFAULT_CHUNK = 8192
 
 
 def _validate_2d(data: np.ndarray, name: str = "data") -> np.ndarray:
-    if getattr(data, "ndim", None) != 2:
-        raise ValueError(f"{name} must be 2-D (n_points, dim)")
-    if data.shape[0] == 0:
-        raise ValueError(f"{name} must be non-empty")
-    return data
+    """Shared memmap-safe shape check, with the typed error the query
+    path raises (:class:`QueryValidationError` is a ``ValueError``, so
+    pre-existing callers keep working)."""
+    try:
+        return check_matrix_2d(data, name)
+    except ValueError as error:
+        raise QueryValidationError(str(error), field=name) from error
 
 
 def chunked_codes(family: PStableHashFamily, lattice: Lattice,

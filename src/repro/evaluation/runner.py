@@ -19,6 +19,10 @@ import numpy as np
 from repro.evaluation.groundtruth import GroundTruth
 from repro.evaluation.metrics import error_ratio, recall_ratio, selectivity
 from repro.evaluation.variance import VarianceSummary, decompose_variance
+from repro.exec import ExecutionContext, QueryPlan, Stage
+from repro.exec.executor import run_plan
+from repro.resilience.errors import QueryValidationError
+from repro.utils.validation import as_query_matrix, check_k
 
 #: An index factory: seed -> unfitted index with fit()/query_batch().
 IndexFactory = Callable[[int], object]
@@ -106,11 +110,27 @@ class KNNIndex(Protocol):
 
 
 def evaluate_index(index: KNNIndex, data: np.ndarray, queries: np.ndarray,
-                   k: int,
-                   ground_truth: GroundTruth) -> RunMeasurement:
-    """Fit-and-query one index, returning per-query metrics."""
+                   k: int, ground_truth: GroundTruth, *,
+                   deadline_ms: Optional[float] = None,
+                   policy: Optional[object] = None,
+                   max_batch_rows: Optional[int] = None) -> RunMeasurement:
+    """Fit-and-query one index, returning per-query metrics.
+
+    ``deadline_ms`` / ``policy`` / ``max_batch_rows`` run the evaluation
+    batch through the shared execution core
+    (:func:`repro.exec.run_plan`) with supervision forwarded to the
+    index's ``query_batch`` — only pass them for indexes whose
+    ``query_batch`` accepts ``deadline=`` / ``policy=`` (every in-repo
+    front-end does; the bare :class:`KNNIndex` protocol does not
+    require it).
+    """
     index.fit(data)
-    ids, dists, stats = index.query_batch(queries, k)
+    plan = _EvaluationPlan(index, dim=data.shape[1],
+                           forward_deadline=deadline_ms is not None,
+                           forward_policy=policy is not None)
+    ids, dists, stats = run_plan(plan, queries, k, deadline_ms=deadline_ms,
+                                 policy=policy,
+                                 max_batch_rows=max_batch_rows)
     exact_ids, exact_dists = ground_truth.neighbors(k)
     return RunMeasurement(
         recall=recall_ratio(exact_ids, ids),
@@ -122,8 +142,16 @@ def evaluate_index(index: KNNIndex, data: np.ndarray, queries: np.ndarray,
 def run_method(spec: MethodSpec, data: np.ndarray, queries: np.ndarray,
                k: int, n_runs: int = 3, base_seed: int = 0,
                ground_truth: Optional[GroundTruth] = None,
-               params: Optional[Dict[str, object]] = None) -> ExperimentResult:
-    """Run ``spec`` ``n_runs`` times with independent projection seeds."""
+               params: Optional[Dict[str, object]] = None, *,
+               deadline_ms: Optional[float] = None,
+               policy: Optional[object] = None,
+               max_batch_rows: Optional[int] = None) -> ExperimentResult:
+    """Run ``spec`` ``n_runs`` times with independent projection seeds.
+
+    ``deadline_ms`` / ``policy`` / ``max_batch_rows`` are forwarded to
+    :func:`evaluate_index` for every run (each run gets its own fresh
+    ``deadline_ms`` budget).
+    """
     if n_runs <= 0:
         raise ValueError(f"n_runs must be positive, got {n_runs}")
     if ground_truth is None:
@@ -131,7 +159,9 @@ def run_method(spec: MethodSpec, data: np.ndarray, queries: np.ndarray,
     recalls, errors, selectivities = [], [], []
     for run in range(n_runs):
         index = spec.factory(base_seed + 7919 * run)
-        m = evaluate_index(index, data, queries, k, ground_truth)
+        m = evaluate_index(index, data, queries, k, ground_truth,
+                           deadline_ms=deadline_ms, policy=policy,
+                           max_batch_rows=max_batch_rows)
         recalls.append(m.recall)
         errors.append(m.error)
         selectivities.append(m.selectivity)
@@ -148,7 +178,10 @@ def sweep_bucket_width(make_spec: Callable[[float], MethodSpec],
                        widths: Sequence[float], data: np.ndarray,
                        queries: np.ndarray, k: int, n_runs: int = 3,
                        base_seed: int = 0,
-                       ground_truth: Optional[GroundTruth] = None,
+                       ground_truth: Optional[GroundTruth] = None, *,
+                       deadline_ms: Optional[float] = None,
+                       policy: Optional[object] = None,
+                       max_batch_rows: Optional[int] = None,
                        ) -> List[ExperimentResult]:
     """Evaluate a method along a grid of bucket widths ``W``.
 
@@ -156,6 +189,8 @@ def sweep_bucket_width(make_spec: Callable[[float], MethodSpec],
     bucket width ``W``; the returned results are ordered like ``widths``
     and each carries ``params={'W': W}`` for table printing.  The exact
     ground truth is computed once and shared across the sweep.
+    ``deadline_ms`` / ``policy`` / ``max_batch_rows`` are forwarded to
+    every :func:`run_method` call.
     """
     if ground_truth is None:
         ground_truth = GroundTruth(data, queries, k)
@@ -165,7 +200,9 @@ def sweep_bucket_width(make_spec: Callable[[float], MethodSpec],
         results.append(run_method(spec, data, queries, k, n_runs=n_runs,
                                   base_seed=base_seed,
                                   ground_truth=ground_truth,
-                                  params={"W": float(w)}))
+                                  params={"W": float(w)},
+                                  deadline_ms=deadline_ms, policy=policy,
+                                  max_batch_rows=max_batch_rows))
     return results
 
 
@@ -189,3 +226,66 @@ def format_results_table(results: Sequence[ExperimentResult],
             f"{rec.mean:>7.4f} {rec.std_projections:>7.4f} {rec.std_queries:>7.4f} "
             f"{err.mean:>7.4f} {err.std_projections:>7.4f} {err.std_queries:>7.4f}")
     return "\n".join(lines)
+
+
+class _EvaluationPlan(QueryPlan):
+    """One-stage plan wrapping an evaluated index's ``query_batch``.
+
+    Running the measurement batch through :func:`repro.exec.run_plan`
+    gives the evaluation protocol the same validation, deadline,
+    degraded-row and sharding semantics as the serving front-ends.
+    Supervision handles are forwarded to the wrapped index only when the
+    caller passed them explicitly — the bare :class:`KNNIndex` protocol
+    does not promise ``deadline=`` / ``policy=`` keywords.
+    """
+
+    site = "evaluate"
+    engine = "evaluate"
+    supports_supervision = True
+
+    def __init__(self, index: KNNIndex, dim: int, *,
+                 forward_deadline: bool, forward_policy: bool) -> None:
+        self.index = index
+        self.dim = dim
+        self.forward_deadline = forward_deadline
+        self.forward_policy = forward_policy
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        try:
+            arr, finite_row = as_query_matrix(
+                queries, dim=self.dim, name="queries",
+                allow_nonfinite=allow_nonfinite)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="queries") from error
+        try:
+            k = check_k(k)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="k") from error
+        return arr, finite_row, k
+
+    def stages(self) -> Tuple[Stage, ...]:
+        return (Stage("evaluate.query", self._stage_query,
+                      skip=self._skip_query),)
+
+    def _stage_query(self, ctx: ExecutionContext) -> None:
+        kwargs: Dict[str, object] = {}
+        if self.forward_deadline and ctx.deadline is not None:
+            kwargs["deadline"] = ctx.deadline
+        if self.forward_policy and ctx.policy is not None:
+            kwargs["policy"] = ctx.policy
+        ids, dists, stats = self.index.query_batch(ctx.queries, ctx.k,
+                                                   **kwargs)
+        ctx.ids_out[:] = ids
+        ctx.dists_out[:] = dists
+        ctx.n_candidates[:] = stats.n_candidates
+        ctx.escalated[:] = stats.escalated
+        if stats.degraded is not None:
+            ctx.ensure_degraded()[:] = stats.degraded
+        if stats.exhausted_budget is not None:
+            ctx.ensure_exhausted()[:] = stats.exhausted_budget
+        if stats.failures:
+            ctx.failures.extend(stats.failures)
+
+    def _skip_query(self, ctx: ExecutionContext) -> None:
+        ctx.ensure_exhausted()[:] = True

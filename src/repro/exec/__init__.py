@@ -1,0 +1,27 @@
+"""Unified query execution core.
+
+One staged pipeline behind every front-end: front-ends describe their
+work as a :class:`QueryPlan` (ordered :class:`Stage` callables over a
+shared :class:`ExecutionContext`) and :func:`run_plan` executes it —
+owning validation, gate reads, deadlines, supervision, stage timing,
+top-k merging and bounded-memory batch sharding in one place.
+
+See DESIGN.md §11 ("Execution core") for the architecture and the
+recipe for adding a new front-end.
+"""
+
+from repro.exec.context import ExecutionContext, QueryStats
+from repro.exec.executor import execute_stages, run_plan, run_shards
+from repro.exec.merge import merge_topk_rows
+from repro.exec.plan import QueryPlan, Stage
+
+__all__ = [
+    "ExecutionContext",
+    "QueryPlan",
+    "QueryStats",
+    "Stage",
+    "execute_stages",
+    "merge_topk_rows",
+    "run_plan",
+    "run_shards",
+]

@@ -1,0 +1,99 @@
+"""The staged query-plan abstraction every front-end implements.
+
+A :class:`QueryPlan` decomposes one front-end's query path into an
+ordered sequence of named :class:`Stage` callables (validate → route →
+probe/gather → rank → merge → finalize).  The executor
+(:func:`repro.exec.executor.run_plan`) owns everything around the
+stages — gate reads, deadline construction, per-stage timing, deadline
+checks between stages, non-finite-row degradation, batch sharding, and
+the final :class:`~repro.exec.context.QueryStats` — so the plans
+themselves contain only front-end-specific work.
+
+Plans live next to the index classes they execute (``repro/lsh``,
+``repro/core``, ``repro/gpu``, ``repro/evaluation``) because stages need
+private access to index internals; this module only defines the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exec.context import ExecutionContext
+
+StageFn = Callable[[ExecutionContext], None]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of a query plan.
+
+    ``fn`` does the work, mutating the context in place.  ``skip``, when
+    set, is the degraded alternative the executor runs instead of ``fn``
+    once the batch deadline has expired before this stage (typically:
+    flag every row ``exhausted_budget`` and leave the padded outputs).
+    Stages without a ``skip`` always run — their work is required for a
+    well-formed answer.  ``timed`` stages are lapped into the shared
+    ``repro_stage_seconds`` histogram under the stage name.
+    """
+
+    name: str
+    fn: StageFn
+    skip: Optional[StageFn] = None
+    timed: bool = True
+
+
+class QueryPlan:
+    """Base contract for a front-end's staged execution.
+
+    Class attributes
+    ----------------
+    site:
+        Short front-end name (``"lsh"``, ``"bilevel"``, ``"forest"``,
+        ``"gpu"``, ``"evaluate"``) used to prefix failure-record and
+        telemetry sites (e.g. ``"lsh.validate"``).
+    engine:
+        Engine label for telemetry (``record_batch``).
+    supports_supervision:
+        Whether deadline/policy supervision is meaningful for this plan.
+        When ``False`` the executor rejects supervised calls with the
+        same typed error the scalar engine always raised.
+    delegates_sharding:
+        Whether the plan applies ``max_batch_rows`` itself instead of
+        the executor slicing the batch at the top level.  Plans that fan
+        out to inner sub-executions (the bi-level dispatch) set this and
+        bound each inner execution via
+        :func:`repro.exec.executor.run_shards` with
+        ``ctx.max_batch_rows`` — sharding at the fan-out level avoids
+        re-paying the per-sub-index fixed cost once per top-level shard
+        while bounding the same gather/rank scratch memory.
+    """
+
+    site: str = "plan"
+    engine: str = "plan"
+    supports_supervision: bool = True
+    delegates_sharding: bool = False
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        """Coerce and validate the batch inputs.
+
+        Returns ``(queries, finite_row, k)`` where ``finite_row`` is a
+        per-row finiteness mask (``None`` when every row is usable).
+        Non-finite rows are only tolerated when ``allow_nonfinite`` — the
+        executor passes ``True`` exactly when a policy is active, and
+        degrades the flagged rows instead of running them.
+        """
+        raise NotImplementedError
+
+    def stages(self) -> Sequence[Stage]:
+        """The ordered stages for one validated shard."""
+        raise NotImplementedError
+
+    def finish(self, ctx: ExecutionContext) -> None:
+        """Post-stage hook: fold stage byproducts into the output masks."""
+
+    def record_obs(self, ctx: ExecutionContext) -> None:
+        """Batch-level telemetry; called only when an Observer is active."""

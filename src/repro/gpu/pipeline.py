@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import obs
+from repro.exec import ExecutionContext, QueryPlan, Stage
+from repro.exec.executor import run_plan
 from repro.gpu.cuckoo import CuckooHashTable, compress_code
 from repro.gpu.device import CPUModel, DeviceModel, ExecutionTimer
 from repro.gpu.shortlist import (
@@ -33,7 +35,8 @@ from repro.gpu.shortlist import (
     work_queue_shortlist,
 )
 from repro.lsh.table import LSHTable
-from repro.utils.validation import as_float_matrix, check_k
+from repro.resilience.errors import QueryValidationError
+from repro.utils.validation import as_float_matrix, as_query_matrix, check_k
 
 if TYPE_CHECKING:  # pragma: no cover - import-time types only
     from repro.core.bilevel import BiLevelLSH
@@ -121,45 +124,27 @@ class GPUPipeline:
         return self.cpu.seconds(total)
 
     def run(self, data: np.ndarray, queries: np.ndarray, k: int,
-            mode: str = "gpu_workqueue") -> tuple:
+            mode: str = "gpu_workqueue",
+            max_batch_rows: Optional[int] = None) -> tuple:
         """Answer ``queries`` under ``mode``; returns (result, timing).
 
         ``result`` is a :class:`~repro.gpu.shortlist.ShortListResult`;
         ``timing`` a :class:`PipelineTiming` with the lookup/short-list
-        split the paper's Fig. 4 compares.
+        split the paper's Fig. 4 compares.  ``max_batch_rows`` bounds
+        rows per executed shard (see :func:`repro.exec.run_plan`); the
+        simulated phase seconds accumulate across shards.
         """
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         data = as_float_matrix(data)
-        queries = as_float_matrix(queries, name="queries")
-        k = check_k(k)
-        candidate_sets = self.index.candidate_sets(queries)
-        config = getattr(self.index, "config", None)
-        n_tables = getattr(self.index, "n_tables",
-                           getattr(config, "n_tables",
-                                   getattr(self.index, "n_trees", 1)))
-        n_probes = getattr(self.index, "n_probes",
-                           getattr(config, "n_probes", 0))
-        n_hashes = getattr(self.index, "n_hashes",
-                           getattr(config, "n_hashes",
-                                   getattr(self.index, "max_depth", 8)))
-        lookups_per_query = n_tables * (1 + n_probes)
-        parallel_lookup = mode != "cpu_lshkit"
-        lookup_seconds = self._lookup_seconds(queries.shape[0],
-                                              lookups_per_query,
-                                              n_tables, data.shape[1],
-                                              n_hashes, parallel_lookup)
-        if mode in ("cpu_lshkit", "cpu_shortlist"):
-            result = serial_shortlist(data, queries, candidate_sets, k,
-                                      cpu=self.cpu)
-        elif mode == "gpu":
-            result = per_thread_shortlist(data, queries, candidate_sets, k,
-                                          device=self.device)
-        else:
-            result = work_queue_shortlist(data, queries, candidate_sets, k,
-                                          device=self.device)
-        timing = PipelineTiming(lookup_seconds=lookup_seconds,
-                                shortlist_seconds=result.seconds)
+        plan = _GPUPlan(self, data, mode)
+        ids, dists, _ = run_plan(plan, queries, k,
+                                 max_batch_rows=max_batch_rows)
+        result = ShortListResult(ids=ids, distances=dists,
+                                 timer=plan.shortlist_timer,
+                                 seconds=plan.shortlist_seconds)
+        timing = PipelineTiming(lookup_seconds=plan.lookup_seconds,
+                                shortlist_seconds=plan.shortlist_seconds)
         ob = obs.active()
         if ob is not None:
             # cpu_* modes are the device-unavailable fallbacks of the
@@ -193,3 +178,89 @@ class GPUPipeline:
                 raise AssertionError(
                     f"mode {mode!r} returned different neighbors")
         return timings
+
+
+class _GPUPlan(QueryPlan):
+    """Staged execution of one :meth:`GPUPipeline.run` batch.
+
+    ``gpu.lookup`` gathers candidate sets through the wrapped index and
+    charges the modeled hash/table-access time; ``gpu.shortlist`` runs
+    the mode's short-list kernel.  The plan accumulates the simulated
+    phase seconds across shards so :meth:`GPUPipeline.run` can report
+    one :class:`PipelineTiming` per batch regardless of sharding.
+    """
+
+    site = "gpu"
+    engine = "gpu"
+    supports_supervision = True
+
+    def __init__(self, pipeline: GPUPipeline, data: np.ndarray,
+                 mode: str) -> None:
+        self.pipeline = pipeline
+        self.data = data
+        self.mode = mode
+        self.lookup_seconds = 0.0
+        self.shortlist_seconds = 0.0
+        self.shortlist_timer = ExecutionTimer()
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> "tuple[np.ndarray, Optional[np.ndarray], int]":
+        try:
+            arr, finite_row = as_query_matrix(
+                queries, dim=self.data.shape[1], name="queries",
+                allow_nonfinite=allow_nonfinite)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="queries") from error
+        try:
+            k = check_k(k)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="k") from error
+        return arr, finite_row, k
+
+    def stages(self) -> "tuple[Stage, ...]":
+        return (Stage("gpu.lookup", self._stage_lookup),
+                Stage("gpu.shortlist", self._stage_shortlist,
+                      skip=self._skip_shortlist))
+
+    def _stage_lookup(self, ctx: ExecutionContext) -> None:
+        pipe = self.pipeline
+        index = pipe.index
+        candidate_sets = index.candidate_sets(ctx.queries)
+        config = getattr(index, "config", None)
+        n_tables = getattr(index, "n_tables",
+                           getattr(config, "n_tables",
+                                   getattr(index, "n_trees", 1)))
+        n_probes = getattr(index, "n_probes",
+                           getattr(config, "n_probes", 0))
+        n_hashes = getattr(index, "n_hashes",
+                           getattr(config, "n_hashes",
+                                   getattr(index, "max_depth", 8)))
+        lookups_per_query = n_tables * (1 + n_probes)
+        parallel_lookup = self.mode != "cpu_lshkit"
+        self.lookup_seconds += pipe._lookup_seconds(
+            ctx.nq, lookups_per_query, n_tables, self.data.shape[1],
+            n_hashes, parallel_lookup)
+        ctx.scratch["candidate_sets"] = candidate_sets
+        ctx.n_candidates[:] = [c.size for c in candidate_sets]
+
+    def _stage_shortlist(self, ctx: ExecutionContext) -> None:
+        pipe = self.pipeline
+        candidate_sets = ctx.scratch["candidate_sets"]
+        if self.mode in ("cpu_lshkit", "cpu_shortlist"):
+            result = serial_shortlist(self.data, ctx.queries,
+                                      candidate_sets, ctx.k, cpu=pipe.cpu)
+        elif self.mode == "gpu":
+            result = per_thread_shortlist(self.data, ctx.queries,
+                                          candidate_sets, ctx.k,
+                                          device=pipe.device)
+        else:
+            result = work_queue_shortlist(self.data, ctx.queries,
+                                          candidate_sets, ctx.k,
+                                          device=pipe.device)
+        self.shortlist_seconds += result.seconds
+        self.shortlist_timer.merge(result.timer)
+        ctx.ids_out[:] = result.ids
+        ctx.dists_out[:] = result.distances
+
+    def _skip_shortlist(self, ctx: ExecutionContext) -> None:
+        ctx.ensure_exhausted()[:] = True

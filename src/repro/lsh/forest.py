@@ -28,10 +28,14 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.lsh.index import QueryStats
+from repro.exec import ExecutionContext, QueryPlan, QueryStats, Stage
+from repro.exec.executor import run_plan
 from repro.resilience.deadline import Deadline
+from repro.resilience.errors import InjectedFault, QueryValidationError
+from repro.resilience.policy import ResiliencePolicy
 from repro.utils.rng import SeedLike, spawn_rngs
-from repro.utils.validation import as_float_matrix, check_k, check_positive
+from repro.utils.validation import (as_float_matrix, as_query_matrix, check_k,
+                                    check_positive)
 
 MAX_DEPTH_LIMIT = 62  # codes are packed into uint64
 
@@ -163,53 +167,28 @@ class LSHForest:
     def query_batch(self, queries: np.ndarray, k: int,
                     hierarchy_threshold: Union[str, int, None] = None,
                     deadline_ms: Optional[float] = None,
-                    policy: Optional[object] = None,
+                    deadline: Optional[Deadline] = None,
+                    policy: Optional[ResiliencePolicy] = None,
+                    max_batch_rows: Optional[int] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch; mirrors :meth:`StandardLSH.query_batch`.
 
-        ``hierarchy_threshold`` and ``policy`` are accepted (and ignored)
-        for interface compatibility with the experiment runner and the
-        CLI — the forest's per-query loop has no group workers for a
-        :class:`~repro.resilience.policy.ResiliencePolicy` to supervise.
-        ``deadline_ms`` is honoured: queries whose turn comes after the
-        budget expires return an empty best-effort answer flagged in
-        ``QueryStats.exhausted_budget``.
+        ``hierarchy_threshold`` is accepted (and ignored) for interface
+        compatibility with the experiment runner and the CLI — the forest
+        has no hierarchical table.  ``deadline_ms`` is honoured: queries
+        whose turn comes after the budget expires return an empty
+        best-effort answer flagged in ``QueryStats.exhausted_budget``.
+        Under ``policy=`` each per-query gather runs supervised at the
+        ``"lsh.gather"`` site, so a failing query is answered degraded
+        (with a :class:`~repro.resilience.policy.FailureRecord` on
+        ``QueryStats.failures``) instead of crashing the batch.
+        ``max_batch_rows`` bounds rows per executed shard.
         """
-        del policy  # nothing to supervise on the single-threaded path
+        del hierarchy_threshold  # no hierarchical table on the forest path
         self._check_fitted()
-        queries = as_float_matrix(queries, name="queries")
-        if queries.shape[1] != self._data.shape[1]:
-            raise ValueError(
-                f"queries have dim {queries.shape[1]}, index has dim "
-                f"{self._data.shape[1]}")
-        k = check_k(k)
-        deadline = Deadline.from_ms(deadline_ms)
-        nq = queries.shape[0]
-        codes = [self._encode(queries, d) for d in self._directions]
-        want = self.candidate_target * k
-        ids_out = np.full((nq, k), -1, dtype=np.int64)
-        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
-        n_candidates = np.zeros(nq, dtype=np.int64)
-        exhausted = (np.zeros(nq, dtype=bool) if deadline is not None
-                     else None)
-        for qi in range(nq):
-            if deadline is not None and deadline.expired():
-                exhausted[qi] = True
-                continue
-            cand = self._gather(codes, qi, want)
-            n_candidates[qi] = cand.size
-            if cand.size == 0:
-                continue
-            diffs = self._data[cand] - queries[qi]
-            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
-            take = min(k, cand.size)
-            top = np.argpartition(dists, take - 1)[:take]
-            top = top[np.argsort(dists[top], kind="stable")]
-            ids_out[qi, :take] = self._ids[cand[top]]
-            dists_out[qi, :take] = dists[top]
-        return ids_out, dists_out, QueryStats(
-            n_candidates, np.zeros(nq, dtype=bool),
-            exhausted_budget=exhausted)
+        return run_plan(_ForestPlan(self), queries, k,
+                        deadline_ms=deadline_ms, deadline=deadline,
+                        policy=policy, max_batch_rows=max_batch_rows)
 
     def candidate_sets(self, queries: np.ndarray) -> List[np.ndarray]:
         """Raw candidate id sets per query (for the GPU pipeline benches).
@@ -229,3 +208,94 @@ class LSHForest:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"LSHForest(n_trees={self.n_trees}, max_depth={self.max_depth}, "
                 f"candidate_target={self.candidate_target})")
+
+
+class _ForestPlan(QueryPlan):
+    """Staged execution of the forest's synchronous-ascent query path.
+
+    ``forest.encode`` packs the batch into per-tree prefix codes;
+    ``forest.search`` runs the per-query ascent + exact rank loop.  The
+    search stage checks the deadline between queries and, under a
+    policy, supervises each gather at the ``"lsh.gather"`` fault site
+    (labelled ``query=<qi>``) so one poisoned query degrades its own row
+    instead of crashing the batch.
+    """
+
+    site = "forest"
+    engine = "forest"
+    supports_supervision = True
+
+    def __init__(self, forest: LSHForest) -> None:
+        self.forest = forest
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        try:
+            arr, finite_row = as_query_matrix(
+                queries, dim=self.forest._data.shape[1], name="queries",
+                allow_nonfinite=allow_nonfinite)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="queries") from error
+        try:
+            k = check_k(k)
+        except ValueError as error:
+            raise QueryValidationError(str(error), field="k") from error
+        return arr, finite_row, k
+
+    def stages(self) -> Tuple[Stage, ...]:
+        return (Stage("forest.encode", self._stage_encode),
+                Stage("forest.search", self._stage_search,
+                      skip=self._skip_search))
+
+    def _stage_encode(self, ctx: ExecutionContext) -> None:
+        forest = self.forest
+        ctx.scratch["codes"] = [forest._encode(ctx.queries, d)
+                                for d in forest._directions]
+
+    def _stage_search(self, ctx: ExecutionContext) -> None:
+        forest = self.forest
+        codes = ctx.scratch["codes"]
+        want = forest.candidate_target * ctx.k
+        pol = ctx.policy
+        if pol is not None:
+            ctx.ensure_degraded()
+        for qi in range(ctx.nq):
+            if ctx.deadline is not None and ctx.deadline.expired():
+                ctx.ensure_exhausted()[qi] = True
+                continue
+
+            def gather(qi: int = qi) -> np.ndarray:
+                if (ctx.fault_plan is not None
+                        and ctx.fault_plan.check("lsh.gather", query=qi)):
+                    raise InjectedFault("lsh.gather", f"query={qi} corruption")
+                return forest._gather(codes, qi, want)
+
+            if pol is None:
+                cand = gather()
+            else:
+                cand, _, records = pol.run(
+                    "lsh.gather", f"query={qi}", gather)
+                ctx.failures.extend(records)
+                if cand is None:
+                    ctx.degraded[qi] = True
+                    continue
+            ctx.n_candidates[qi] = cand.size
+            if cand.size == 0:
+                continue
+            diffs = forest._data[cand] - ctx.queries[qi]
+            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            take = min(ctx.k, cand.size)
+            top = np.argpartition(dists, take - 1)[:take]
+            top = top[np.argsort(dists[top], kind="stable")]
+            ctx.ids_out[qi, :take] = forest._ids[cand[top]]
+            ctx.dists_out[qi, :take] = dists[top]
+
+    def _skip_search(self, ctx: ExecutionContext) -> None:
+        if ctx.policy is not None:
+            ctx.ensure_degraded()
+        ctx.ensure_exhausted()[:] = True
+
+    def record_obs(self, ctx: ExecutionContext) -> None:
+        assert ctx.ob is not None
+        ctx.ob.record_batch(self.engine, ctx.n_candidates, ctx.escalated,
+                            ctx.timer.stages)

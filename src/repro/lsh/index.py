@@ -19,12 +19,13 @@ the apples-to-apples setup of the paper's experiments.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
+from repro.exec import ExecutionContext, QueryPlan, QueryStats, Stage
+from repro.exec.executor import execute_stages, run_plan
 from repro.lattice.base import Lattice
 from repro.lattice.e8 import E8Lattice
 from repro.lattice.zm import ZMLattice
@@ -33,12 +34,13 @@ from repro.lsh.multiprobe import adaptive_probes, adaptive_probes_batch
 from repro.lsh.table import LSHTable
 from repro.resilience.deadline import Deadline
 from repro.resilience.errors import InjectedFault, QueryValidationError
-from repro.resilience.faults import FaultPlan, faults_active
-from repro.resilience.policy import (FailureRecord, ResiliencePolicy,
-                                     active_policy)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import ResiliencePolicy
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.utils.validation import (as_float_matrix, as_query_matrix, check_k,
                                     check_positive)
+
+__all__ = ["QueryStats", "StandardLSH", "make_lattice"]
 
 
 def make_lattice(kind: str, dim: int) -> Lattice:
@@ -56,52 +58,9 @@ def make_lattice(kind: str, dim: int) -> Lattice:
         f"unknown lattice kind {kind!r}; expected 'zm', 'e8' or 'dm'")
 
 
-@dataclass
-class QueryStats:
-    """Per-query diagnostics from a batch query.
-
-    Attributes
-    ----------
-    n_candidates:
-        Size of the deduplicated short-list ``|A(v)|`` per query — the
-        numerator of the paper's selectivity metric (Eq. (5)).
-    escalated:
-        Whether the hierarchical table escalated this query.
-    degraded:
-        Boolean mask of queries answered by a resilience fallback (or
-        flagged empty after one), plus non-finite input rows; ``None``
-        on the fast path when no resilience feature was engaged.
-    exhausted_budget:
-        Boolean mask of queries whose ``deadline_ms`` budget expired
-        mid-pipeline (best-effort answer returned); ``None`` when no
-        deadline was requested.
-    failures:
-        The :class:`~repro.resilience.policy.FailureRecord` entries this
-        batch generated (``None`` when nothing failed).
-    """
-
-    n_candidates: np.ndarray
-    escalated: np.ndarray
-    degraded: Optional[np.ndarray] = None
-    exhausted_budget: Optional[np.ndarray] = None
-    failures: Optional[Tuple[FailureRecord, ...]] = None
-
-    def selectivity(self, dataset_size: int) -> np.ndarray:
-        """Selectivity ``tau(v) = |A(v)| / |S|`` per query."""
-        check_positive(dataset_size, "dataset_size")
-        return self.n_candidates / float(dataset_size)
-
-    def degraded_mask(self) -> np.ndarray:
-        """``degraded`` as a concrete mask (all-False when ``None``)."""
-        if self.degraded is None:
-            return np.zeros(self.n_candidates.shape[0], dtype=bool)
-        return self.degraded
-
-    def exhausted_mask(self) -> np.ndarray:
-        """``exhausted_budget`` as a concrete mask (all-False when ``None``)."""
-        if self.exhausted_budget is None:
-            return np.zeros(self.n_candidates.shape[0], dtype=bool)
-        return self.exhausted_budget
+# QueryStats moved to repro.exec.context with the execution-core refactor;
+# re-exported here (see __all__) because the forest, the bi-level index and
+# a long tail of tests import it from this module.
 
 
 class StandardLSH:
@@ -573,8 +532,14 @@ class StandardLSH:
                     deadline_ms: Optional[float] = None,
                     deadline: Optional[Deadline] = None,
                     policy: Optional[ResiliencePolicy] = None,
+                    max_batch_rows: Optional[int] = None,
                     ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """KNN for a batch of queries.
+
+        Execution goes through :func:`repro.exec.run_plan`: this method
+        only picks the staged plan for ``engine``; validation, deadline
+        construction, policy resolution, stage timing and batch sharding
+        all live in the execution core.
 
         Parameters
         ----------
@@ -587,7 +552,9 @@ class StandardLSH:
             Only with ``hierarchy=True``.  ``'median'`` reproduces the
             paper: compute the median short-list size over the batch, then
             escalate the queries below it.  An integer sets a fixed
-            threshold.
+            threshold.  Note the median is computed per executed shard —
+            pass an integer threshold for shard-invariant results under
+            ``max_batch_rows``.
         engine:
             ``'vectorized'`` (default) runs the whole batch array-at-a-time
             — packed-key bucket lookups, CSR candidate gathering and a
@@ -610,6 +577,11 @@ class StandardLSH:
             flagged-degraded empty results instead of raising.  Falls
             back to the process-wide policy installed with
             :func:`repro.resilience.set_policy`.
+        max_batch_rows:
+            Optional bound on rows executed per shard: large batches are
+            split into contiguous shards run through the same plan, with
+            bit-identical results (given an integer
+            ``hierarchy_threshold``) and bounded peak scratch memory.
 
         Returns
         -------
@@ -620,75 +592,28 @@ class StandardLSH:
             budget-exhausted masks.
         """
         self._check_fitted()
-        pol = policy if policy is not None else active_policy()
-        queries, finite_row, k = self._validate_query_batch(
-            queries, k, allow_nonfinite=pol is not None)
-        if deadline is None:
-            deadline = Deadline.from_ms(deadline_ms)
+        plan = self.execution_plan(engine, hierarchy_threshold)
+        return run_plan(plan, queries, k, deadline_ms=deadline_ms,
+                        deadline=deadline, policy=policy,
+                        max_batch_rows=max_batch_rows)
+
+    def execution_plan(self, engine: str = "vectorized",
+                       hierarchy_threshold: Union[str, int] = "median",
+                       ) -> QueryPlan:
+        """Staged :class:`~repro.exec.plan.QueryPlan` for this index.
+
+        :meth:`query_batch` feeds it to :func:`repro.exec.run_plan`;
+        :class:`~repro.core.bilevel.BiLevelLSH` feeds per-group plans to
+        the gate-free :func:`repro.exec.execute_stages` so inner group
+        sub-batches skip re-validation and re-reading the obs / policy /
+        fault gates the outer batch already resolved.
+        """
         if engine == "vectorized":
-            if finite_row is not None:
-                return self._query_batch_nonfinite(
-                    queries, k, hierarchy_threshold, finite_row,
-                    deadline, pol)
-            return self._query_batch_vectorized(queries, k,
-                                                hierarchy_threshold,
-                                                deadline, pol)
+            return _VectorPlan(self, hierarchy_threshold)
         if engine == "scalar":
-            if deadline is not None or pol is not None:
-                raise QueryValidationError(
-                    "deadline/policy supervision requires the "
-                    "'vectorized' engine", field="engine")
-            return self._query_batch_scalar(queries, k, hierarchy_threshold)
+            return _ScalarPlan(self, hierarchy_threshold)
         raise ValueError(
             f"engine must be 'vectorized' or 'scalar', got {engine!r}")
-
-    def _query_batch_nonfinite(self, queries: np.ndarray, k: int,
-                               hierarchy_threshold: Union[str, int],
-                               finite_row: np.ndarray,
-                               deadline: Optional[Deadline],
-                               pol: ResiliencePolicy,
-                               ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-        """Answer the finite rows, flag the NaN/Inf rows degraded.
-
-        The bad rows never enter the batch top-k merge (one NaN distance
-        would otherwise poison every comparison it participates in); they
-        get padded results and ``degraded=True`` with a recorded failure.
-        """
-        nq = queries.shape[0]
-        good = np.nonzero(finite_row)[0]
-        ids_out = np.full((nq, k), -1, dtype=np.int64)
-        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
-        n_candidates = np.zeros(nq, dtype=np.int64)
-        escalated = np.zeros(nq, dtype=bool)
-        degraded = ~finite_row
-        exhausted = (np.zeros(nq, dtype=bool) if deadline is not None
-                     else None)
-        failures: List[FailureRecord] = []
-        if good.size:
-            sub_ids, sub_dists, sub_stats = self._query_batch_vectorized(
-                queries[good], k, hierarchy_threshold, deadline, pol)
-            ids_out[good] = sub_ids
-            dists_out[good] = sub_dists
-            n_candidates[good] = sub_stats.n_candidates
-            escalated[good] = sub_stats.escalated
-            if sub_stats.degraded is not None:
-                degraded[good] |= sub_stats.degraded
-            if exhausted is not None and sub_stats.exhausted_budget is not None:
-                exhausted[good] = sub_stats.exhausted_budget
-            if sub_stats.failures:
-                failures.extend(sub_stats.failures)
-        n_bad = int(nq - good.size)
-        failures.append(pol.note_failure(
-            "lsh.validate", f"rows={n_bad}",
-            QueryValidationError("query rows contain NaN or infinite "
-                                 "values", field="queries"),
-            "degraded"))
-        ob = obs.active()
-        if ob is not None:
-            ob.record_degraded("nonfinite_query", n_bad)
-        return ids_out, dists_out, QueryStats(
-            n_candidates, escalated, degraded=degraded,
-            exhausted_budget=exhausted, failures=tuple(failures))
 
     def _resolve_threshold(self, counts: np.ndarray, k: int,
                            hierarchy_threshold: Union[str, int]) -> int:
@@ -700,106 +625,24 @@ class StandardLSH:
 
     # ---------------------------------------------------- vectorized engine
 
-    def _query_batch_vectorized(self, queries: np.ndarray, k: int,
-                                hierarchy_threshold: Union[str, int],
-                                deadline: Optional[Deadline] = None,
-                                pol: Optional[ResiliencePolicy] = None,
-                                ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-        # The observability gate is one module-global read per batch; the
-        # engine itself takes the observer as a plain argument so the
-        # overhead benchmark can time the gate-bypassing path directly.
-        return self._vectorized_engine(queries, k, hierarchy_threshold,
-                                       obs.active(), deadline=deadline,
-                                       pol=pol)
-
     def _vectorized_engine(self, queries: np.ndarray, k: int,
                            hierarchy_threshold: Union[str, int],
                            ob: "Optional[obs.Observer]",
                            deadline: Optional[Deadline] = None,
                            pol: Optional[ResiliencePolicy] = None,
                            ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-        nq = queries.shape[0]
-        timer = obs.StageTimer(ob)
-        # Like the observer gate: one module-global read per batch; every
-        # fault site below is behind `plan is not None`.  Faults fire with
-        # or without a policy — unsupervised batches crash on them, which
-        # is exactly the behavior the supervision layer exists to fix.
-        plan = faults_active()
-        res_out: Optional[Dict[str, List[object]]] = \
-            {"dropped_tables": [], "failures": []} if pol is not None else None
-        projections = [family.project(queries) for family in self._families]
-        codes = [self._lattice.quantize(proj) for proj in projections]
-        timer.lap("lsh.hash")
-        probe_out: Optional[Dict[str, np.ndarray]] = \
-            {} if ob is not None else None
-        cand, qidx, counts = self._gather_candidates_batch(
-            projections, codes, nq, ob=ob, probe_out=probe_out,
-            plan=plan, pol=pol, res_out=res_out)
-        timer.lap("lsh.gather")
-        escalated = np.zeros(nq, dtype=bool)
-        exhausted: Optional[np.ndarray] = None
-        if self.use_hierarchy:
-            threshold = self._resolve_threshold(counts, k, hierarchy_threshold)
-            escalated = counts < threshold
-            esc_rows = np.nonzero(escalated)[0]
-            if esc_rows.size:
-                # Hierarchy walks are per query (each escalated query takes
-                # its own path up the bucket tree); their extra ids are
-                # appended to the flattened layout and folded in with one
-                # more global sort + dedup.  With a deadline, the budget is
-                # re-checked between per-query walks: queries whose walk
-                # was cut short keep their base short-list and are flagged
-                # `exhausted_budget` (they were *not* escalated).
-                extra_ids = [cand]
-                extra_q = [qidx]
-                done = esc_rows.size
-                for i, qi in enumerate(esc_rows):
-                    if deadline is not None and deadline.expired():
-                        done = i
-                        break
-                    for t in range(self.n_tables):
-                        ids_t = self._hierarchies[t].candidates(
-                            codes[t][qi], threshold)
-                        if ids_t.size:
-                            extra_ids.append(ids_t)
-                            extra_q.append(
-                                np.full(ids_t.size, qi, dtype=np.int64))
-                if done < esc_rows.size:
-                    skipped = esc_rows[done:]
-                    escalated[skipped] = False
-                    exhausted = np.zeros(nq, dtype=bool)
-                    exhausted[skipped] = True
-                    if ob is not None:
-                        ob.record_deadline_exhausted(
-                            "lsh.escalate", int(skipped.size))
-                cand, qidx, counts = self._dedup_per_query(
-                    np.concatenate(extra_ids), np.concatenate(extra_q), nq)
-            timer.lap("lsh.escalate")
-        ids_out, dists_out = self._rank_shortlists(queries, k, cand, qidx,
-                                                   counts)
-        timer.lap("lsh.rank")
-        degraded: Optional[np.ndarray] = None
-        failures: Optional[Tuple[FailureRecord, ...]] = None
-        if res_out is not None and res_out["dropped_tables"]:
-            # A dropped table removes candidates from *every* query in the
-            # sub-batch; all of them are flagged rather than silently
-            # returning possibly-weaker answers.
-            degraded = np.ones(nq, dtype=bool)
-            failures = tuple(res_out["failures"])  # type: ignore[arg-type]
-            if ob is not None:
-                ob.record_degraded("table_dropped", nq)
-        elif res_out is not None and res_out["failures"]:
-            failures = tuple(res_out["failures"])  # type: ignore[arg-type]
-        if deadline is not None and exhausted is None:
-            exhausted = np.zeros(nq, dtype=bool)
-        if ob is not None:
-            probes = (probe_out.get("probes_per_query")
-                      if probe_out is not None else None)
-            ob.record_batch("vectorized", counts, escalated, timer.stages,
-                            probes=probes)
-        return ids_out, dists_out, QueryStats(
-            counts, escalated, degraded=degraded,
-            exhausted_budget=exhausted, failures=failures)
+        """Gate-bypassing engine entry with the observer pinned by the caller.
+
+        ``benchmarks/bench_obs_overhead.py`` times this directly to bound
+        the cost of the observability/resilience gates; normal entry is
+        :meth:`query_batch` → :func:`repro.exec.run_plan` (which also
+        reads the fault-injection gate — pinned to ``None`` here, the
+        benchmark never installs faults).
+        """
+        ctx = execute_stages(_VectorPlan(self, hierarchy_threshold),
+                             queries, k, ob=ob, deadline=deadline,
+                             policy=pol)
+        return ctx.ids_out, ctx.dists_out, ctx.build_stats()
 
     #: Flattened-candidate rows ranked per fused-kernel chunk (bounds the
     #: gathered ``(rows, D)`` temporary to ~chunk * D floats).
@@ -917,46 +760,6 @@ class StandardLSH:
         ids_out[:, :] = sel_ids
         dists_out[:, :] = sel_dists
 
-    # ------------------------------------------------ scalar (seed) engine
-
-    def _query_batch_scalar(self, queries: np.ndarray, k: int,
-                            hierarchy_threshold: Union[str, int],
-                            ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
-        """The seed per-query engine, kept as the equivalence reference."""
-        nq = queries.shape[0]
-        projections = [family.project(queries) for family in self._families]
-        codes = [self._lattice.quantize(proj) for proj in projections]
-        candidate_sets = [self._gather_candidates(projections, codes, qi)
-                          for qi in range(nq)]
-        escalated = np.zeros(nq, dtype=bool)
-        if self.use_hierarchy and nq > 0:
-            sizes = np.array([c.size for c in candidate_sets], dtype=np.int64)
-            threshold = self._resolve_threshold(sizes, k, hierarchy_threshold)
-            for qi in range(nq):
-                if candidate_sets[qi].size < threshold:
-                    candidate_sets[qi] = self._escalate(
-                        codes, qi, threshold, candidate_sets[qi])
-                    escalated[qi] = True
-        ids_out = np.full((nq, k), -1, dtype=np.int64)
-        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
-        n_candidates = np.zeros(nq, dtype=np.int64)
-        for qi in range(nq):
-            cand = candidate_sets[qi]
-            n_candidates[qi] = cand.size
-            if cand.size == 0:
-                continue
-            diffs = self._data[cand] - queries[qi]
-            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
-            take = min(k, cand.size)
-            top = np.argpartition(dists, take - 1)[:take]
-            top = top[np.argsort(dists[top], kind="stable")]
-            ids_out[qi, :take] = self._ids[cand[top]]
-            dists_out[qi, :take] = dists[top]
-        ob = obs.active()
-        if ob is not None:
-            ob.record_batch("scalar", n_candidates, escalated, {})
-        return ids_out, dists_out, QueryStats(n_candidates, escalated)
-
     def candidate_sets(self, queries: np.ndarray,
                        engine: str = "vectorized") -> List[np.ndarray]:
         """Raw candidate id sets (before short-list ranking), per query.
@@ -982,3 +785,185 @@ class StandardLSH:
         return (f"StandardLSH(M={self.n_hashes}, L={self.n_tables}, "
                 f"W={self.bucket_width:g}, lattice={self.lattice_kind!r}, "
                 f"n_probes={self.n_probes}, hierarchy={self.use_hierarchy})")
+
+
+# --------------------------------------------------------------------------
+# Execution plans (repro.exec).  The stage bodies need private access to the
+# index internals, so the plans live here rather than in repro/exec.
+# --------------------------------------------------------------------------
+
+
+class _VectorPlan(QueryPlan):
+    """Staged vectorized engine: hash → gather → [escalate] → rank."""
+
+    site = "lsh"
+    engine = "vectorized"
+    supports_supervision = True
+
+    def __init__(self, index: StandardLSH,
+                 hierarchy_threshold: Union[str, int]) -> None:
+        self.index = index
+        self.hierarchy_threshold = hierarchy_threshold
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        return self.index._validate_query_batch(queries, k, allow_nonfinite)
+
+    def stages(self) -> Tuple[Stage, ...]:
+        stages = [Stage("lsh.hash", self._stage_hash),
+                  Stage("lsh.gather", self._stage_gather)]
+        if self.index.use_hierarchy:
+            stages.append(Stage("lsh.escalate", self._stage_escalate))
+        stages.append(Stage("lsh.rank", self._stage_rank))
+        return tuple(stages)
+
+    def _stage_hash(self, ctx: ExecutionContext) -> None:
+        index = self.index
+        projections = [family.project(ctx.queries)
+                       for family in index._families]
+        ctx.scratch["projections"] = projections
+        ctx.scratch["codes"] = [index._lattice.quantize(proj)
+                                for proj in projections]
+
+    def _stage_gather(self, ctx: ExecutionContext) -> None:
+        res_out: Optional[Dict[str, List[object]]] = (
+            {"dropped_tables": [], "failures": []}
+            if ctx.policy is not None else None)
+        probe_out: Optional[Dict[str, np.ndarray]] = (
+            {} if ctx.ob is not None else None)
+        cand, qidx, counts = self.index._gather_candidates_batch(
+            ctx.scratch["projections"], ctx.scratch["codes"], ctx.nq,
+            ob=ctx.ob, probe_out=probe_out, plan=ctx.fault_plan,
+            pol=ctx.policy, res_out=res_out)
+        ctx.scratch["cand"] = cand
+        ctx.scratch["qidx"] = qidx
+        ctx.scratch["res_out"] = res_out
+        ctx.scratch["probe_out"] = probe_out
+        ctx.n_candidates[:] = counts
+
+    def _stage_escalate(self, ctx: ExecutionContext) -> None:
+        # Hierarchy walks are per query (each escalated query takes its
+        # own path up the bucket tree); their extra ids are appended to
+        # the flattened layout and folded in with one more global sort +
+        # dedup.  With a deadline, the budget is re-checked between
+        # per-query walks: queries whose walk was cut short keep their
+        # base short-list and are flagged `exhausted_budget` (they were
+        # *not* escalated).
+        index = self.index
+        cand = ctx.scratch["cand"]
+        qidx = ctx.scratch["qidx"]
+        threshold = index._resolve_threshold(ctx.n_candidates, ctx.k,
+                                             self.hierarchy_threshold)
+        ctx.escalated[:] = ctx.n_candidates < threshold
+        esc_rows = np.nonzero(ctx.escalated)[0]
+        if not esc_rows.size:
+            return
+        codes = ctx.scratch["codes"]
+        deadline = ctx.deadline
+        extra_ids = [cand]
+        extra_q = [qidx]
+        done = esc_rows.size
+        for i, qi in enumerate(esc_rows):
+            if deadline is not None and deadline.expired():
+                done = i
+                break
+            for t in range(index.n_tables):
+                ids_t = index._hierarchies[t].candidates(
+                    codes[t][qi], threshold)
+                if ids_t.size:
+                    extra_ids.append(ids_t)
+                    extra_q.append(np.full(ids_t.size, qi, dtype=np.int64))
+        if done < esc_rows.size:
+            skipped = esc_rows[done:]
+            ctx.escalated[skipped] = False
+            ctx.ensure_exhausted()[skipped] = True
+            if ctx.ob is not None:
+                ctx.ob.record_deadline_exhausted("lsh.escalate",
+                                                 int(skipped.size))
+        cand, qidx, counts = index._dedup_per_query(
+            np.concatenate(extra_ids), np.concatenate(extra_q), ctx.nq)
+        ctx.scratch["cand"] = cand
+        ctx.scratch["qidx"] = qidx
+        ctx.n_candidates[:] = counts
+
+    def _stage_rank(self, ctx: ExecutionContext) -> None:
+        ids_out, dists_out = self.index._rank_shortlists(
+            ctx.queries, ctx.k, ctx.scratch["cand"], ctx.scratch["qidx"],
+            ctx.n_candidates)
+        ctx.ids_out[:] = ids_out
+        ctx.dists_out[:] = dists_out
+
+    def finish(self, ctx: ExecutionContext) -> None:
+        res_out = ctx.scratch.get("res_out")
+        if res_out is None:
+            return
+        if res_out["dropped_tables"]:
+            # A dropped table removes candidates from *every* query in
+            # the shard; all of them are flagged rather than silently
+            # returning possibly-weaker answers.
+            ctx.ensure_degraded()[:] = True
+            if ctx.ob is not None:
+                ctx.ob.record_degraded("table_dropped", ctx.nq)
+        if res_out["failures"]:
+            ctx.failures.extend(res_out["failures"])
+
+    def record_obs(self, ctx: ExecutionContext) -> None:
+        probe_out = ctx.scratch.get("probe_out")
+        probes = (probe_out.get("probes_per_query")
+                  if probe_out is not None else None)
+        ctx.ob.record_batch("vectorized", ctx.n_candidates, ctx.escalated,
+                            ctx.timer.stages, probes=probes)
+
+
+class _ScalarPlan(QueryPlan):
+    """The seed per-query engine, kept as the equivalence reference."""
+
+    site = "lsh"
+    engine = "scalar"
+    supports_supervision = False
+
+    def __init__(self, index: StandardLSH,
+                 hierarchy_threshold: Union[str, int]) -> None:
+        self.index = index
+        self.hierarchy_threshold = hierarchy_threshold
+
+    def validate(self, queries: object, k: int, *, allow_nonfinite: bool,
+                 ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+        return self.index._validate_query_batch(queries, k, allow_nonfinite)
+
+    def stages(self) -> Tuple[Stage, ...]:
+        return (Stage("lsh.scalar", self._stage_all, timed=False),)
+
+    def _stage_all(self, ctx: ExecutionContext) -> None:
+        index = self.index
+        nq = ctx.nq
+        projections = [family.project(ctx.queries)
+                       for family in index._families]
+        codes = [index._lattice.quantize(proj) for proj in projections]
+        candidate_sets = [index._gather_candidates(projections, codes, qi)
+                          for qi in range(nq)]
+        if index.use_hierarchy and nq > 0:
+            sizes = np.array([c.size for c in candidate_sets],
+                             dtype=np.int64)
+            threshold = index._resolve_threshold(sizes, ctx.k,
+                                                 self.hierarchy_threshold)
+            for qi in range(nq):
+                if candidate_sets[qi].size < threshold:
+                    candidate_sets[qi] = index._escalate(
+                        codes, qi, threshold, candidate_sets[qi])
+                    ctx.escalated[qi] = True
+        for qi in range(nq):
+            cand = candidate_sets[qi]
+            ctx.n_candidates[qi] = cand.size
+            if cand.size == 0:
+                continue
+            diffs = index._data[cand] - ctx.queries[qi]
+            dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+            take = min(ctx.k, cand.size)
+            top = np.argpartition(dists, take - 1)[:take]
+            top = top[np.argsort(dists[top], kind="stable")]
+            ctx.ids_out[qi, :take] = index._ids[cand[top]]
+            ctx.dists_out[qi, :take] = dists[top]
+
+    def record_obs(self, ctx: ExecutionContext) -> None:
+        ctx.ob.record_batch("scalar", ctx.n_candidates, ctx.escalated, {})

@@ -84,6 +84,7 @@ FALLBACKS_TOTAL = "repro_fallbacks_total"          # counter{site,kind}
 RETRIES_TOTAL = "repro_retries_total"              # counter{site}
 DEGRADED_QUERIES_TOTAL = "repro_degraded_queries_total"    # counter{reason}
 DEADLINE_EXHAUSTED_TOTAL = "repro_deadline_exhausted_total"  # counter{stage}
+EXEC_SHARDS_TOTAL = "repro_exec_shards_total"      # counter{site}
 
 
 class Observer:
@@ -225,6 +226,13 @@ class Observer:
                 DEGRADED_QUERIES_TOTAL,
                 "Queries answered with a degraded result.").labels(
                     reason=reason).inc(n_queries)
+
+    def record_shards(self, site: str, n_shards: int) -> None:
+        """Shard count of one sharded (``max_batch_rows``) batch."""
+        self.registry.counter(
+            EXEC_SHARDS_TOTAL,
+            "Shards executed by bounded-memory query batches, "
+            "per front-end.").labels(site=site).inc(n_shards)
 
     def record_deadline_exhausted(self, stage: str, n_queries: int) -> None:
         if n_queries:

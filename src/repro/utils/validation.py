@@ -83,6 +83,20 @@ def as_query_matrix(data: ArrayLike, dim: Optional[int] = None,
     return arr, finite_row
 
 
+def check_matrix_2d(data: "np.ndarray", name: str = "data") -> "np.ndarray":
+    """Validate shape only: 2-D and non-empty, with no coercion or copy.
+
+    Unlike :func:`as_float_matrix` this never materializes or scans the
+    array, so it is safe for ``numpy.memmap`` inputs the caller streams
+    in bounded chunks (the out-of-core builders).
+    """
+    if getattr(data, "ndim", None) != 2:
+        raise ValueError(f"{name} must be 2-D (n_points, dim)")
+    if data.shape[0] == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return data
+
+
 def check_k(k: int, n_points: Optional[int] = None) -> int:
     """Validate a neighbor count ``k`` (positive integer, optionally <= n)."""
     if not isinstance(k, (int, np.integer)) or isinstance(k, bool):

@@ -1,0 +1,29 @@
+"""Seeded violation: R8 (and only R8) must fire on this file.
+
+``query_batch`` re-implements the executor's plumbing inline — reading
+the policy gate and building its own deadline — instead of delegating to
+``repro.exec.run_plan``.  Everything else is fully annotated,
+dtype-explicit and exception-clean so no other rule trips.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import ResiliencePolicy, active_policy
+
+
+def query_batch(queries: np.ndarray, k: int,
+                deadline_ms: Optional[float] = None,
+                policy: Optional[ResiliencePolicy] = None,
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    pol = policy if policy is not None else active_policy()
+    deadline = Deadline.from_ms(deadline_ms)
+    ids = np.full((queries.shape[0], k), -1, dtype=np.int64)
+    dists = np.full((queries.shape[0], k), np.inf, dtype=np.float64)
+    if pol is None and deadline is None:
+        return ids, dists
+    return ids, dists

@@ -35,6 +35,7 @@ FIXTURE_RULES = {
     "r5_silent_failure.py": "R5",
     "lsh/r6_raw_telemetry.py": "R6",
     "lsh/r7_swallowed_exception.py": "R7",
+    "lsh/r8_inline_plumbing.py": "R8",
 }
 
 
