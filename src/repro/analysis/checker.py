@@ -21,6 +21,7 @@ from repro.analysis.rules import (
     check_exec_centralized,
     check_explicit_dtype,
     check_locked_mutation,
+    check_native_dispatch,
     check_no_silent_failure,
     check_obs_centralized,
     check_recorded_failures,
@@ -29,7 +30,7 @@ from repro.analysis.rules import (
 )
 
 ALL_RULES: Tuple[str, ...] = (
-    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+    "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
 )
 
 #: Human-readable rule index, kept in sync with ``repro.analysis.rules``.
@@ -48,6 +49,10 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R8": "exec-centralized: front-end query_batch implementations "
           "delegate to repro.exec.run_plan, and gate reads / Deadline / "
           "StageTimer plumbing never reappears inline outside repro/exec",
+    "R9": "native-dispatch: compiled kernel backends (kernels_numba / "
+          "kernels_cext) are imported only by repro.native.registry — "
+          "every compiled entry point is reached through engine='native' "
+          "resolution, never directly",
 }
 
 
@@ -98,6 +103,9 @@ class AnalysisConfig:
     #: Path parts identifying the execution core itself — the one place
     #: the R8-banned plumbing is supposed to live.
     exec_exempt_parts: Tuple[str, ...] = ("exec",)
+    #: Path suffixes of the one module allowed to import the compiled
+    #: kernel backends (R9): the native dispatch table.
+    native_registry_suffixes: Tuple[str, ...] = ("native/registry.py",)
     #: Directory names never descended into during file discovery.
     skip_dirs: Tuple[str, ...] = (
         "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
@@ -149,6 +157,10 @@ def analyze_modules(
     if "R8" in config.rules:
         violations += check_exec_centralized(
             modules, config.exec_scope_parts, config.exec_exempt_parts
+        )
+    if "R9" in config.rules:
+        violations += check_native_dispatch(
+            modules, config.native_registry_suffixes
         )
     by_path = {module.posix_path: module for module in modules}
     kept = [

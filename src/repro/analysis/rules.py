@@ -621,3 +621,64 @@ def check_exec_centralized(
                         "repro.exec.run_plan instead",
                     ))
     return violations
+
+
+# --------------------------------------------------------------------- R9
+
+#: The compiled-kernel backend modules.  Importing them anywhere except
+#: the registry bypasses the resolution ladder (availability probing,
+#: warn-once fallback, obs accounting) and couples callers to one
+#: backend's presence.
+NATIVE_BACKEND_MODULES = frozenset({
+    "repro.native.kernels_numba",
+    "repro.native.kernels_cext",
+})
+
+#: Bare submodule names, for ``from repro.native import kernels_numba``.
+_NATIVE_BACKEND_NAMES = frozenset(
+    name.rpartition(".")[2] for name in NATIVE_BACKEND_MODULES
+)
+
+
+def check_native_dispatch(
+    modules: Sequence[ModuleInfo],
+    native_registry_suffixes: Tuple[str, ...],
+) -> List[Violation]:
+    """R9: compiled kernels are reachable only through the registry.
+
+    The native tier's backend modules
+    (:mod:`repro.native.kernels_numba`, :mod:`repro.native.kernels_cext`)
+    may be imported by exactly one module — the dispatch table in
+    :mod:`repro.native.registry` — so every compiled entry point is
+    reached through ``engine="native"`` resolution: one availability
+    probe, one warn-once fallback, one ``KERNEL_NAMES`` surface.  A
+    direct import anywhere else would crash when that backend is absent
+    and skip the fallback/obs accounting the registry provides.
+    """
+    violations: List[Violation] = []
+    for module in modules:
+        if module.posix_path.endswith(native_registry_suffixes):
+            continue
+        for node in ast.walk(module.tree):
+            bad: Optional[str] = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in NATIVE_BACKEND_MODULES:
+                        bad = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod in NATIVE_BACKEND_MODULES:
+                    bad = mod
+                elif mod == "repro.native":
+                    for alias in node.names:
+                        if alias.name in _NATIVE_BACKEND_NAMES:
+                            bad = f"repro.native.{alias.name}"
+            if bad is not None:
+                violations.append(Violation(
+                    "R9", module.posix_path, node.lineno,
+                    f"direct import of compiled backend {bad}; kernels "
+                    "are dispatched only through "
+                    "repro.native.registry.load_kernels() "
+                    "(engine='native' resolution)",
+                ))
+    return violations

@@ -91,10 +91,25 @@ def cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_error(engine: str) -> Optional[int]:
+    """Exit code 2 + stderr listing if ``engine`` is not registered."""
+    from repro.native.registry import REGISTERED_ENGINES
+
+    if engine in REGISTERED_ENGINES:
+        return None
+    print(f"error: unknown engine {engine!r}; valid engines: "
+          f"{', '.join(REGISTERED_ENGINES)}", file=sys.stderr)
+    return 2
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.persistence import load_index
     from repro.resilience import ResiliencePolicy
 
+    if args.engine is not None:
+        code = _engine_error(args.engine)
+        if code is not None:
+            return code
     index = load_index(args.index)
     queries = np.asarray(
         _load_features(args.queries, args.dim, args.dtype, False),
@@ -108,8 +123,29 @@ def cmd_query(args: argparse.Namespace) -> int:
         kwargs["policy"] = ResiliencePolicy()
     if args.max_batch_rows is not None:
         kwargs["max_batch_rows"] = args.max_batch_rows
-    with _observed(args.metrics_out):
-        ids, dists, stats = index.query_batch(queries, args.k, **kwargs)
+    if args.shard_workers:
+        from repro.exec import ProcessShardExecutor
+        from repro.lsh.index import StandardLSH
+
+        if not isinstance(index, StandardLSH):
+            print("error: --shard-workers requires a standard index "
+                  "(build with --index-type standard)", file=sys.stderr)
+            return 2
+        engine = args.engine or "vectorized"
+        if engine == "scalar":
+            print("error: --shard-workers supports engines 'vectorized' "
+                  "and 'native'", file=sys.stderr)
+            return 2
+        with _observed(args.metrics_out):
+            with ProcessShardExecutor(index, n_workers=args.shard_workers,
+                                      engine=engine) as executor:
+                ids, dists, stats = executor.query_batch(
+                    queries, args.k, **kwargs)
+    else:
+        if args.engine is not None:
+            kwargs["engine"] = args.engine
+        with _observed(args.metrics_out):
+            ids, dists, stats = index.query_batch(queries, args.k, **kwargs)
     if args.output:
         extra = {}
         if stats.degraded is not None:
@@ -179,9 +215,15 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro.experiments import figures
     from repro.experiments.workloads import Scale
 
+    if args.engine is not None:
+        code = _engine_error(args.engine)
+        if code is not None:
+            return code
     scale = {"smoke": Scale.smoke(), "default": Scale(),
              "paper": Scale.paper()}[args.scale]
     driver = getattr(figures, args.figure, None)
@@ -190,8 +232,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.figure!r}; available: {names}",
               file=sys.stderr)
         return 2
+    kwargs = {}
+    if args.engine is not None:
+        if "engine" in inspect.signature(driver).parameters:
+            kwargs["engine"] = args.engine
+        else:
+            print(f"note: figure driver {args.figure!r} has no engine "
+                  f"knob; --engine ignored", file=sys.stderr)
     with _observed(args.metrics_out):
-        driver(scale)
+        driver(scale, **kwargs)
     return 0
 
 
@@ -310,6 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bounded-memory sharding: split the batch into "
                         "shards of at most this many queries (results are "
                         "bit-identical to the unsharded run)")
+    p.add_argument("--engine", default=None,
+                   help="execution engine: vectorized (default), native "
+                        "(compiled kernels, falls back to vectorized when "
+                        "no backend is available) or scalar (reference)")
+    p.add_argument("--shard-workers", type=int, default=0,
+                   help="standard indexes only: answer shards on this many "
+                        "worker processes over a shared-memory snapshot "
+                        "(bit-identical to in-process results)")
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("info", help="inspect a saved index")
@@ -343,6 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figure", default="fig05")
     p.add_argument("--scale", choices=["smoke", "default", "paper"],
                    default="smoke")
+    p.add_argument("--engine", default=None,
+                   help="execution engine for drivers that take one "
+                        "(validated against the registered engine set)")
     p.add_argument("--metrics-out", default=None,
                    help="run with observability on; write a JSON metrics "
                         "snapshot here")

@@ -14,12 +14,15 @@ from repro.exec.context import ExecutionContext, QueryStats
 from repro.exec.executor import execute_stages, run_plan, run_shards
 from repro.exec.merge import merge_topk_rows
 from repro.exec.plan import QueryPlan, Stage
+from repro.exec.process import ProcessShardExecutor, WorkerCrashError
 
 __all__ = [
     "ExecutionContext",
+    "ProcessShardExecutor",
     "QueryPlan",
     "QueryStats",
     "Stage",
+    "WorkerCrashError",
     "execute_stages",
     "merge_topk_rows",
     "run_plan",

@@ -1,0 +1,710 @@
+"""Shared-memory process sharding for batch queries (DESIGN.md §12).
+
+:class:`ProcessShardExecutor` runs :class:`~repro.lsh.index.StandardLSH`
+batch queries across a persistent pool of **processes** instead of the
+``n_jobs`` thread pool — true multi-core execution for the GIL-bound
+parts of the pipeline.  The read-only index arrays (data rows, external
+ids, cached norms, tombstones, and every table's CSR layout) are
+materialized into one :class:`multiprocessing.shared_memory.SharedMemory`
+segment exactly once; each worker reconstructs zero-copy numpy views
+over that segment and answers contiguous ``max_batch_rows`` row shards
+dispatched over a pipe.
+
+Contracts (mirroring :func:`repro.exec.run_shards`):
+
+- results are **bit-identical** to the unsharded in-process run given an
+  integer ``hierarchy_threshold`` (the stages are row-independent; the
+  workers execute the very same plan code over views of the very same
+  arrays);
+- one **absolute deadline** is shared by every shard: the expiry is
+  shipped to workers as an absolute ``time.monotonic()`` timestamp
+  (system-wide on Linux, shippable across processes), and shards not yet
+  dispatched when the budget expires return padded answers flagged
+  ``exhausted_budget``;
+- with a :class:`~repro.resilience.policy.ResiliencePolicy`, a shard
+  whose worker **dies mid-batch** is retried on a fresh worker and then
+  answered by an exact brute-force scan, with the affected rows flagged
+  ``degraded`` — never a wrong or missing answer.
+
+Buffer-lifetime ownership (the ``np.frombuffer``-on-``SharedMemory``
+trap): a numpy view built from ``shm.buf`` holds a memoryview export of
+the segment, and ``shm.close()`` while any such view is alive raises
+``BufferError`` (or, if the ``SharedMemory`` object is simply dropped,
+leaves views pointing at an unmapped segment).  The rule used throughout
+this module: every view's lifetime is bounded by the owning
+``SharedMemory`` object — the parent's copy-in views are function-local
+and dead before ``close()`` can run, and a worker drops its index (and
+with it every view) before closing its handle on shutdown.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from multiprocessing.shared_memory import SharedMemory
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.exec.context import QueryStats
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import (FailureRecord, ResiliencePolicy,
+                                     active_policy)
+
+if TYPE_CHECKING:  # runtime import would cycle: lsh.index imports repro.exec
+    from repro.lsh.index import StandardLSH
+
+__all__ = ["ProcessShardExecutor", "WorkerCrashError"]
+
+#: Segment byte alignment for every array (cache-line friendly, and keeps
+#: any dtype's natural alignment satisfied).
+_ALIGN = 64
+
+#: One manifest entry: ``(key, dtype_str, shape, byte_offset)``.
+_ManifestEntry = Tuple[str, str, Tuple[int, ...], int]
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker process died before delivering its result."""
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _segment_view(shm: SharedMemory, dtype_str: str,
+                  shape: Tuple[int, ...], offset: int,
+                  writeable: bool = False) -> np.ndarray:
+    """A numpy view over one manifest entry of the shared segment.
+
+    The returned array references ``shm.buf`` (via ``.base``) but does
+    NOT own the segment: the caller must guarantee the view is dropped
+    before ``shm.close()`` — see the module docstring's ownership rule.
+    """
+    count = 1
+    for extent in shape:
+        count *= int(extent)
+    view = np.frombuffer(shm.buf, dtype=np.dtype(dtype_str), count=count,
+                         offset=offset).reshape(shape)
+    view.flags.writeable = writeable
+    return view
+
+
+def _materialize(index: "StandardLSH",
+                 ) -> Tuple[SharedMemory, List[_ManifestEntry], dict]:
+    """Copy the index's read-only arrays into one fresh SHM segment.
+
+    Returns ``(shm, manifest, meta)``; the parent owns ``shm`` (it must
+    ``close()`` + ``unlink()`` it) and every copy-in view created here is
+    local to this function, so no export outlives the call.
+    """
+    index._check_fitted()
+    if isinstance(index._data, np.memmap):
+        raise ValueError(
+            "ProcessShardExecutor requires in-memory data (memmapped "
+            "datasets already bound their working set; shard them with "
+            "max_batch_rows instead)")
+    if any(table.n_extra for table in index._tables):
+        # The overlay is mutable post-build state; the shared segment is
+        # a frozen snapshot.  One rebuild folds the overlay into the CSR
+        # layout and restores the shareable invariant.
+        index._rebuild_tables()
+
+    arrays: List[Tuple[str, np.ndarray]] = [
+        ("data", np.ascontiguousarray(index._data, dtype=np.float64)),
+        ("ids", np.ascontiguousarray(index._ids, dtype=np.int64)),
+        ("sq_norms", np.ascontiguousarray(index._point_sq_norms(),
+                                          dtype=np.float64)),
+    ]
+    if index._deleted is not None:
+        arrays.append(("deleted", np.ascontiguousarray(index._deleted,
+                                                       dtype=np.bool_)))
+    for t, (family, table) in enumerate(zip(index._families,
+                                            index._tables)):
+        arrays.append((f"f{t}/directions",
+                       np.ascontiguousarray(family.directions,
+                                            dtype=np.float64)))
+        arrays.append((f"f{t}/offsets_unit",
+                       np.ascontiguousarray(family.offsets_unit,
+                                            dtype=np.float64)))
+        arrays.append((f"t{t}/bucket_codes",
+                       np.ascontiguousarray(table._bucket_codes,
+                                            dtype=np.int64)))
+        arrays.append((f"t{t}/starts",
+                       np.ascontiguousarray(table._starts, dtype=np.int64)))
+        arrays.append((f"t{t}/ends",
+                       np.ascontiguousarray(table._ends, dtype=np.int64)))
+        arrays.append((f"t{t}/sorted_ids",
+                       np.ascontiguousarray(table._sorted_ids,
+                                            dtype=np.int64)))
+
+    manifest: List[_ManifestEntry] = []
+    offset = 0
+    for key, arr in arrays:
+        offset = _align(offset)
+        manifest.append((key, arr.dtype.str, tuple(arr.shape), offset))
+        offset += arr.nbytes
+    shm = SharedMemory(create=True, size=max(offset, 1))
+    for (key, arr), (_, dtype_str, shape, off) in zip(arrays, manifest):
+        # Copy-in view: function-local on purpose — it dies with this
+        # frame, long before the parent's shm.close()/unlink().
+        _segment_view(shm, dtype_str, shape, off, writeable=True)[...] = arr
+
+    meta = {
+        "n_hashes": index.n_hashes,
+        "n_tables": index.n_tables,
+        "bucket_width": index.bucket_width,
+        "lattice": index.lattice_kind,
+        "n_probes": index.n_probes,
+        "hierarchy": index.use_hierarchy,
+        "adaptive_probing": index.adaptive_probing,
+        "probe_confidence": index.probe_confidence,
+        "has_deleted": index._deleted is not None,
+    }
+    return shm, manifest, meta
+
+
+def _reconstruct_index(shm: SharedMemory, manifest: List[_ManifestEntry],
+                       meta: dict) -> "StandardLSH":
+    """Rebuild a queryable ``StandardLSH`` over zero-copy segment views.
+
+    Runs in the worker process.  Every array attribute of the returned
+    index is a read-only view into ``shm`` — the caller must keep the
+    index referenced strictly within the lifetime of its ``shm`` handle.
+    The only per-worker allocations are the packed bucket keys (one
+    ``pack_codes`` pass per table, O(buckets)) and, with hierarchies, the
+    deterministic per-table bucket hierarchy — both derived from the
+    shared CSR arrays, so worker answers stay bit-identical.
+    """
+    from repro.lsh.functions import PStableHashFamily
+    from repro.lsh.index import StandardLSH, make_lattice
+    from repro.lsh.table import LSHTable, pack_codes
+
+    views: Dict[str, np.ndarray] = {
+        key: _segment_view(shm, dtype_str, shape, off)
+        for key, dtype_str, shape, off in manifest
+    }
+    index = object.__new__(StandardLSH)
+    index.n_hashes = int(meta["n_hashes"])
+    index.n_tables = int(meta["n_tables"])
+    index.bucket_width = float(meta["bucket_width"])
+    index.lattice_kind = str(meta["lattice"])
+    index.n_probes = int(meta["n_probes"])
+    index.use_hierarchy = bool(meta["hierarchy"])
+    index.adaptive_probing = bool(meta["adaptive_probing"])
+    index.probe_confidence = float(meta["probe_confidence"])
+    index._seed = None
+    index._data = views["data"]
+    index._ids = views["ids"]
+    index._sq_norms = views["sq_norms"]
+    index._deleted = views["deleted"] if meta["has_deleted"] else None
+    index._lattice = make_lattice(index.lattice_kind, index.n_hashes)
+    index._update_lock = threading.RLock()
+    index._norms_lock = threading.Lock()
+    dim = views["data"].shape[1]
+    families: List[PStableHashFamily] = []
+    tables: List[LSHTable] = []
+    hierarchies: List[object] = []
+    for t in range(index.n_tables):
+        family = object.__new__(PStableHashFamily)
+        family.directions = views[f"f{t}/directions"]
+        family.offsets_unit = views[f"f{t}/offsets_unit"]
+        family.dim = dim
+        family._n_hashes = index.n_hashes
+        family.bucket_width = index.bucket_width
+        families.append(family)
+        table = object.__new__(LSHTable)
+        table._bucket_codes = views[f"t{t}/bucket_codes"]
+        table._starts = views[f"t{t}/starts"]
+        table._ends = views[f"t{t}/ends"]
+        table._sorted_ids = views[f"t{t}/sorted_ids"]
+        table.code_dim = table._bucket_codes.shape[1]
+        table.n_points = table._sorted_ids.shape[0]
+        table._bucket_keys = pack_codes(table._bucket_codes)
+        table._overlay_lock = threading.Lock()
+        table._extra_codes = []
+        table._extra_ids = []
+        table._overlay = None
+        table._n_extra = 0
+        tables.append(table)
+    index._families = families
+    index._tables = tables
+    for table in tables:
+        if index.use_hierarchy:
+            hierarchies.append(index._build_hierarchy(table))
+    index._hierarchies = hierarchies
+    return index
+
+
+def _worker_main(conn: Connection, shm_name: str,
+                 manifest: List[_ManifestEntry], meta: dict,
+                 engine: str) -> None:
+    """Worker process loop: reconstruct once, answer shards until 'stop'."""
+    # Python < 3.13 registers every *attach* with the resource tracker,
+    # which would try to clean up the parent-owned segment at interpreter
+    # shutdown (and register/unregister pairs from sibling workers race
+    # on the tracker's name set).  The parent is the sole owner: suppress
+    # the registration for the duration of the attach.
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = original_register
+    index: Optional[object] = None
+    try:
+        index = _reconstruct_index(shm, manifest, meta)
+        conn.send(("ready", os.getpid()))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            (_, shard_id, queries, k, threshold, budget_ms,
+             expires_at) = msg
+            deadline = None
+            if expires_at is not None:
+                # Reconstruct the parent's absolute deadline: monotonic
+                # clocks are system-wide on Linux, so the shipped expiry
+                # means the same instant in this process.
+                deadline = object.__new__(Deadline)
+                deadline.budget_ms = budget_ms
+                deadline._expires_at = expires_at
+            try:
+                ids, dists, stats = index.query_batch(
+                    queries, k, hierarchy_threshold=threshold,
+                    engine=engine, deadline=deadline)
+            except Exception as error:  # invariant: disable=R7 — shipped
+                # to the parent, whose policy records it (note_failure).
+                conn.send(("err", shard_id, type(error).__name__,
+                           str(error)))
+                continue
+            conn.send(("ok", shard_id, ids, dists, stats.n_candidates,
+                       stats.escalated, stats.exhausted_budget))
+    except EOFError:  # invariant: disable=R5,R7 — parent vanished; no
+        # surviving side to record to, exit quietly.
+        pass
+    finally:
+        # Ownership rule: the index holds views into shm — drop every
+        # reference before close(), or close() raises BufferError over
+        # the live memoryview exports.
+        del index
+        conn.close()
+        shm.close()
+
+
+class _Worker:
+    """One pooled worker process plus its parent-side pipe end."""
+
+    def __init__(self, process: object, conn: Connection) -> None:
+        self.process = process
+        self.conn = conn
+
+    def alive(self) -> bool:
+        return bool(self.process.is_alive())
+
+
+class ProcessShardExecutor:
+    """Persistent process pool answering row shards over shared memory.
+
+    Parameters
+    ----------
+    index:
+        A fitted, in-memory :class:`~repro.lsh.index.StandardLSH`.  The
+        executor snapshots its arrays at construction: later inserts or
+        deletes on ``index`` are **not** visible to the workers (build a
+        new executor after structural updates).
+    n_workers:
+        Pool size.  Each worker holds zero-copy views, so memory cost is
+        one segment regardless of pool size.
+    engine:
+        Engine the workers run per shard: ``"vectorized"`` (default) or
+        ``"native"`` (each worker resolves its own compiled backend).
+    """
+
+    #: Supervision site label (failure records, obs counters).
+    SITE = "exec.process"
+
+    def __init__(self, index: "StandardLSH", n_workers: int = 2,
+                 engine: str = "vectorized") -> None:
+        from repro.native.registry import REGISTERED_ENGINES
+
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if engine not in REGISTERED_ENGINES or engine == "scalar":
+            raise ValueError(
+                f"engine must be 'vectorized' or 'native' for process "
+                f"sharding, got {engine!r}")
+        self._index = index
+        self._engine = engine
+        self.n_workers = int(n_workers)
+        self._ctx = get_context("spawn")
+        self._closed = False
+        import time  # invariant: disable=R6 — one-time pool setup timing,
+        # recorded through the obs setup histogram, never per-query.
+
+        t0 = time.perf_counter()  # invariant: disable=R6
+        self._shm, self._manifest, self._meta = _materialize(index)
+        self._workers: List[Optional[_Worker]] = [None] * self.n_workers
+        for widx in range(self.n_workers):
+            self._spawn(widx)
+        self.setup_seconds = time.perf_counter() - t0  # invariant: disable=R6
+        ob = obs.active()
+        if ob is not None:
+            ob.record_native_setup("process", self.setup_seconds)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _spawn(self, widx: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._shm.name, self._manifest, self._meta,
+                  self._engine),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        ready = self._recv(worker)
+        while ready[0] == "event":  # non-fatal startup notices
+            ready = self._recv(worker)
+        if ready[0] != "ready":
+            raise WorkerCrashError(
+                f"shard worker {widx} failed to initialize: {ready!r}")
+        self._workers[widx] = worker
+        ob = obs.active()
+        if ob is not None:
+            ob.record_worker_event("spawn")
+        return worker
+
+    def _recv(self, worker: _Worker) -> tuple:
+        """One pipe read, normalizing every death mode to WorkerCrashError."""
+        try:
+            return worker.conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as error:
+            raise WorkerCrashError(
+                f"shard worker died mid-batch "
+                f"({type(error).__name__})") from error
+
+    def _retire(self, widx: int) -> None:
+        """Drop a dead/poisoned worker; the slot respawns on next use."""
+        worker = self._workers[widx]
+        self._workers[widx] = None
+        if worker is None:
+            return
+        worker.conn.close()
+        if worker.alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        ob = obs.active()
+        if ob is not None:
+            ob.record_worker_event("death")
+
+    def _ensure_worker(self, widx: int) -> _Worker:
+        worker = self._workers[widx]
+        if worker is not None and worker.alive():
+            return worker
+        if worker is not None:
+            self._retire(widx)
+        ob = obs.active()
+        if ob is not None:
+            ob.record_worker_event("respawn")
+        return self._spawn(widx)
+
+    def worker_pids(self) -> List[int]:
+        """Live worker PIDs (chaos tests kill one of these)."""
+        return [w.process.pid for w in self._workers
+                if w is not None and w.alive()]
+
+    def close(self) -> None:
+        """Stop the pool and release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for widx, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError) as error:  # invariant: disable=R7
+                ob = obs.active()  # worker already dead: count it, move on
+                if ob is not None:
+                    ob.record_worker_event(
+                        f"stop_send_failed:{type(error).__name__}")
+            worker.process.join(timeout=5.0)
+            if worker.alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+            self._workers[widx] = None
+        # Parent owns the segment: every parent-side view was local to
+        # _materialize(), so no exports remain and close() cannot raise
+        # BufferError; unlink() then frees the backing memory.
+        self._shm.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object,
+                 tb: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- querying
+
+    def query_batch(self, queries: np.ndarray, k: int,
+                    hierarchy_threshold: object = "median",
+                    deadline_ms: Optional[float] = None,
+                    deadline: Optional[Deadline] = None,
+                    policy: Optional[ResiliencePolicy] = None,
+                    max_batch_rows: Optional[int] = None,
+                    ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """KNN over the worker pool; same contract as the in-process path.
+
+        ``max_batch_rows`` bounds rows per dispatched shard (``None``
+        runs the batch as one shard); shards are dispatched in waves of
+        ``n_workers`` so the whole pool computes concurrently.  Results
+        are bit-identical to ``index.query_batch(queries, k, ...)``
+        given an integer ``hierarchy_threshold`` (``"median"``
+        re-derives the threshold per shard, exactly as the in-process
+        sharded path does).  With a policy, worker death degrades the
+        affected rows (retry on a fresh worker, then exact brute-force,
+        then flagged padding) — the batch always returns.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        pol = policy if policy is not None else active_policy()
+        arr, finite_row, k = self._index._validate_query_batch(
+            queries, k, allow_nonfinite=pol is not None)
+        if deadline is None:
+            deadline = Deadline.from_ms(deadline_ms)
+        nq = int(arr.shape[0])
+        failures: List[FailureRecord] = []
+
+        if finite_row is not None and not bool(finite_row.all()):
+            # Policy-gated non-finite rows: answered with flagged padding
+            # (mirrors repro.exec.executor._run_shard).
+            assert pol is not None
+            ids_out = np.full((nq, k), -1, dtype=np.int64)
+            dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+            n_candidates = np.zeros(nq, dtype=np.int64)
+            escalated = np.zeros(nq, dtype=bool)
+            degraded = ~finite_row
+            exhausted: Optional[np.ndarray] = (
+                np.zeros(nq, dtype=bool) if deadline is not None else None)
+            good = np.nonzero(finite_row)[0]
+            n_bad = nq - int(good.size)
+            from repro.resilience.errors import QueryValidationError
+
+            failures.append(pol.note_failure(
+                f"{self.SITE}.validate", f"rows={n_bad}",
+                QueryValidationError(
+                    "query rows contain NaN or infinite values",
+                    field="queries"),
+                "degraded"))
+            ob = obs.active()
+            if ob is not None:
+                ob.record_degraded("nonfinite_query", n_bad)
+            if good.size:
+                sub_ids, sub_dists, sub_stats = self._run_rows(
+                    np.ascontiguousarray(arr[good], dtype=np.float64), k,
+                    hierarchy_threshold, deadline, pol, max_batch_rows,
+                    failures)
+                ids_out[good] = sub_ids
+                dists_out[good] = sub_dists
+                n_candidates[good] = sub_stats.n_candidates
+                escalated[good] = sub_stats.escalated
+                if sub_stats.degraded is not None:
+                    degraded[good] |= sub_stats.degraded
+                if exhausted is not None \
+                        and sub_stats.exhausted_budget is not None:
+                    exhausted[good] = sub_stats.exhausted_budget
+            return ids_out, dists_out, QueryStats(
+                n_candidates, escalated, degraded=degraded,
+                exhausted_budget=exhausted,
+                failures=tuple(failures) if failures else None)
+
+        return self._run_rows(arr, k, hierarchy_threshold, deadline, pol,
+                              max_batch_rows, failures)
+
+    def _run_rows(self, queries: np.ndarray, k: int,
+                  hierarchy_threshold: object,
+                  deadline: Optional[Deadline],
+                  pol: Optional[ResiliencePolicy],
+                  max_batch_rows: Optional[int],
+                  failures: List[FailureRecord],
+                  ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Shard validated all-finite rows over the pool and merge.
+
+        Dispatch is wave-pipelined: each wave sends one shard to every
+        worker, then collects replies in shard order — at most one shard
+        is in flight per worker, so a dying worker loses exactly the
+        shard being supervised and the retry path stays simple.
+        """
+        nq = int(queries.shape[0])
+        rows_per_shard = (nq if max_batch_rows is None
+                          else max(1, int(max_batch_rows)))
+        shards = [(s, min(s + rows_per_shard, nq))
+                  for s in range(0, nq, rows_per_shard)]
+        ids_out = np.full((nq, k), -1, dtype=np.int64)
+        dists_out = np.full((nq, k), np.inf, dtype=np.float64)
+        n_candidates = np.zeros(nq, dtype=np.int64)
+        escalated = np.zeros(nq, dtype=bool)
+        degraded: Optional[np.ndarray] = None
+        exhausted: Optional[np.ndarray] = (
+            np.zeros(nq, dtype=bool) if deadline is not None else None)
+        ob = obs.active()
+        for wave_start in range(0, len(shards), self.n_workers):
+            wave = shards[wave_start:wave_start + self.n_workers]
+            sent: List[bool] = [False] * len(wave)
+            for slot, (start, stop) in enumerate(wave):
+                if deadline is not None and deadline.expired():
+                    continue  # collected as exhausted below
+                try:
+                    worker = self._ensure_worker(slot)
+                    worker.conn.send(self._request(
+                        wave_start + slot, queries[start:stop], k,
+                        hierarchy_threshold, deadline))
+                    sent[slot] = True
+                except (WorkerCrashError, BrokenPipeError,
+                        OSError) as error:
+                    # Send-side failure: retire the worker and leave the
+                    # shard for the supervised collect phase, which
+                    # retries the full send+recv on a fresh process.
+                    self._retire(slot)
+                    if pol is None:
+                        raise WorkerCrashError(
+                            f"shard worker dispatch failed "
+                            f"({type(error).__name__})") from error
+                    failures.append(pol.note_failure(
+                        self.SITE, f"shard={wave_start + slot}",
+                        error, "retried"))
+            for slot, (start, stop) in enumerate(wave):
+                shard_id = wave_start + slot
+                if not sent[slot] and deadline is not None \
+                        and deadline.expired():
+                    # Budget spent before dispatch: padded best-effort
+                    # rows, flagged exhausted — identical to run_shards.
+                    assert exhausted is not None
+                    exhausted[start:stop] = True
+                    if ob is not None:
+                        ob.record_deadline_exhausted(
+                            f"{self.SITE}.shard", stop - start)
+                    continue
+                result, shard_failures, shard_degraded = self._collect(
+                    shard_id, slot, sent[slot], queries[start:stop], k,
+                    hierarchy_threshold, deadline, pol)
+                failures.extend(shard_failures)
+                if shard_degraded or result is None:
+                    if degraded is None:
+                        degraded = np.zeros(nq, dtype=bool)
+                    degraded[start:stop] = True
+                    if ob is not None:
+                        ob.record_degraded("worker_crash", stop - start)
+                if result is None:
+                    continue  # flagged padding stays in place
+                s_ids, s_dists, s_cand, s_esc, s_exh = result
+                ids_out[start:stop] = s_ids
+                dists_out[start:stop] = s_dists
+                n_candidates[start:stop] = s_cand
+                escalated[start:stop] = s_esc
+                if exhausted is not None and s_exh is not None:
+                    exhausted[start:stop] = s_exh
+        if ob is not None:
+            ob.record_shards(self.SITE, len(shards))
+        stats = QueryStats(
+            n_candidates, escalated, degraded=degraded,
+            exhausted_budget=exhausted,
+            failures=tuple(failures) if failures else None)
+        return ids_out, dists_out, stats
+
+    def _request(self, shard_id: int, queries: np.ndarray, k: int,
+                 hierarchy_threshold: object,
+                 deadline: Optional[Deadline]) -> tuple:
+        return ("query", shard_id, queries, k, hierarchy_threshold,
+                None if deadline is None else deadline.budget_ms,
+                None if deadline is None else deadline._expires_at)
+
+    def _collect(self, shard_id: int, widx: int, in_flight: bool,
+                 queries: np.ndarray, k: int,
+                 hierarchy_threshold: object,
+                 deadline: Optional[Deadline],
+                 pol: Optional[ResiliencePolicy],
+                 ) -> Tuple[Optional[tuple], List[FailureRecord], bool]:
+        """Await one shard's reply, supervising crashes.
+
+        Returns ``(result_tuple_or_None, failure_records, degraded)``;
+        ``degraded`` is True when a fallback (not the worker pool)
+        produced the rows.  ``in_flight`` says whether the wave's send
+        phase already dispatched this shard to worker ``widx``; retries
+        re-send to a fresh worker themselves.
+        """
+        from repro.resilience.errors import InjectedFault
+        from repro.resilience.faults import faults_active
+
+        state = {"in_flight": in_flight}
+        fault_plan = faults_active()
+
+        def attempt() -> tuple:
+            if fault_plan is not None:
+                try:
+                    fault_plan.check(self.SITE, shard=shard_id)
+                except InjectedFault:
+                    if state["in_flight"]:
+                        # The worker still holds the request; retire it
+                        # so its late reply cannot desync the pipe.
+                        state["in_flight"] = False
+                        self._retire(widx)
+                    raise
+            worker = self._ensure_worker(widx)
+            try:
+                if not state["in_flight"]:
+                    worker.conn.send(self._request(
+                        shard_id, queries, k, hierarchy_threshold,
+                        deadline))
+                state["in_flight"] = False
+                msg = self._recv(worker)
+            except WorkerCrashError:
+                state["in_flight"] = False
+                self._retire(widx)
+                raise
+            if msg[0] == "err":
+                raise WorkerCrashError(
+                    f"shard worker raised {msg[2]}: {msg[3]}")
+            assert msg[0] == "ok" and msg[1] == shard_id
+            return msg[2:]
+
+        if pol is None:
+            # Unsupervised contract: failures propagate (same as the
+            # thread path).
+            return attempt(), [], False
+
+        def brute_force() -> tuple:
+            ids, dists = self._index.brute_force_batch(queries, k)
+            alive = self._live_points()
+            nr = queries.shape[0]
+            return (ids, dists, np.full(nr, alive, dtype=np.int64),
+                    np.zeros(nr, dtype=bool), None)
+
+        result, action, records = pol.run(
+            self.SITE, f"shard={shard_id}", attempt,
+            fallbacks=(("brute_force", brute_force),))
+        ob = obs.active()
+        if ob is not None and action is not None:
+            ob.record_worker_event(f"shard_{action.split(':', 1)[0]}")
+        return result, list(records), action is not None and \
+            action.startswith("fallback")
+
+    def _live_points(self) -> int:
+        deleted = self._index._deleted
+        n = int(self._index._data.shape[0])
+        return n - int(deleted.sum()) if deleted is not None else n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ProcessShardExecutor(n_workers={self.n_workers}, "
+                f"engine={self._engine!r}, "
+                f"segment={self._shm.name!r}, closed={self._closed})")

@@ -28,6 +28,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.lattice.base import Lattice
+from repro.native.ref import tree_sq_dist
 
 BLOCK = 8
 
@@ -83,8 +84,12 @@ def decode_e8(x: np.ndarray) -> np.ndarray:
     x = np.atleast_2d(np.asarray(x, dtype=np.float64))
     d8 = decode_d8(x)
     half = decode_d8(x - 0.5) + 0.5
-    dist_d8 = np.sum((x - d8) ** 2, axis=1)
-    dist_half = np.sum((x - half) ** 2, axis=1)
+    # tree_sq_dist is the explicit halving-tree summation spec shared
+    # with the compiled native decoders; the coset choice below must be
+    # made on bit-identical distances or the engines could disagree at
+    # exact D8-vs-half ties.
+    dist_d8 = tree_sq_dist(x, d8)
+    dist_half = tree_sq_dist(x, half)
     take_half = dist_half < dist_d8
     out = np.where(take_half[:, None], half, d8)
     return out

@@ -27,11 +27,14 @@ from repro import obs
 from repro.exec import ExecutionContext, QueryPlan, QueryStats, Stage
 from repro.exec.executor import execute_stages, run_plan
 from repro.lattice.base import Lattice
+from repro.lattice.dm import DMLattice
 from repro.lattice.e8 import E8Lattice
 from repro.lattice.zm import ZMLattice
 from repro.lsh.functions import PStableHashFamily
 from repro.lsh.multiprobe import adaptive_probes, adaptive_probes_batch
 from repro.lsh.table import LSHTable
+from repro.native import registry as native_registry
+from repro.native.ref import tree_rowdot
 from repro.resilience.deadline import Deadline
 from repro.resilience.errors import InjectedFault, QueryValidationError
 from repro.resilience.faults import FaultPlan
@@ -225,8 +228,7 @@ class StandardLSH:
             with self._norms_lock:
                 if self._sq_norms is not None:
                     self._sq_norms = np.concatenate(
-                        [self._sq_norms,
-                         np.einsum("ij,ij->i", points, points)])
+                        [self._sq_norms, tree_rowdot(points, points)])
             if self._deleted is not None:
                 self._deleted = np.concatenate(
                     [self._deleted, np.zeros(m, dtype=bool)])
@@ -305,7 +307,11 @@ class StandardLSH:
         with self._norms_lock:
             norms = self._sq_norms
             if norms is None or norms.shape[0] != data.shape[0]:
-                norms = np.einsum("ij,ij->i", data, data)
+                # Same halving-tree summation as the rank dot products:
+                # for an indexed query point x, tree(x,x) - 2*tree(x,q)
+                # + tree(q,q) cancels to exactly 0.0 only when all three
+                # terms share one summation order.
+                norms = tree_rowdot(data, data)
                 self._sq_norms = norms
         return norms
 
@@ -339,15 +345,21 @@ class StandardLSH:
         return np.concatenate(rows, axis=0), np.concatenate(qidx)
 
     def _dedup_per_query(self, local_ids: np.ndarray, qidx: np.ndarray,
-                         nq: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                         nq: int, kernels: Optional[object] = None,
+                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Drop tombstones and per-query duplicates from flattened candidates.
 
         Returns ``(local_ids, qidx, counts)`` sorted by ``(query, id)``;
         segment ``i`` of the flattened arrays is query ``i``'s deduplicated
         candidate set with ids ascending — the order :func:`numpy.unique`
-        produced in the scalar engine.
+        produced in the scalar engine.  With ``kernels`` (the native
+        engine's dispatch table) the sort+dedup runs compiled, with
+        bit-identical output.
         """
         deleted = self._deleted
+        if kernels is not None:
+            return kernels.dedup_candidates(local_ids, qidx, nq,
+                                            deleted=deleted)
         if deleted is not None and local_ids.size:
             drop = np.zeros(local_ids.size, dtype=bool)
             in_mask = local_ids < deleted.shape[0]
@@ -368,6 +380,7 @@ class StandardLSH:
     def _gather_table(self, projections: List[np.ndarray],
                       codes: List[np.ndarray], t: int, nq: int,
                       want_obs: bool, plan: Optional[FaultPlan],
+                      kernels: Optional[object] = None,
                       ) -> Tuple[np.ndarray, np.ndarray,
                                  Optional[Tuple[int, int, np.ndarray]]]:
         """One table's flattened candidate contribution (the supervised unit).
@@ -388,7 +401,28 @@ class StandardLSH:
         if plan is not None and plan.check("lsh.gather", table=t):
             raise InjectedFault("lsh.gather", f"table={t} corruption")
         codes_all, row_q = self._probe_rows(projections, codes, t)
-        ids_flat, counts = self._tables[t].gather_batch(codes_all)
+        table = self._tables[t]
+        if kernels is not None and table.n_extra == 0:
+            # Compiled lookup straight on the sorted bucket-code rows
+            # (lexicographic binary search == packed-key searchsorted);
+            # tables with a live overlay keep the numpy path, which is
+            # the only one that merges overlay buckets.
+            bidx = kernels.lookup_codes(
+                table._bucket_codes,
+                np.ascontiguousarray(codes_all, dtype=np.int64))
+            found = bidx >= 0
+            safe = np.where(found, bidx, 0)
+            if table.n_buckets:
+                starts = np.where(found, table._starts[safe], 0)
+                counts = np.where(found,
+                                  table._ends[safe] - table._starts[safe], 0)
+            else:
+                starts = np.zeros(codes_all.shape[0], dtype=np.int64)
+                counts = np.zeros(codes_all.shape[0], dtype=np.int64)
+            ids_flat = LSHTable._gather_segments(table._sorted_ids, starts,
+                                                 counts)
+        else:
+            ids_flat, counts = table.gather_batch(codes_all)
         stats = None
         if want_obs:
             stats = (int(codes_all.shape[0]),
@@ -403,6 +437,7 @@ class StandardLSH:
                                  plan: Optional[FaultPlan] = None,
                                  pol: Optional[ResiliencePolicy] = None,
                                  res_out: Optional[Dict[str, List[object]]] = None,
+                                 kernels: Optional[object] = None,
                                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Candidate gathering for the whole batch, array-at-a-time.
 
@@ -429,12 +464,12 @@ class StandardLSH:
         for t in range(self.n_tables):
             if pol is None:
                 ids_flat, q_flat, tstats = self._gather_table(
-                    projections, codes, t, nq, want_obs, plan)
+                    projections, codes, t, nq, want_obs, plan, kernels)
             else:
                 result, action, records = pol.run(
                     "lsh.gather", f"table={t}",
                     lambda t=t: self._gather_table(
-                        projections, codes, t, nq, want_obs, plan))
+                        projections, codes, t, nq, want_obs, plan, kernels))
                 if res_out is not None and records:
                     res_out["failures"].extend(records)
                 if action == "gave_up" or result is None:
@@ -459,7 +494,7 @@ class StandardLSH:
                 else np.empty(0, dtype=np.int64))
         if probe_out is not None and probes_acc is not None:
             probe_out["probes_per_query"] = probes_acc
-        return self._dedup_per_query(local_ids, qidx, nq)
+        return self._dedup_per_query(local_ids, qidx, nq, kernels)
 
     def _gather_candidates(self, projections: List[np.ndarray],
                            codes: List[np.ndarray], qi: int) -> np.ndarray:
@@ -612,8 +647,17 @@ class StandardLSH:
             return _VectorPlan(self, hierarchy_threshold)
         if engine == "scalar":
             return _ScalarPlan(self, hierarchy_threshold)
+        if engine == "native":
+            kernels = native_registry.load_kernels()
+            if kernels is None:
+                # load_kernels already warned once and bumped the obs
+                # fallback counter; degrade to the bit-identical
+                # vectorized plan (acceptance contract (d)).
+                return _VectorPlan(self, hierarchy_threshold)
+            return _NativePlan(self, hierarchy_threshold, kernels)
         raise ValueError(
-            f"engine must be 'vectorized' or 'scalar', got {engine!r}")
+            f"engine must be one of {native_registry.REGISTERED_ENGINES}, "
+            f"got {engine!r}")
 
     def _resolve_threshold(self, counts: np.ndarray, k: int,
                            hierarchy_threshold: Union[str, int]) -> int:
@@ -651,6 +695,7 @@ class StandardLSH:
     def _rank_shortlists(self, queries: np.ndarray, k: int,
                          cand: np.ndarray, qidx: np.ndarray,
                          counts: np.ndarray,
+                         kernels: Optional[object] = None,
                          ) -> Tuple[np.ndarray, np.ndarray]:
         """Rank all short-lists with one fused distance kernel.
 
@@ -659,6 +704,14 @@ class StandardLSH:
         ``data[cand] - query`` difference temporaries are formed.  Top-k
         selection is one global ``lexsort`` by ``(query, distance, id)``
         followed by segment-offset arithmetic — no per-query kernels.
+
+        The dot products use :func:`repro.native.ref.tree_rowdot` — the
+        explicit halving-tree summation spec — rather than ``einsum``:
+        the compiled native kernels replicate that tree, which is what
+        makes ``engine="native"`` results bit-identical to this engine.
+        With ``kernels`` the whole gather+distance+top-k loop runs
+        compiled (memmapped data stays on the numpy path so candidate
+        rows are the only pages touched).
         """
         nq = queries.shape[0]
         ids_out = np.full((nq, k), -1, dtype=np.int64)
@@ -666,14 +719,21 @@ class StandardLSH:
         if cand.size == 0:
             return ids_out, dists_out
         sq_norms = self._point_sq_norms()
-        q_sq = np.einsum("ij,ij->i", queries, queries)
+        q_sq = tree_rowdot(queries, queries)
+        if kernels is not None and not isinstance(self._data, np.memmap):
+            sel, kdists = kernels.rank_topk(self._data, sq_norms, queries,
+                                            q_sq, cand, counts, k)
+            hit = sel >= 0
+            ids_out[hit] = self._ids[sel[hit]]
+            dists_out[hit] = kdists[hit]
+            return ids_out, dists_out
         d2 = np.empty(cand.size, dtype=np.float64)
         for s in range(0, cand.size, self.RANK_CHUNK):
             e = min(s + self.RANK_CHUNK, cand.size)
             rows = self._data[cand[s:e]]
-            dots = np.einsum("ij,ij->i", rows, queries[qidx[s:e]])
+            dots = tree_rowdot(rows, queries[qidx[s:e]])
             if sq_norms is None:  # memmapped data: norms on gathered rows
-                row_sq = np.einsum("ij,ij->i", rows, rows)
+                row_sq = tree_rowdot(rows, rows)
             else:
                 row_sq = sq_norms[cand[s:e]]
             d2[s:e] = row_sq - 2.0 * dots + q_sq[qidx[s:e]]
@@ -772,7 +832,7 @@ class StandardLSH:
         projections = [family.project(queries) for family in self._families]
         codes = [self._lattice.quantize(proj) for proj in projections]
         nq = queries.shape[0]
-        if engine == "vectorized":
+        if engine != "scalar":  # vectorized and native share one gather
             cand, _, counts = self._gather_candidates_batch(
                 projections, codes, nq)
             bounds = np.cumsum(counts)[:-1]
@@ -799,6 +859,10 @@ class _VectorPlan(QueryPlan):
     site = "lsh"
     engine = "vectorized"
     supports_supervision = True
+    #: Compiled kernel table (``None`` for the pure-numpy plan); set by
+    #: :class:`_NativePlan`, threaded through every stage so the whole
+    #: probe→gather→dedup→rank path runs compiled when present.
+    kernels: Optional[object] = None
 
     def __init__(self, index: StandardLSH,
                  hierarchy_threshold: Union[str, int]) -> None:
@@ -834,7 +898,7 @@ class _VectorPlan(QueryPlan):
         cand, qidx, counts = self.index._gather_candidates_batch(
             ctx.scratch["projections"], ctx.scratch["codes"], ctx.nq,
             ob=ctx.ob, probe_out=probe_out, plan=ctx.fault_plan,
-            pol=ctx.policy, res_out=res_out)
+            pol=ctx.policy, res_out=res_out, kernels=self.kernels)
         ctx.scratch["cand"] = cand
         ctx.scratch["qidx"] = qidx
         ctx.scratch["res_out"] = res_out
@@ -881,7 +945,8 @@ class _VectorPlan(QueryPlan):
                 ctx.ob.record_deadline_exhausted("lsh.escalate",
                                                  int(skipped.size))
         cand, qidx, counts = index._dedup_per_query(
-            np.concatenate(extra_ids), np.concatenate(extra_q), ctx.nq)
+            np.concatenate(extra_ids), np.concatenate(extra_q), ctx.nq,
+            self.kernels)
         ctx.scratch["cand"] = cand
         ctx.scratch["qidx"] = qidx
         ctx.n_candidates[:] = counts
@@ -889,7 +954,7 @@ class _VectorPlan(QueryPlan):
     def _stage_rank(self, ctx: ExecutionContext) -> None:
         ids_out, dists_out = self.index._rank_shortlists(
             ctx.queries, ctx.k, ctx.scratch["cand"], ctx.scratch["qidx"],
-            ctx.n_candidates)
+            ctx.n_candidates, kernels=self.kernels)
         ctx.ids_out[:] = ids_out
         ctx.dists_out[:] = dists_out
 
@@ -913,6 +978,54 @@ class _VectorPlan(QueryPlan):
                   if probe_out is not None else None)
         ctx.ob.record_batch("vectorized", ctx.n_candidates, ctx.escalated,
                             ctx.timer.stages, probes=probes)
+
+
+class _NativePlan(_VectorPlan):
+    """Compiled-kernel engine: the vectorized stages with the hot inner
+    loops (lattice decode, bucket probe, candidate dedup, fused rank)
+    running through a :mod:`repro.native` backend.
+
+    Bit-identical to :class:`_VectorPlan` by construction — every kernel
+    replicates the halving-tree summation and ``(distance, id)``
+    tie-break of :mod:`repro.native.ref` — and enforced by the parity
+    matrix in ``tests/test_native.py``.  Anything the kernels do not
+    cover (``Z^M`` floor quantize, overlay buckets, memmapped data)
+    stays on the numpy path, which preserves parity trivially.
+    """
+
+    engine = "native"
+
+    def __init__(self, index: StandardLSH,
+                 hierarchy_threshold: Union[str, int],
+                 kernels: object) -> None:
+        super().__init__(index, hierarchy_threshold)
+        self.kernels = kernels
+
+    def _stage_hash(self, ctx: ExecutionContext) -> None:
+        index = self.index
+        kernels = self.kernels
+        projections = [family.project(ctx.queries)
+                       for family in index._families]
+        ctx.scratch["projections"] = projections
+        lattice = index._lattice
+        if isinstance(lattice, E8Lattice):
+            codes = [kernels.e8_decode(lattice._pad(proj))
+                     for proj in projections]
+        elif isinstance(lattice, DMLattice):
+            codes = [kernels.dm_decode(
+                np.atleast_2d(np.asarray(proj, dtype=np.float64)))
+                for proj in projections]
+        else:  # Z^M floor: already a single numpy ufunc, nothing to fuse
+            codes = [lattice.quantize(proj) for proj in projections]
+        ctx.scratch["codes"] = codes
+
+    def record_obs(self, ctx: ExecutionContext) -> None:
+        probe_out = ctx.scratch.get("probe_out")
+        probes = (probe_out.get("probes_per_query")
+                  if probe_out is not None else None)
+        ctx.ob.record_batch("native", ctx.n_candidates, ctx.escalated,
+                            ctx.timer.stages, probes=probes)
+        ctx.ob.record_native_batch(getattr(self.kernels, "backend", "?"))
 
 
 class _ScalarPlan(QueryPlan):

@@ -1,0 +1,258 @@
+/* Compiled inner loops for the native engine tier.
+ *
+ * Every routine here is the C twin of a numpy reference in
+ * repro/native/ref.py and must stay BIT-IDENTICAL to it: floating-point
+ * sums use the same power-of-two halving tree (tree_dot below), compare
+ * with the same operators, and break ties by the same conventions.  The
+ * file is compiled on demand by repro/native/kernels_cext.py with -O2 and
+ * WITHOUT -ffast-math — re-association would silently break parity.
+ *
+ * Entry points are exported with a repro_ prefix and a plain-C ABI so
+ * ctypes can bind them; they are reachable from Python only through the
+ * dispatch table in repro/native/registry.py (invariant R9).
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define EXPORT __attribute__((visibility("default")))
+
+typedef int64_t i64;
+
+/* Halving-tree dot product: the one summation-order spec shared with
+ * ref.tree_rowdot.  buf must hold pw doubles, pw = next pow2 >= d. */
+static double tree_dot(const double *a, const double *b, i64 d,
+                       double *buf, i64 pw) {
+    i64 i, w;
+    for (i = 0; i < d; i++) buf[i] = a[i] * b[i];
+    for (i = d; i < pw; i++) buf[i] = 0.0;
+    for (w = pw >> 1; w >= 1; w >>= 1)
+        for (i = 0; i < w; i++) buf[i] = buf[i] + buf[i + w];
+    return buf[0];
+}
+
+static i64 next_pow2(i64 d) {
+    i64 pw = 1;
+    while (pw < d) pw <<= 1;
+    return pw;
+}
+
+/* ---------------------------------------------------------------- lookup */
+
+/* Lexicographic comparison of two M-long int64 code rows. */
+static int row_less(const i64 *a, const i64 *b, i64 m) {
+    i64 j;
+    for (j = 0; j < m; j++) {
+        if (a[j] < b[j]) return 1;
+        if (a[j] > b[j]) return 0;
+    }
+    return 0;
+}
+
+static int row_eq(const i64 *a, const i64 *b, i64 m) {
+    i64 j;
+    for (j = 0; j < m; j++)
+        if (a[j] != b[j]) return 0;
+    return 1;
+}
+
+/* Bucket index per query code row (-1 when absent): lower-bound binary
+ * search over the lexicographically sorted distinct bucket codes —
+ * exactly LSHTable._searchsorted_keys on the packed keys. */
+EXPORT void repro_lookup_codes(const i64 *bucket_codes, i64 n_buckets,
+                               i64 m, const i64 *codes, i64 r, i64 *bidx) {
+    i64 i;
+    for (i = 0; i < r; i++) {
+        const i64 *code = codes + i * m;
+        i64 lo = 0, hi = n_buckets;
+        while (lo < hi) {
+            i64 mid = lo + ((hi - lo) >> 1);
+            if (row_less(bucket_codes + mid * m, code, m))
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        bidx[i] = (lo < n_buckets &&
+                   row_eq(bucket_codes + lo * m, code, m)) ? lo : -1;
+    }
+}
+
+/* ----------------------------------------------------------------- dedup */
+
+static int cmp_i64(const void *pa, const void *pb) {
+    i64 a = *(const i64 *)pa, b = *(const i64 *)pb;
+    return (a > b) - (a < b);
+}
+
+/* Tombstone filter + per-query sort + dedup of flattened candidates.
+ * Output segments are sorted by (query, id) ascending — identical in
+ * content and order to StandardLSH._dedup_per_query.  Returns the total
+ * number of surviving ids; out_ids/out_qidx must hold n entries. */
+EXPORT i64 repro_dedup_candidates(const i64 *ids, const i64 *qidx, i64 n,
+                                  i64 nq, const unsigned char *deleted,
+                                  i64 del_len, i64 *out_ids, i64 *out_qidx,
+                                  i64 *counts) {
+    i64 i, q, total = 0;
+    i64 *seg_counts = (i64 *)calloc((size_t)nq, sizeof(i64));
+    i64 *cursors = (i64 *)malloc((size_t)(nq + 1) * sizeof(i64));
+    i64 *tmp = (i64 *)malloc((size_t)(n > 0 ? n : 1) * sizeof(i64));
+    if (!seg_counts || !cursors || !tmp) {
+        free(seg_counts); free(cursors); free(tmp);
+        for (q = 0; q < nq; q++) counts[q] = 0;
+        return -1;
+    }
+    /* Pass 1: per-query counts of surviving (non-tombstoned) ids. */
+    for (i = 0; i < n; i++) {
+        i64 id = ids[i];
+        if (deleted && id < del_len && deleted[id]) continue;
+        seg_counts[qidx[i]]++;
+    }
+    cursors[0] = 0;
+    for (q = 0; q < nq; q++) cursors[q + 1] = cursors[q] + seg_counts[q];
+    /* Pass 2: bucket survivors by query (counting sort, stable). */
+    for (q = 0; q < nq; q++) cursors[q] = cursors[q + 1] - seg_counts[q];
+    for (i = 0; i < n; i++) {
+        i64 id = ids[i];
+        if (deleted && id < del_len && deleted[id]) continue;
+        tmp[cursors[qidx[i]]++] = id;
+    }
+    /* Pass 3: sort + dedup each query segment into the packed output. */
+    for (q = 0; q < nq; q++) {
+        i64 seg_end = cursors[q];
+        i64 seg_start = seg_end - seg_counts[q];
+        i64 len = seg_end - seg_start;
+        i64 kept = 0;
+        if (len > 0) {
+            qsort(tmp + seg_start, (size_t)len, sizeof(i64), cmp_i64);
+            for (i = seg_start; i < seg_end; i++) {
+                if (kept && out_ids[total + kept - 1] == tmp[i]) continue;
+                out_ids[total + kept] = tmp[i];
+                out_qidx[total + kept] = q;
+                kept++;
+            }
+        }
+        counts[q] = kept;
+        total += kept;
+    }
+    free(seg_counts); free(cursors); free(tmp);
+    return total;
+}
+
+/* ------------------------------------------------------------------ rank */
+
+/* Fused gather + cached-norm distance + per-query top-k selection.
+ * sel/dist rows are ordered by (distance, id) ascending — the vectorized
+ * lexsort((cand, dists, qidx)) convention — padded with -1 / inf.
+ * sq_norms may be NULL (out-of-core data): row norms are then computed
+ * with the same tree_dot the reference uses. */
+EXPORT int repro_rank_topk(const double *data, i64 dim,
+                           const double *sq_norms,
+                           const double *queries, i64 nq,
+                           const double *q_sq,
+                           const i64 *cand, const i64 *offsets,
+                           i64 k, i64 *sel_out, double *dist_out) {
+    i64 pw = next_pow2(dim);
+    double *buf = (double *)malloc((size_t)(pw > 0 ? pw : 1) * sizeof(double));
+    if (!buf) return -1;
+    for (i64 q = 0; q < nq; q++) {
+        i64 start = offsets[q], end = offsets[q + 1];
+        const double *qrow = queries + q * dim;
+        double qs = q_sq[q];
+        i64 *sel = sel_out + q * k;
+        double *dst = dist_out + q * k;
+        i64 filled = 0;
+        for (i64 c = start; c < end; c++) {
+            i64 id = cand[c];
+            const double *row = data + id * dim;
+            double dot = tree_dot(row, qrow, dim, buf, pw);
+            double row_sq = sq_norms ? sq_norms[id]
+                                     : tree_dot(row, row, dim, buf, pw);
+            double d2 = row_sq - 2.0 * dot + qs;
+            if (d2 < 0.0) d2 = 0.0;
+            double d = sqrt(d2);
+            if (filled == k &&
+                (d > dst[k - 1] || (d == dst[k - 1] && id > sel[k - 1])))
+                continue;
+            /* Insertion position by (distance, id) ascending. */
+            i64 pos = (filled < k) ? filled : k - 1;
+            while (pos > 0 &&
+                   (d < dst[pos - 1] ||
+                    (d == dst[pos - 1] && id < sel[pos - 1]))) {
+                dst[pos] = dst[pos - 1];
+                sel[pos] = sel[pos - 1];
+                pos--;
+            }
+            dst[pos] = d;
+            sel[pos] = id;
+            if (filled < k) filled++;
+        }
+    }
+    free(buf);
+    return 0;
+}
+
+/* --------------------------------------------------------- lattice codes */
+
+/* Conway–Sloane D_M decoder core: round every coordinate, and if the
+ * integer sum is odd re-round the largest-error coordinate the other way
+ * (first-max, step up at exact ties) — mirrors lattice/dm.py decode_dm
+ * and lattice/e8.py decode_d8. */
+static void decode_dm_row(const double *x, i64 m, double *f) {
+    i64 j, parity_ll = 0;
+    for (j = 0; j < m; j++) {
+        f[j] = floor(x[j] + 0.5);
+        parity_ll += (i64)f[j];
+    }
+    if (((parity_ll % 2) + 2) % 2 != 0) {
+        i64 worst = 0;
+        double best = -1.0;
+        for (j = 0; j < m; j++) {
+            double e = fabs(x[j] - f[j]);
+            if (e > best) { best = e; worst = j; }
+        }
+        f[worst] += (x[worst] - f[worst] >= 0.0) ? 1.0 : -1.0;
+    }
+}
+
+EXPORT void repro_dm_decode(const double *y, i64 n, i64 m, i64 *codes) {
+    double *f = (double *)malloc((size_t)m * sizeof(double));
+    if (!f) { memset(codes, 0, (size_t)(n * m) * sizeof(i64)); return; }
+    for (i64 i = 0; i < n; i++) {
+        decode_dm_row(y + i * m, m, f);
+        for (i64 j = 0; j < m; j++) codes[i * m + j] = (i64)f[j];
+    }
+    free(f);
+}
+
+/* E8 = D8 ∪ (D8 + (1/2)^8): decode to both cosets, keep the closer one
+ * (D8 at exact ties), squared distances via the 8-wide halving tree —
+ * the spec lattice/e8.py decode_e8 follows via ref.tree_sq_dist.  Codes
+ * are emitted in half-integer units (real coordinates * 2). */
+EXPORT void repro_e8_decode(const double *y, i64 n, i64 n_blocks,
+                            i64 *codes) {
+    double d8[8], half[8], shifted[8], err[8], buf[8];
+    i64 stride = n_blocks * 8;
+    for (i64 i = 0; i < n; i++) {
+        for (i64 b = 0; b < n_blocks; b++) {
+            const double *x = y + i * stride + b * 8;
+            i64 *out = codes + i * stride + b * 8;
+            i64 j;
+            decode_dm_row(x, 8, d8);
+            for (j = 0; j < 8; j++) shifted[j] = x[j] - 0.5;
+            decode_dm_row(shifted, 8, half);
+            for (j = 0; j < 8; j++) half[j] += 0.5;
+            for (j = 0; j < 8; j++) err[j] = x[j] - d8[j];
+            double dist_d8 = tree_dot(err, err, 8, buf, 8);
+            for (j = 0; j < 8; j++) err[j] = x[j] - half[j];
+            double dist_half = tree_dot(err, err, 8, buf, 8);
+            const double *pick = (dist_half < dist_d8) ? half : d8;
+            for (j = 0; j < 8; j++) out[j] = (i64)llround(pick[j] * 2.0);
+        }
+    }
+}
+
+/* Version tag checked by the loader so a stale cached .so from an older
+ * source revision is recompiled instead of silently used. */
+EXPORT i64 repro_kernels_abi(void) { return 1; }

@@ -1,0 +1,162 @@
+"""The one dispatch table for compiled-kernel entry points (invariant R9).
+
+Every compiled kernel the native engine can run — numba-jitted or
+C-compiled — is reachable *only* through :func:`load_kernels` here, which
+front-ends reach only through ``engine="native"`` resolution
+(``StandardLSH.execution_plan``).  No other module may import the
+backend modules (:mod:`repro.native.kernels_numba`,
+:mod:`repro.native.kernels_cext`) directly; rule R9 of the invariant
+checker enforces this, which keeps exactly one seam where a backend can
+be swapped, pinned or disabled.
+
+Backend selection ladder (resolved once per process, cached):
+
+1. ``numba`` — jitted kernels, preferred when importable;
+2. ``cext``  — ``_kernels.c`` compiled on demand via the system C
+   compiler, bound with ctypes;
+3. fallback — ``None``: the caller degrades to the vectorized engine
+   with a single :class:`RuntimeWarning` and an obs counter.
+
+``REPRO_NATIVE_BACKEND`` pins a rung: ``auto`` (default), ``numba``,
+``cext``, or ``none`` (force the fallback; used by the no-compiled-tier
+CI job and the fallback tests).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+
+__all__ = ["REGISTERED_ENGINES", "KERNEL_NAMES", "load_kernels",
+           "native_backend", "native_status", "reset"]
+
+#: The registered engine set: every valid ``engine=`` value across the
+#: query front-ends and the CLI.  ``native`` resolves through this
+#: module; the other two are pure-numpy plans in ``repro.lsh.index``.
+REGISTERED_ENGINES: Tuple[str, ...] = ("vectorized", "scalar", "native")
+
+#: Kernel entry points every backend must provide (the table's schema).
+KERNEL_NAMES: Tuple[str, ...] = ("lookup_codes", "dedup_candidates",
+                                 "rank_topk", "dm_decode", "e8_decode")
+
+_VALID_PINS = ("auto", "numba", "cext", "none")
+
+_lock = threading.Lock()
+_resolved = False
+_kernels: Optional[object] = None
+_backend: Optional[str] = None
+_setup_seconds: float = 0.0
+_errors: Dict[str, str] = {}
+_warned = False
+
+
+def _ladder(pin: str) -> List[str]:
+    if pin == "auto":
+        return ["numba", "cext"]
+    if pin == "none":
+        return []
+    return [pin]
+
+
+def _try_backend(name: str) -> object:
+    """Import + build one backend; exceptions mean 'fall through'."""
+    if name == "numba":
+        from repro.native import kernels_numba
+
+        return kernels_numba.load()
+    from repro.native import kernels_cext
+
+    return kernels_cext.load()
+
+
+def _resolve_locked() -> None:
+    global _resolved, _kernels, _backend, _setup_seconds
+    if _resolved:
+        return
+    pin = os.environ.get("REPRO_NATIVE_BACKEND", "auto").lower()
+    if pin not in _VALID_PINS:
+        _errors["config"] = (f"invalid REPRO_NATIVE_BACKEND={pin!r}; "
+                             f"expected one of {_VALID_PINS}")
+        pin = "none"
+    for name in _ladder(pin):
+        # One-time setup (jit compile / cc invocation) is timed through
+        # the resilience clock exemption: obs owns wall reads, so route
+        # the measurement through its span helper at record time.
+        import time  # invariant: disable=R6 — one-time setup timing,
+        # recorded via obs below, never on the per-query path.
+
+        t0 = time.perf_counter()
+        try:
+            kernels = _try_backend(name)
+        except Exception as error:  # ladder: any failure falls through
+            _errors[name] = f"{type(error).__name__}: {error}"
+            continue
+        _setup_seconds = time.perf_counter() - t0
+        _kernels = kernels
+        _backend = name
+        ob = obs.active()
+        if ob is not None:
+            ob.record_native_setup(name, _setup_seconds)
+        break
+    _resolved = True
+
+
+def load_kernels() -> Optional[object]:
+    """The resolved kernel table, or ``None`` when no backend is usable.
+
+    On the first ``None`` resolution a single :class:`RuntimeWarning` is
+    emitted and the ``repro_native_fallbacks_total`` counter bumped —
+    acceptance contract (d): ``engine="native"`` without a compiled tier
+    degrades loudly-once, never crashes.
+    """
+    global _warned
+    with _lock:
+        _resolve_locked()
+        kernels = _kernels
+        if kernels is None and not _warned:
+            _warned = True
+            reason = "; ".join(f"{k}: {v}" for k, v in _errors.items()) \
+                or "disabled (REPRO_NATIVE_BACKEND=none)"
+            warnings.warn(
+                f"native kernels unavailable ({reason}); "
+                f"engine='native' falling back to 'vectorized'",
+                RuntimeWarning, stacklevel=3)
+            ob = obs.active()
+            if ob is not None:
+                ob.record_native_fallback(
+                    "disabled" if "config" not in _errors and not _errors
+                    else "unavailable")
+    return kernels
+
+
+def native_backend() -> Optional[str]:
+    """Name of the resolved backend (``'numba'``/``'cext'``) or ``None``."""
+    with _lock:
+        _resolve_locked()
+        return _backend
+
+
+def native_status() -> Dict[str, object]:
+    """Diagnostic snapshot: backend, setup time, per-rung errors."""
+    with _lock:
+        _resolve_locked()
+        return {"backend": _backend,
+                "setup_seconds": _setup_seconds,
+                "errors": dict(_errors),
+                "engines": list(REGISTERED_ENGINES)}
+
+
+def reset() -> None:
+    """Forget the cached resolution (tests re-pin via the env var)."""
+    global _resolved, _kernels, _backend, _setup_seconds, _warned
+    with _lock:
+        _resolved = False
+        _kernels = None
+        _backend = None
+        _setup_seconds = 0.0
+        _errors.clear()
+        _warned = False

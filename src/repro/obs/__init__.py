@@ -85,6 +85,10 @@ RETRIES_TOTAL = "repro_retries_total"              # counter{site}
 DEGRADED_QUERIES_TOTAL = "repro_degraded_queries_total"    # counter{reason}
 DEADLINE_EXHAUSTED_TOTAL = "repro_deadline_exhausted_total"  # counter{stage}
 EXEC_SHARDS_TOTAL = "repro_exec_shards_total"      # counter{site}
+NATIVE_FALLBACKS_TOTAL = "repro_native_fallbacks_total"    # counter{reason}
+NATIVE_BATCHES_TOTAL = "repro_native_batches_total"        # counter{backend}
+NATIVE_SETUP_SECONDS = "repro_native_setup_seconds"        # histogram{backend}
+EXEC_WORKER_EVENTS_TOTAL = "repro_exec_worker_events_total"  # counter{kind}
 
 
 class Observer:
@@ -257,6 +261,37 @@ class Observer:
                              buckets=LATENCY_BUCKETS_SECONDS)
         for phase, seconds in phase_seconds.items():
             hist.labels(mode=mode, phase=phase).observe(seconds)
+
+    # -- native tier / process execution events ----------------------------
+
+    def record_native_setup(self, backend: str, seconds: float) -> None:
+        """One-time kernel setup cost (jit compile / cc invocation)."""
+        self.registry.histogram(
+            NATIVE_SETUP_SECONDS,
+            "One-time native-backend setup latency (seconds).",
+            buckets=LATENCY_BUCKETS_SECONDS).labels(
+                backend=backend).observe(seconds)
+
+    def record_native_fallback(self, reason: str) -> None:
+        """engine='native' resolved to the vectorized fallback."""
+        self.registry.counter(
+            NATIVE_FALLBACKS_TOTAL,
+            "Native-engine requests served by the vectorized fallback."
+            ).labels(reason=reason).inc()
+
+    def record_native_batch(self, backend: str) -> None:
+        """One batch executed by a compiled backend."""
+        self.registry.counter(
+            NATIVE_BATCHES_TOTAL,
+            "Query batches executed by a compiled native backend."
+            ).labels(backend=backend).inc()
+
+    def record_worker_event(self, kind: str) -> None:
+        """Process-pool lifecycle event (spawn / death / retry / respawn)."""
+        self.registry.counter(
+            EXEC_WORKER_EVENTS_TOTAL,
+            "Shard-worker pool lifecycle events."
+            ).labels(kind=kind).inc()
 
 
 # --------------------------------------------------------------------------

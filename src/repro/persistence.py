@@ -393,6 +393,12 @@ def _inject_load_corruption(meta: dict,
             continue
         raw = bytearray(np.ascontiguousarray(arr).tobytes())
         raw[0] ^= 0xFF
+        # Buffer ownership: frombuffer over an immutable ``bytes`` object
+        # is safe to return — the view's ``.base`` keeps those bytes
+        # alive for the view's whole lifetime.  Contrast the
+        # SharedMemory case (repro.exec.process): there the segment's
+        # lifetime is managed *externally* (close()/unlink()), so views
+        # must provably die first.
         arrays[key] = np.frombuffer(bytes(raw),
                                     dtype=arr.dtype).reshape(arr.shape)
         return
@@ -405,6 +411,10 @@ def _read_archive(path: str) -> Tuple[dict, Dict[str, np.ndarray]]:
         if meta.get("version") not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"unsupported index file version {meta.get('version')!r}")
+        # Buffer ownership: npz entries decompress into fresh arrays
+        # that own their data, so they may outlive the closed archive.
+        # (A mmap-backed load would NOT survive this block — regression
+        # test: test_persistence.py::test_loaded_arrays_own_their_data.)
         arrays = {key: archive[key] for key in archive.files
                   if key != "__meta__"}
     plan = faults_active()
@@ -447,6 +457,10 @@ def save_index(index: Union[StandardLSH, BiLevelLSH, LSHForest],
     plan = faults_active()
     try:
         with open(tmp, "wb") as fh:
+            # Buffer ownership: the uint8 view over the encoded-JSON
+            # ``bytes`` holds its buffer via ``.base`` and is consumed
+            # (copied into the archive) before this statement returns —
+            # no view escapes the owning object's lifetime.
             np.savez_compressed(fh, __meta__=np.frombuffer(
                 json.dumps(meta).encode("utf-8"), dtype=np.uint8), **arrays)
             fh.flush()

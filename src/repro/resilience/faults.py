@@ -44,6 +44,7 @@ from repro.utils.rng import SeedLike, spawn_rngs
 #: these — a typo'd site name is a configuration bug, not a silent no-op.
 KNOWN_SITES: Tuple[str, ...] = (
     "bilevel.dispatch",   # per-group sub-batch dispatch in BiLevelLSH
+    "exec.process",       # per-shard dispatch in ProcessShardExecutor
     "lsh.gather",         # per-table candidate gathering in StandardLSH
     "persistence.load",   # archive read in load_index / verify_index
     "persistence.save",   # commit step (pre-rename) in save_index

@@ -36,6 +36,7 @@ FIXTURE_RULES = {
     "lsh/r6_raw_telemetry.py": "R6",
     "lsh/r7_swallowed_exception.py": "R7",
     "lsh/r8_inline_plumbing.py": "R8",
+    "r9_direct_backend_import.py": "R9",
 }
 
 
@@ -210,7 +211,7 @@ class TestCommandLine:
         assert self._run("--rules", "R4", target).returncode == 1
 
     def test_unknown_rule_is_a_usage_error(self):
-        assert self._run("--rules", "R9", "src").returncode == 2
+        assert self._run("--rules", "R99", "src").returncode == 2
 
     def test_missing_path_is_a_usage_error(self):
         assert self._run("no/such/dir").returncode == 2

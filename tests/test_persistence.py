@@ -271,3 +271,34 @@ class TestVerifiedPersistence:
                 save_index(replacement, path)
             save_index(replacement, path)  # plan exhausted: commit goes through
         _same_results(replacement, load_index(path), gaussian_queries)
+
+
+def test_loaded_arrays_own_their_data(gaussian_data, tmp_path):
+    """Regression for the buffer-ownership rule in ``_read_archive``.
+
+    Every array handed out of the (closed) npz archive must own its
+    data — none may be a view over a buffer whose lifetime is managed
+    elsewhere (the ``np.frombuffer``-over-``SharedMemory`` dangling-view
+    pattern documented in ``repro.exec.process``).  If ``_read_archive``
+    ever switched to an mmap-backed load, these assertions fail before
+    any user sees a torn read.
+    """
+    from repro.persistence import _read_archive
+
+    index = StandardLSH(n_tables=4, bucket_width=6.0, seed=3).fit(
+        gaussian_data)
+    path = str(tmp_path / "own.npz")
+    save_index(index, path)
+    _, arrays = _read_archive(path)
+    assert arrays, "archive should contain index arrays"
+    for key, arr in arrays.items():
+        base = arr
+        while base.base is not None:
+            base = base.base
+        assert not isinstance(base, np.memmap), \
+            f"{key} is mmap-backed; it will not survive the closed archive"
+        assert base.flags.owndata, \
+            f"{key} does not own its data (dangling-buffer hazard)"
+    # The archive context is closed: a full reload must still read clean.
+    loaded = load_index(path)
+    np.testing.assert_array_equal(loaded._data, index._data)

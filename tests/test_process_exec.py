@@ -1,0 +1,355 @@
+"""ProcessShardExecutor tests: parity, chaos, deadlines, SHM lifecycle.
+
+The contract under test (DESIGN.md §12, "Process sharding"):
+
+1. **Bit-identical** — the process pool returns exactly what the
+   in-process ``index.query_batch`` returns (integer hierarchy
+   threshold; the ``"median"`` rule is per-shard by construction, same
+   as the thread path).
+2. **Zero wrong answers under chaos** — killing a live shard worker
+   mid-batch (``kill -9``) or injecting a fault at ``exec.process``
+   never produces a wrong row: retried shards stay bit-identical,
+   brute-forced shards are flagged ``degraded`` and carry *exact*
+   answers, and only the unsupervised path is allowed to raise.
+3. **One absolute deadline** — shipped to workers as a raw monotonic
+   expiry; an expired budget yields flagged padding, never a hang.
+4. **Segment ownership** — a ``np.frombuffer`` view must die before its
+   ``SharedMemory`` closes (the view holds a buffer export); ``close()``
+   is idempotent and actually releases the segment.
+
+All plans and datasets are seeded; CI's ``chaos`` job runs this file.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exec import ProcessShardExecutor, WorkerCrashError
+from repro.exec.process import _segment_view
+from repro.lsh.index import StandardLSH
+from repro.obs.registry import MetricsRegistry
+from repro.resilience import (
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResiliencePolicy,
+    injected_faults,
+)
+
+N_QUERIES = 23
+DIM = 16
+K = 10
+THRESHOLD = 12  # integer: shard-invariant, so parity is exact
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return np.random.default_rng(404).standard_normal((500, DIM))
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    q = np.random.default_rng(405).standard_normal((N_QUERIES, DIM))
+    q[3] = dataset[41]  # exact self-match: distance must be bitwise 0.0
+    return q
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    return StandardLSH(n_tables=6, bucket_width=6.0, seed=9, lattice="e8",
+                       n_probes=2, hierarchy=True).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def reference(index, queries):
+    return index.query_batch(queries, K, hierarchy_threshold=THRESHOLD)
+
+
+@pytest.fixture(scope="module")
+def executor(index):
+    with ProcessShardExecutor(index, n_workers=2) as ex:
+        yield ex
+
+
+def assert_bit_identical(result, reference):
+    ids_a, dists_a, stats_a = result
+    ids_b, dists_b, stats_b = reference
+    assert np.array_equal(ids_a, ids_b)
+    assert np.array_equal(dists_a.view(np.int64), dists_b.view(np.int64))
+    assert np.array_equal(stats_a.n_candidates, stats_b.n_candidates)
+    assert np.array_equal(stats_a.escalated, stats_b.escalated)
+
+
+# ----------------------------------------------------------------- parity
+
+
+class TestParity:
+    def test_single_shard_is_bit_identical(self, executor, queries,
+                                           reference):
+        result = executor.query_batch(queries, K,
+                                      hierarchy_threshold=THRESHOLD)
+        assert_bit_identical(result, reference)
+        assert result[2].degraded_mask().sum() == 0
+
+    @pytest.mark.parametrize("rows", [1, 5, N_QUERIES])
+    def test_sharded_is_bit_identical(self, executor, queries, reference,
+                                      rows):
+        result = executor.query_batch(queries, K,
+                                      hierarchy_threshold=THRESHOLD,
+                                      max_batch_rows=rows)
+        assert_bit_identical(result, reference)
+
+    def test_self_match_distance_is_zero(self, executor, queries):
+        ids, dists, _ = executor.query_batch(queries, K,
+                                             hierarchy_threshold=THRESHOLD)
+        assert ids[3, 0] == 41
+        assert dists[3, 0] == 0.0
+
+    def test_median_threshold_single_shard(self, index, executor, queries):
+        # One shard == whole batch, so even the per-shard "median" rule
+        # matches the unsharded run exactly.
+        base = index.query_batch(queries, K)
+        result = executor.query_batch(queries, K)
+        assert_bit_identical(result, base)
+
+
+# ------------------------------------------------------------- validation
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self, index):
+        with pytest.raises(ValueError, match="n_workers"):
+            ProcessShardExecutor(index, n_workers=0)
+
+    def test_rejects_scalar_engine(self, index):
+        with pytest.raises(ValueError, match="engine"):
+            ProcessShardExecutor(index, engine="scalar")
+
+    def test_rejects_unknown_engine(self, index):
+        with pytest.raises(ValueError, match="engine"):
+            ProcessShardExecutor(index, engine="warp")
+
+    def test_worker_pids_match_pool_size(self, executor):
+        pids = executor.worker_pids()
+        assert len(pids) == executor.n_workers
+        assert all(isinstance(p, int) and p > 0 for p in pids)
+
+    def test_nonfinite_rows_degrade_under_policy(self, executor, queries,
+                                                 reference):
+        bad = queries.copy()
+        bad[1, 0] = np.nan
+        pol = ResiliencePolicy(max_retries=1)
+        ids, dists, stats = executor.query_batch(
+            bad, K, hierarchy_threshold=THRESHOLD, policy=pol)
+        degraded = stats.degraded_mask()
+        assert degraded[1] and degraded.sum() == 1
+        assert np.all(ids[1] == -1)
+        good = ~degraded
+        assert np.array_equal(ids[good], reference[0][good])
+        assert np.array_equal(dists[good].view(np.int64),
+                              reference[1][good].view(np.int64))
+
+
+# ----------------------------------------------------------------- chaos
+
+
+class TestChaos:
+    def test_killed_worker_is_respawned_with_zero_wrong_answers(
+            self, index, queries, reference):
+        # kill -9 one live worker, then run a multi-shard batch: the
+        # supervised path must retry on a fresh process and return the
+        # exact answers (no degradation — the retry succeeded).
+        with ProcessShardExecutor(index, n_workers=2) as ex:
+            victim = ex.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline_for_death = time.monotonic() + 5.0
+            while (victim in ex.worker_pids()
+                   and time.monotonic() < deadline_for_death):
+                time.sleep(0.01)
+            result = ex.query_batch(queries, K,
+                                    hierarchy_threshold=THRESHOLD,
+                                    policy=ResiliencePolicy(max_retries=2),
+                                    max_batch_rows=5)
+            assert_bit_identical(result, reference)
+            assert result[2].degraded_mask().sum() == 0
+            # The pool healed: every slot holds a live worker again.
+            assert len(ex.worker_pids()) == 2
+
+    def test_kill_midstream_batches_stay_correct(self, index, queries,
+                                                 reference):
+        # Interleave kills with queries: every batch, no matter when the
+        # worker died, must be bit-identical (retry) with zero degraded.
+        pol = ResiliencePolicy(max_retries=2)
+        with ProcessShardExecutor(index, n_workers=1) as ex:
+            for _ in range(3):
+                os.kill(ex.worker_pids()[0], signal.SIGKILL)
+                result = ex.query_batch(queries, K,
+                                        hierarchy_threshold=THRESHOLD,
+                                        policy=pol, max_batch_rows=8)
+                assert_bit_identical(result, reference)
+                assert result[2].degraded_mask().sum() == 0
+
+    def test_injected_fault_exhausts_retries_to_exact_brute_force(
+            self, index, executor, queries, reference):
+        # Pin the fault to shard 1 with no retry budget: its rows fall
+        # back to the exact in-parent brute-force scan (flagged
+        # degraded), every other row stays bit-identical.
+        plan = FaultPlan([FaultSpec(site="exec.process",
+                                    match={"shard": 1})], seed=13)
+        pol = ResiliencePolicy(max_retries=0)
+        with injected_faults(plan):
+            ids, dists, stats = executor.query_batch(
+                queries, K, hierarchy_threshold=THRESHOLD, policy=pol,
+                max_batch_rows=5)
+        degraded = stats.degraded_mask()
+        assert degraded[5:10].all() and degraded.sum() == 5
+        brute_ids, brute_dists = index.brute_force_batch(queries[5:10], K)
+        assert np.array_equal(ids[5:10], brute_ids)
+        assert np.array_equal(dists[5:10].view(np.int64),
+                              brute_dists.view(np.int64))
+        good = ~degraded
+        assert np.array_equal(ids[good], reference[0][good])
+        assert np.array_equal(dists[good].view(np.int64),
+                              reference[1][good].view(np.int64))
+        assert stats.failures is not None
+        assert any(r.action.startswith("fallback") for r in stats.failures)
+
+    def test_injected_fault_with_retry_budget_is_bit_identical(
+            self, executor, queries, reference):
+        plan = FaultPlan([FaultSpec(site="exec.process", match={"shard": 0},
+                                    max_hits=1)], seed=13)
+        pol = ResiliencePolicy(max_retries=2)
+        with injected_faults(plan):
+            result = executor.query_batch(
+                queries, K, hierarchy_threshold=THRESHOLD, policy=pol,
+                max_batch_rows=5)
+        assert_bit_identical(result, reference)
+        assert result[2].degraded_mask().sum() == 0
+        assert result[2].failures is not None  # the retry was recorded
+
+    def test_unsupervised_fault_propagates(self, executor, queries):
+        plan = FaultPlan([FaultSpec(site="exec.process")], seed=13)
+        with injected_faults(plan):
+            with pytest.raises(InjectedFault):
+                executor.query_batch(queries, K,
+                                     hierarchy_threshold=THRESHOLD)
+
+
+# -------------------------------------------------------------- deadlines
+
+
+class TestDeadline:
+    def test_expired_deadline_pads_and_flags(self, executor, queries):
+        deadline = Deadline.from_ms(0.001)
+        time.sleep(0.01)
+        ids, dists, stats = executor.query_batch(
+            queries, K, hierarchy_threshold=THRESHOLD, deadline=deadline,
+            max_batch_rows=5)
+        assert stats.exhausted_budget is not None
+        assert stats.exhausted_budget.all()
+        assert np.all(ids == -1)
+        assert np.all(np.isinf(dists))
+
+    def test_generous_deadline_changes_nothing(self, executor, queries,
+                                               reference):
+        result = executor.query_batch(
+            queries, K, hierarchy_threshold=THRESHOLD, deadline_ms=60_000,
+            max_batch_rows=5)
+        assert_bit_identical(result, reference)
+        assert not result[2].exhausted_budget.any()
+
+
+# ------------------------------------------------- shared-memory lifecycle
+
+
+class TestSharedMemoryOwnership:
+    def test_view_must_die_before_close(self):
+        # The np.frombuffer regression pinned by persistence.py's
+        # ownership comments: a live view holds a buffer export, so
+        # closing the segment under it raises BufferError instead of
+        # leaving a dangling pointer.
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(create=True, size=1024)
+        try:
+            view = _segment_view(shm, "<f8", (16,), 0)
+            with pytest.raises(BufferError):
+                shm.close()
+            del view
+            shm.close()  # all exports dropped: close now succeeds
+        finally:
+            shm.unlink()
+
+    def test_segment_views_are_read_only(self):
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(create=True, size=256)
+        try:
+            view = _segment_view(shm, "<i8", (4, 8), 0)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1
+            del view
+            shm.close()
+        finally:
+            shm.unlink()
+
+    def test_close_releases_the_segment(self, index, queries):
+        from multiprocessing.shared_memory import SharedMemory
+
+        ex = ProcessShardExecutor(index, n_workers=1)
+        name = ex._shm.name
+        ex.query_batch(queries, K, hierarchy_threshold=THRESHOLD)
+        ex.close()
+        ex.close()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            SharedMemory(name=name)
+
+    def test_closed_executor_rejects_queries(self, index, queries):
+        ex = ProcessShardExecutor(index, n_workers=1)
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.query_batch(queries, K)
+
+    def test_memmap_index_is_rejected(self, tmp_path, dataset):
+        path = tmp_path / "data.npy"
+        np.save(path, dataset)
+        mm = np.load(path, mmap_mode="r")
+        index = StandardLSH(n_tables=3, bucket_width=6.0, seed=9).fit(
+            np.asarray(mm))
+        index._data = mm  # simulate an out-of-core fit
+        with pytest.raises(ValueError, match="in-memory"):
+            ProcessShardExecutor(index, n_workers=1)
+
+
+# ---------------------------------------------------------- observability
+
+
+class TestObservability:
+    def test_worker_events_and_shards_are_counted(self, index, queries,
+                                                  reference):
+        reg = MetricsRegistry()
+        obs.enable(registry=reg)
+        try:
+            with ProcessShardExecutor(index, n_workers=1) as ex:
+                os.kill(ex.worker_pids()[0], signal.SIGKILL)
+                result = ex.query_batch(
+                    queries, K, hierarchy_threshold=THRESHOLD,
+                    policy=ResiliencePolicy(max_retries=2),
+                    max_batch_rows=8)
+        finally:
+            obs.disable()
+        assert_bit_identical(result, reference)
+        snap = reg.snapshot()
+        events = {s["labels"]["kind"]: s["value"]
+                  for s in snap["repro_exec_worker_events_total"]["samples"]}
+        assert events.get("spawn", 0) >= 2  # initial + the replacement
+        assert events.get("respawn", 0) >= 1
+        shards = snap["repro_exec_shards_total"]["samples"]
+        assert any(s["labels"].get("site") == "exec.process"
+                   for s in shards)
