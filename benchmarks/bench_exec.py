@@ -15,11 +15,19 @@ the StandardLSH and BiLevelLSH front-ends and fails loudly when
    of the unsharded throughput (min-statistics: the ratio of best
    times, robust to scheduler noise).
 
+With ``--shard-workers N`` the benchmark additionally times the
+process-sharded path (``repro.exec.ProcessShardExecutor``, the
+SharedMemory-manifest spawn tier) against the in-process run on the
+standard front-end, and records the numbers in the same report.
+Process sharding pays a real IPC/reconstruction cost, so its ratio is
+reported but not gated — only result equality is enforced.
+
 Writes ``BENCH_exec.json`` next to the repository root.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_exec.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_exec.py --quick --shard-workers 2
 """
 
 from __future__ import annotations
@@ -78,6 +86,43 @@ def bench_front_end(name, index, workload, k, max_batch_rows, rounds):
     return rows, ratio, ids_match and dists_match
 
 
+def bench_process_sharded(index, workload, k, n_workers, rounds):
+    """Interleaved in-process vs process-sharded timing (standard only)."""
+    from repro.exec import ProcessShardExecutor
+
+    queries = workload.queries
+    exact_ids, _ = workload.ground_truth.neighbors(RECALL_K)
+    with ProcessShardExecutor(index, n_workers=n_workers,
+                              engine="vectorized") as executor:
+        timings = interleaved_times({
+            "in-process": lambda: index.query_batch(queries, k),
+            "process-sharded": lambda: executor.query_batch(queries, k),
+        }, rounds)
+    rows = []
+    outputs = {}
+    for mode, timing in timings.items():
+        ids, dists, _ = timing.result
+        outputs[mode] = (ids, dists)
+        recall = float(recall_ratio(exact_ids, ids[:, :RECALL_K]).mean())
+        rows.append(latency_row(timing, queries.shape[0], extra={
+            "method": "standard",
+            "mode": mode,
+            "shard_workers": (n_workers if mode == "process-sharded"
+                              else None),
+            "batch_seconds_best": timing.best,
+            f"recall_at_{RECALL_K}": recall,
+        }))
+    ids_match = bool(np.array_equal(outputs["in-process"][0],
+                                    outputs["process-sharded"][0]))
+    dists_match = bool(np.array_equal(outputs["in-process"][1],
+                                      outputs["process-sharded"][1]))
+    for row in rows:
+        row["ids_match"] = ids_match
+        row["dists_match"] = dists_match
+    ratio = timings["in-process"].best / timings["process-sharded"].best
+    return rows, ratio, ids_match and dists_match
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -91,6 +136,9 @@ def main(argv=None):
                              "// 2 under --quick)")
     parser.add_argument("--min-ratio", type=float, default=0.95,
                         help="minimum sharded/unsharded throughput ratio")
+    parser.add_argument("--shard-workers", type=int, default=0,
+                        help="also time ProcessShardExecutor with this many "
+                             "spawn workers (0 = skip)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -128,6 +176,13 @@ def main(argv=None):
     ratios["standard"] = ratio
     all_match &= match
 
+    process_ratio = None
+    if args.shard_workers:
+        rows, process_ratio, match = bench_process_sharded(
+            standard, workload, k, args.shard_workers, rounds)
+        results.extend(rows)
+        all_match &= match
+
     bilevel = BiLevelLSH(BiLevelConfig(
         n_groups=scale.n_groups, n_hashes=scale.n_hashes,
         n_tables=scale.n_tables, bucket_width=width,
@@ -149,8 +204,10 @@ def main(argv=None):
         "max_batch_rows": max_batch_rows,
         "rounds": rounds,
         "min_ratio": args.min_ratio,
+        "shard_workers": args.shard_workers or None,
         "results": results,
         "throughput_ratio_sharded_to_unsharded": ratios,
+        "throughput_ratio_process_sharded_to_in_process": process_ratio,
         "all_results_bit_identical": bool(all_match),
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -164,6 +221,10 @@ def main(argv=None):
     worst = min(ratios, key=ratios.get)
     print(f"\nthroughput ratios (sharded/unsharded): "
           + ", ".join(f"{m}={r:.3f}" for m, r in ratios.items()))
+    if process_ratio is not None:
+        print(f"process-sharded/in-process ratio "
+              f"({args.shard_workers} workers): {process_ratio:.3f} "
+              "(informational, not gated)")
     print(f"report: {args.out}")
 
     if not all_match:

@@ -12,7 +12,13 @@ interleaved round-robin so machine drift cancels:
 - ``metrics`` — observability enabled, metrics only (0% trace sampling);
 - ``sampled`` — observability enabled with 1% per-query trace sampling;
 - ``supervised`` — obs off but a :class:`ResiliencePolicy` threaded
-  through the batch (per-table dispatch runs under ``policy.run``).
+  through the batch (per-table dispatch runs under ``policy.run``);
+- ``sanitizer-off`` — the disabled path with the lock sanitizer module
+  imported but not installed (the production state: the
+  ``REPRO_SANITIZE_LOCKS`` gate is off, nothing is patched);
+- ``sanitizer-on`` — the same batch with the sanitizer installed
+  (instrumented lock factories + patched ``Future.result`` /
+  ``queue.get`` / ``shutdown``), reported informationally.
 
 Because ``query_batch`` consults the fault-injection and policy gates
 unconditionally, the ``off`` vs ``plain`` guard doubles as the
@@ -22,8 +28,9 @@ loosely by ``--max-supervised-pct``) to keep the cost of the supervision
 wrappers visible.
 
 The guard compares *minimum* batch times (the low-noise statistic):
-``off`` must be within ``--max-disabled-pct`` (default 2%) of ``plain``,
-and ``sampled`` within ``--max-sampled-pct`` (default 10%).  A noisy
+``off`` and ``sanitizer-off`` must each be within ``--max-disabled-pct``
+(default 2%) of ``plain``, and ``sampled`` within ``--max-sampled-pct``
+(default 10%).  A noisy
 attempt is re-measured up to ``--retries`` times — scheduler
 interference can fake a 2% delta at millisecond batch times, while a
 real regression fails every attempt.  Exits nonzero when the last
@@ -47,6 +54,7 @@ from pathlib import Path
 from conftest import interleaved_times
 
 from repro import obs
+from repro.analysis import sanitizer
 from repro.experiments.workloads import Scale, make_workload
 from repro.lsh.index import StandardLSH
 from repro.obs.registry import MetricsRegistry
@@ -132,12 +140,31 @@ def main(argv=None):
         return index.query_batch(queries, k, engine="vectorized",
                                  policy=policy)
 
+    def run_sanitizer_off():
+        # Production state: the module is importable but nothing is
+        # patched, so the disabled path must be byte-for-byte the same
+        # work as ``off`` — the ≤2% gate proves the sanitizer costs
+        # nothing unless REPRO_SANITIZE_LOCKS switches it on.
+        assert not sanitizer.active()
+        obs.disable()
+        return index.query_batch(queries, k, engine="vectorized")
+
+    def run_sanitizer_on():
+        sanitizer.install()
+        try:
+            obs.disable()
+            return index.query_batch(queries, k, engine="vectorized")
+        finally:
+            sanitizer.uninstall()
+
     configs = {
         "plain": run_plain,
         "off": run_off,
         "metrics": run_metrics,
         "sampled": run_sampled,
         "supervised": run_supervised,
+        "sanitizer-off": run_sanitizer_off,
+        "sanitizer-on": run_sanitizer_on,
     }
     attempts = 0
     while True:
@@ -147,14 +174,20 @@ def main(argv=None):
         disabled_pct = (timings["off"].best / base - 1.0) * 100.0
         sampled_pct = (timings["sampled"].best / base - 1.0) * 100.0
         supervised_pct = (timings["supervised"].best / base - 1.0) * 100.0
+        sanitizer_off_pct = (timings["sanitizer-off"].best / base
+                             - 1.0) * 100.0
+        sanitizer_on_pct = (timings["sanitizer-on"].best / base
+                            - 1.0) * 100.0
         if (disabled_pct <= args.max_disabled_pct
                 and sampled_pct <= args.max_sampled_pct
-                and supervised_pct <= args.max_supervised_pct):
+                and supervised_pct <= args.max_supervised_pct
+                and sanitizer_off_pct <= args.max_disabled_pct):
             break
         if attempts > args.retries:
             break
         print(f"attempt {attempts} noisy (disabled {disabled_pct:+.2f}%, "
-              f"sampled {sampled_pct:+.2f}%); re-measuring")
+              f"sampled {sampled_pct:+.2f}%, sanitizer-off "
+              f"{sanitizer_off_pct:+.2f}%); re-measuring")
 
     rows = []
     for name, timing in timings.items():
@@ -180,6 +213,8 @@ def main(argv=None):
         "disabled_overhead_pct": disabled_pct,
         "sampled_overhead_pct": sampled_pct,
         "supervised_overhead_pct": supervised_pct,
+        "sanitizer_off_overhead_pct": sanitizer_off_pct,
+        "sanitizer_on_overhead_pct": sanitizer_on_pct,
         "max_disabled_pct": args.max_disabled_pct,
         "max_sampled_pct": args.max_sampled_pct,
         "max_supervised_pct": args.max_supervised_pct,
@@ -213,6 +248,11 @@ def main(argv=None):
         failures.append(
             f"supervised-dispatch overhead {supervised_pct:.2f}% exceeds "
             f"{args.max_supervised_pct:.2f}% (supervised vs plain)")
+    if sanitizer_off_pct > args.max_disabled_pct:
+        failures.append(
+            f"sanitizer-off overhead {sanitizer_off_pct:.2f}% exceeds "
+            f"{args.max_disabled_pct:.2f}% (sanitizer-off vs plain); "
+            "the uninstalled sanitizer must be free")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
@@ -220,7 +260,9 @@ def main(argv=None):
               f"(limit {args.max_disabled_pct}%), sampled "
               f"{sampled_pct:+.2f}% (limit {args.max_sampled_pct}%), "
               f"supervised {supervised_pct:+.2f}% "
-              f"(limit {args.max_supervised_pct}%)")
+              f"(limit {args.max_supervised_pct}%), sanitizer-off "
+              f"{sanitizer_off_pct:+.2f}% (limit {args.max_disabled_pct}%; "
+              f"sanitizer-on {sanitizer_on_pct:+.2f}% informational)")
     return 1 if failures else 0
 
 

@@ -1,11 +1,16 @@
-"""Static invariant enforcement for the repository.
+"""Static and dynamic invariant enforcement for the repository.
 
 The hot path of this reproduction is vectorized and (since the batch
 engine landed) concurrent: packed ``>u8`` bucket keys, ``int64`` code
-arrays, per-group thread-pooled dispatch.  Its correctness rests on
-invariants that ordinary tests cannot see drifting — dtype discipline,
-centralized RNG plumbing, and lock discipline around shared index state.
-This package machine-checks them with an AST lint pass:
+arrays, per-group thread-pooled dispatch, and a spawn-context process
+tier over SharedMemory manifests.  Its correctness rests on invariants
+that ordinary tests cannot see drifting — dtype discipline, centralized
+RNG plumbing, lock discipline around shared index state, lock ordering,
+and what may cross the process boundary.  This package machine-checks
+them with an AST lint pass built on a module-resolved interprocedural
+call graph (:mod:`repro.analysis.callgraph`: renamed imports, callable
+aliases, ``self.method`` through base classes, callables shipped to
+executors):
 
 - **R1** ``rng-centralized`` — no direct ``np.random.*`` / ``random``
   usage outside :mod:`repro.utils.rng`.
@@ -13,7 +18,7 @@ This package machine-checks them with an AST lint pass:
   (``lsh``, ``lattice``, ``core``) must name an explicit ``dtype``.
 - **R3** ``locked-mutation`` — no mutation of shared index state from
   functions reachable by the ``n_jobs`` worker path without holding a
-  declared lock (driven by a conservative call-graph walk).
+  declared lock.
 - **R4** ``typed-api`` — public API functions carry complete type
   annotations, and ``= None`` defaults require ``Optional``-compatible
   annotations.
@@ -22,8 +27,31 @@ This package machine-checks them with an AST lint pass:
 - **R6** ``obs-centralized`` — pipeline modules emit telemetry only
   through :mod:`repro.obs`; no raw ``time.perf_counter()`` reads or
   ``print`` instrumentation outside the observability package.
+- **R7** ``recorded-failures`` — pipeline ``except`` handlers re-raise
+  or record the failure (directly, or via a helper the call graph
+  resolves).
+- **R8** ``exec-centralized`` — query execution plumbing lives only in
+  :mod:`repro.exec`; front-end ``query_batch`` delegates to
+  ``run_plan``.
+- **R9** ``native-dispatch`` — compiled kernel backends are imported
+  only by the native registry.
+- **R10** ``lock-order`` — the static lock-acquisition graph is
+  acyclic and no blocking call runs while a lock is held
+  (:mod:`repro.analysis.concurrency`).
+- **R11** ``shm-read-only`` — SharedMemory-reconstructed views are
+  never written outside the ``writeable=True`` copy-in seam.
+- **R12** ``spawn-safe`` — nothing shipped to spawn workers carries
+  locks, files, RNG state, lambdas, or bound methods.
 
-Run via ``python tools/check_invariants.py src/`` or through
+The static rules have a runtime complement in
+:mod:`repro.analysis.sanitizer`: env-gated (``REPRO_SANITIZE_LOCKS``)
+instrumented lock wrappers that record the dynamic acquisition-order
+graph at test time, plus a deterministic seeded
+:class:`~repro.analysis.sanitizer.InterleavingDriver` for replaying
+cross-thread schedules.
+
+Run via ``python tools/check_invariants.py src/`` (``--json``,
+``--changed-only``, ``--require-pragma-justification``) or through
 :func:`analyze_paths`.
 """
 

@@ -15,6 +15,11 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.callgraph import CallGraph
+from repro.analysis.concurrency import (
+    check_lock_order,
+    check_shm_read_only,
+    check_spawn_safe,
+)
 from repro.analysis.core import ModuleInfo, Violation, load_module
 from repro.analysis.rules import (
     build_alias_table,
@@ -31,7 +36,11 @@ from repro.analysis.rules import (
 
 ALL_RULES: Tuple[str, ...] = (
     "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+    "R10", "R11", "R12",
 )
+
+#: Rules that need the interprocedural call graph.
+_GRAPH_RULES = frozenset({"R3", "R7", "R10", "R11", "R12"})
 
 #: Human-readable rule index, kept in sync with ``repro.analysis.rules``.
 RULE_SUMMARIES: Dict[str, str] = {
@@ -53,6 +62,17 @@ RULE_SUMMARIES: Dict[str, str] = {
           "kernels_cext) are imported only by repro.native.registry — "
           "every compiled entry point is reached through engine='native' "
           "resolution, never directly",
+    "R10": "lock-order: the static lock-acquisition graph is acyclic, "
+           "non-reentrant locks are never re-acquired while held, and no "
+           "blocking call (Future.result, queue.get, shutdown(wait=True)) "
+           "executes while holding a lock",
+    "R11": "shm-read-only: arrays reconstructed from the SharedMemory "
+           "manifest are never written — writes go only through the "
+           "writeable=True copy-in seam, and worker-reachable code never "
+           "mutates a manifest-backed attribute in place",
+    "R12": "spawn-safe: objects shipped to spawn-context workers "
+           "(Process targets/args, ProcessPoolExecutor.submit) carry no "
+           "locks, open files, bound methods, lambdas, or RNG state",
 }
 
 
@@ -106,6 +126,17 @@ class AnalysisConfig:
     #: Path suffixes of the one module allowed to import the compiled
     #: kernel backends (R9): the native dispatch table.
     native_registry_suffixes: Tuple[str, ...] = ("native/registry.py",)
+    #: Bare names of the SharedMemory view factories (R11): calling one
+    #: without ``writeable=True`` yields a read-only cross-process array.
+    shm_view_factories: Tuple[str, ...] = ("_segment_view",)
+    #: Bare names of the worker-side entry points whose reachable set
+    #: must never write a manifest-backed attribute in place (R11).
+    shm_root_names: Tuple[str, ...] = ("_worker_main", "_reconstruct_index")
+    #: Packages in scope for the R11 escape phase — the code a shard
+    #: worker can actually execute against a reconstructed index.
+    shm_scope_parts: Tuple[str, ...] = (
+        "exec", "lsh", "lattice", "hierarchy", "core", "rptree", "native",
+    )
     #: Directory names never descended into during file discovery.
     skip_dirs: Tuple[str, ...] = (
         "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
@@ -131,12 +162,14 @@ def analyze_modules(
 ) -> List[Violation]:
     """Run every enabled rule over already-parsed modules."""
     violations: List[Violation] = []
+    graph: Optional[CallGraph] = None
+    if _GRAPH_RULES & set(config.rules):
+        graph = CallGraph(modules)
     if "R1" in config.rules:
         violations += check_rng_centralized(modules, config.rng_module_suffixes)
     if "R2" in config.rules:
         violations += check_explicit_dtype(modules, config.hot_path_parts)
-    if "R3" in config.rules:
-        graph = CallGraph(modules)
+    if "R3" in config.rules and graph is not None:
         violations += check_locked_mutation(
             modules, graph, config.worker_roots, config.guarded_attrs
         )
@@ -149,9 +182,9 @@ def analyze_modules(
         violations += check_obs_centralized(
             modules, config.telemetry_scope_parts, config.obs_module_parts
         )
-    if "R7" in config.rules:
+    if "R7" in config.rules and graph is not None:
         violations += check_recorded_failures(
-            modules, config.telemetry_scope_parts,
+            modules, graph, config.telemetry_scope_parts,
             config.resilience_exempt_parts
         )
     if "R8" in config.rules:
@@ -162,6 +195,15 @@ def analyze_modules(
         violations += check_native_dispatch(
             modules, config.native_registry_suffixes
         )
+    if "R10" in config.rules and graph is not None:
+        violations += check_lock_order(modules, graph)
+    if "R11" in config.rules and graph is not None:
+        violations += check_shm_read_only(
+            modules, graph, config.shm_view_factories,
+            config.shm_root_names, config.shm_scope_parts
+        )
+    if "R12" in config.rules and graph is not None:
+        violations += check_spawn_safe(modules, graph)
     by_path = {module.posix_path: module for module in modules}
     kept = [
         v for v in violations
@@ -188,6 +230,30 @@ def analyze_paths(
         violations + analyze_modules(modules, config),
         key=lambda v: (v.path, v.line, v.rule, v.message),
     )
+
+
+def check_pragma_justifications(
+    modules: Sequence[ModuleInfo],
+) -> List[Violation]:
+    """Every ``# invariant: disable=...`` pragma must say *why*.
+
+    A suppression with no trailing justification text is itself a finding
+    (rule id ``pragma``): the pragma grants a permanent exemption, so the
+    reviewer-facing reason has to live next to it, not in a commit
+    message.  Enforced by the CLI's ``--require-pragma-justification``
+    flag (the CI lint job runs with it on).
+    """
+    violations: List[Violation] = []
+    for module in modules:
+        for lineno, rules, justification in module.iter_pragmas():
+            if not justification:
+                violations.append(Violation(
+                    "pragma", module.posix_path, lineno,
+                    f"suppression of {', '.join(rules)} without a trailing "
+                    "justification; write '# invariant: disable=... — "
+                    "<why this exemption is sound>'",
+                ))
+    return violations
 
 
 def format_violations(violations: Iterable[Violation]) -> str:

@@ -67,6 +67,21 @@ class ModuleInfo:
         rules = self.suppressed_rules(violation.line)
         return violation.rule in rules or "all" in rules
 
+    def iter_pragmas(self) -> List[Tuple[int, Tuple[str, ...], str]]:
+        """Every suppression pragma in the file, as
+        ``(lineno, rule_ids, trailing_justification_text)``."""
+        found: List[Tuple[int, Tuple[str, ...], str]] = []
+        for lineno, line in enumerate(self.source_lines, start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group(1).split(",")
+                if part.strip()
+            )
+            found.append((lineno, rules, line[match.end():].strip()))
+        return found
+
 
 def load_module(path: Path) -> Tuple[Optional[ModuleInfo], Optional[Violation]]:
     """Parse ``path``; returns ``(module, None)`` or ``(None, violation)``.

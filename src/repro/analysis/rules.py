@@ -124,73 +124,6 @@ def check_explicit_dtype(
 
 # --------------------------------------------------------------------- R3
 
-def _lock_context_names(item: ast.withitem) -> bool:
-    """True if a ``with`` item acquires something that looks like a lock."""
-    expr = item.context_expr
-    if isinstance(expr, ast.Call):
-        expr = expr.func
-    dotted = dotted_attribute(expr)
-    return dotted is not None and "lock" in dotted.lower()
-
-
-def _walk_mutations(
-    body: Iterable[ast.stmt],
-    guarded: frozenset,
-    lock_depth: int,
-    out: List[Tuple[int, str]],
-) -> None:
-    """Collect unguarded ``self.<attr>`` mutations, tracking lock scopes."""
-    for stmt in body:
-        depth = lock_depth
-        if isinstance(stmt, (ast.With, ast.AsyncWith)):
-            if any(_lock_context_names(item) for item in stmt.items):
-                depth = lock_depth + 1
-        if depth == 0:
-            for target in _mutation_targets(stmt, guarded):
-                out.append((stmt.lineno, target))
-        for child_body in _child_bodies(stmt):
-            _walk_mutations(child_body, guarded, depth, out)
-
-
-def _child_bodies(stmt: ast.stmt) -> Iterable[Iterable[ast.stmt]]:
-    for attr in ("body", "orelse", "finalbody"):
-        block = getattr(stmt, attr, None)
-        if block:
-            yield block
-    for handler in getattr(stmt, "handlers", ()) or ():
-        yield handler.body
-
-
-def _mutation_targets(stmt: ast.stmt, guarded: frozenset) -> List[str]:
-    """Guarded ``self.<attr>`` names this single statement mutates."""
-    found: List[str] = []
-    targets: List[ast.expr] = []
-    if isinstance(stmt, ast.Assign):
-        targets = list(stmt.targets)
-    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
-        targets = [stmt.target] if stmt.target is not None else []
-    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
-        func = stmt.value.func
-        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
-            attr = is_self_attribute(func.value, guarded)
-            if attr is not None:
-                found.append(f"self.{attr}.{func.attr}(...)")
-    for target in targets:
-        base = target
-        while isinstance(base, (ast.Subscript, ast.Starred)):
-            base = base.value
-        if isinstance(base, ast.Tuple):
-            for element in base.elts:
-                attr = is_self_attribute(element, guarded)
-                if attr is not None:
-                    found.append(f"self.{attr}")
-            continue
-        attr = is_self_attribute(base, guarded)
-        if attr is not None:
-            found.append(f"self.{attr}")
-    return found
-
-
 def check_locked_mutation(
     modules: Sequence[ModuleInfo],
     graph: CallGraph,
@@ -200,12 +133,16 @@ def check_locked_mutation(
     """R3: worker-reachable functions must not mutate shared index state
     outside a declared lock.
 
-    The reachable set is computed by a conservative by-name call-graph
-    walk from the worker roots (the batch-query entry points dispatched
-    on the ``n_jobs`` thread pool).  Inside any reachable function, an
-    assignment to / in-place mutation of a guarded ``self`` attribute
-    (CSR offsets, overlay chunks, table lists, cached norms, tombstones)
-    is flagged unless it happens under ``with self.<...lock...>:``.
+    The reachable set comes from the interprocedural graph's union walk:
+    conservative by-name edges plus resolved edges, which add the
+    aliasing cases the PR 2 walk missed (``fn = mod.mutator;
+    pool.submit(fn)``, renamed imports, ``self.method`` through base
+    classes).  Each reachable function's attribute-write summary already
+    carries the lexically held lock set, so a write to a guarded
+    ``self`` attribute (CSR offsets, overlay chunks, table lists, cached
+    norms, tombstones) with an empty held set is a finding — including
+    writes inside closures defined under a lock but executed later off
+    it, and writes inside ``match`` arms.
     """
     path_index: Dict[str, ModuleInfo] = {m.posix_path: m for m in modules}
     reachable = graph.reachable_from(worker_roots)
@@ -215,15 +152,14 @@ def check_locked_mutation(
             continue
         if fnode.module_path not in path_index:
             continue
-        mutations: List[Tuple[int, str]] = []
-        _walk_mutations(fnode.node.body, guarded_attrs, 0, mutations)
-        for line, target in mutations:
-            violations.append(Violation(
-                "R3", fnode.module_path, line,
-                f"{fnode.qualname} is reachable from the n_jobs worker path "
-                f"(roots: {', '.join(worker_roots)}) but mutates {target} "
-                "without holding a declared lock",
-            ))
+        for write in fnode.attr_writes:
+            if write.attr in guarded_attrs and not write.held_locks:
+                violations.append(Violation(
+                    "R3", fnode.module_path, write.line,
+                    f"{fnode.qualname} is reachable from the n_jobs worker "
+                    f"path (roots: {', '.join(worker_roots)}) but mutates "
+                    f"{write.desc} without holding a declared lock",
+                ))
     return violations
 
 
@@ -485,8 +421,13 @@ FAILURE_RECORDING_CALLS = frozenset({
 })
 
 
-def _handler_records_or_raises(handler: ast.ExceptHandler) -> bool:
-    """True if the handler body re-raises or records the failure."""
+def _handler_records_or_raises(
+    handler: ast.ExceptHandler,
+    module: ModuleInfo,
+    graph: Optional[CallGraph],
+) -> bool:
+    """True if the handler re-raises or records the failure — directly,
+    or through a helper the interprocedural graph can resolve."""
     for node in ast.walk(handler):
         if isinstance(node, ast.Raise):
             return True
@@ -495,11 +436,24 @@ def _handler_records_or_raises(handler: ast.ExceptHandler) -> bool:
             if dotted is not None:
                 if dotted.rpartition(".")[2] in FAILURE_RECORDING_CALLS:
                     return True
+    if graph is None:
+        return False
+    fnode = graph.node_covering(module.posix_path, handler.lineno)
+    if fnode is None:
+        return False
+    end = int(getattr(handler, "end_lineno", None) or handler.lineno)
+    for site in fnode.call_sites:
+        if not handler.lineno <= site.line <= end:
+            continue
+        if site.resolved is not None and graph.transitively_records_failure(
+                site.resolved, FAILURE_RECORDING_CALLS):
+            return True
     return False
 
 
 def check_recorded_failures(
     modules: Sequence[ModuleInfo],
+    graph: CallGraph,
     telemetry_scope_parts: Tuple[str, ...],
     resilience_exempt_parts: Tuple[str, ...],
 ) -> List[Violation]:
@@ -510,8 +464,10 @@ def check_recorded_failures(
     local) but lets the error vanish from the batch's failure accounting.
     Inside the pipeline packages every handler must either contain a
     ``raise`` or call a failure-recording API
-    (:meth:`ResiliencePolicy.note_failure`, ``Observer.record_*``).  The
-    supervision boundary itself — :mod:`repro.resilience`, where
+    (:meth:`ResiliencePolicy.note_failure`, ``Observer.record_*``) —
+    since the v2 graph, calling a helper that the resolved call graph
+    proves makes such a call (even under a renamed import) also counts.
+    The supervision boundary itself — :mod:`repro.resilience`, where
     ``except Exception`` is the whole point — plus :mod:`repro.obs` and
     the analysis package are exempt.
     """
@@ -525,7 +481,7 @@ def check_recorded_failures(
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
-            if _handler_records_or_raises(node):
+            if _handler_records_or_raises(node, module, graph):
                 continue
             violations.append(Violation(
                 "R7", module.posix_path, node.lineno,

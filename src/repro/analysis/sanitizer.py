@@ -1,0 +1,443 @@
+"""Runtime lock sanitizer: dynamic lock-order and blocking-under-lock
+detection, plus a deterministic seeded interleaving driver.
+
+Static R10 must assume the worst about aliasing and reachability; this
+module verifies the same contracts on the *executed* schedule.  While
+installed, every lock created through ``threading.Lock`` /
+``threading.RLock`` is wrapped by an instrumented proxy that maintains a
+per-thread held stack and a global dynamic acquisition-order graph:
+
+- acquiring ``B`` while holding ``A`` adds the edge ``A -> B``; if the
+  graph already proves ``B ->* A`` on some other thread's history, the
+  two threads can deadlock under the right interleaving — recorded as a
+  ``lock-order-cycle`` finding even though *this* run got lucky;
+- re-acquiring a non-reentrant lock the same thread already holds would
+  hard-hang the test, so the sanitizer raises instead (after recording a
+  ``self-deadlock`` finding);
+- ``Future.result()``, blocking ``queue.get()`` and
+  ``Executor.shutdown(wait=True)`` called while any instrumented lock is
+  held are recorded as ``blocking-under-lock`` findings — the PR 4
+  hung-worker shape, caught live.
+
+Gating follows the obs/faults pattern: nothing is patched at import
+time, :func:`install` flips the process into sanitizing mode (tests use
+the ``REPRO_SANITIZE_LOCKS`` env gate via ``tests/conftest.py``), and
+with the gate off the query path is untouched — the ≤2 %-when-off
+overhead budget is enforced by ``benchmarks/bench_obs_overhead.py``.
+
+:class:`InterleavingDriver` complements the wrappers: it replays a fixed
+number of per-thread operations in a seed-determined global order (one
+runnable thread at a time), turning "run it 100 times and hope" races —
+like the overlay-merge/query race in ``test_concurrency_audit.py`` —
+into reproducible schedules.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import sys
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.utils.rng import ensure_rng
+
+ENV_GATE = "REPRO_SANITIZE_LOCKS"
+
+_THIS_FILE = os.path.abspath(__file__)
+
+
+def env_gate_enabled() -> bool:
+    """True when the ``REPRO_SANITIZE_LOCKS`` env gate is switched on."""
+    return os.environ.get(ENV_GATE, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One dynamic concurrency-contract violation."""
+
+    kind: str  # "lock-order-cycle" | "self-deadlock" | "blocking-under-lock"
+    description: str
+    thread: str
+    lock: str
+    held: Tuple[str, ...]
+
+    def format(self) -> str:
+        held = ", ".join(self.held) or "<none>"
+        return (f"[{self.kind}] {self.description} "
+                f"(thread={self.thread}, lock={self.lock}, held={held})")
+
+
+class _State:
+    """Global sanitizer state: the dynamic acquisition-order graph."""
+
+    def __init__(self) -> None:
+        # A raw (never-instrumented) guard for the shared structures.
+        self.guard = _real_lock_factory()
+        self.edges: Dict[str, Set[str]] = {}
+        self.edge_witness: Dict[Tuple[str, str], str] = {}
+        self.findings: List[Finding] = []
+
+    def add_finding(self, finding: Finding) -> None:
+        with self.guard:
+            self.findings.append(finding)
+
+    def record_edge(self, held: str, acquired: str, witness: str) -> None:
+        """Add ``held -> acquired``; report a cycle if the reverse path
+        already exists in the cross-thread history."""
+        with self.guard:
+            cycle = self._path_exists(acquired, held)
+            self.edges.setdefault(held, set()).add(acquired)
+            self.edge_witness.setdefault((held, acquired), witness)
+            back = self.edge_witness.get((acquired, held), "")
+        if cycle and held != acquired:
+            self.add_finding(Finding(
+                kind="lock-order-cycle",
+                description=(
+                    f"acquired {acquired} while holding {held}, but the "
+                    f"opposite order was also observed ({back or 'earlier'})"
+                    " — two threads taking these paths concurrently can "
+                    "deadlock"),
+                thread=threading.current_thread().name,
+                lock=acquired,
+                held=(held,),
+            ))
+
+    def _path_exists(self, src: str, dst: str) -> bool:
+        if src == dst:
+            return True
+        seen: Set[str] = set()
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return False
+
+    def snapshot(self) -> List[Finding]:
+        with self.guard:
+            return list(self.findings)
+
+    def clear(self) -> None:
+        with self.guard:
+            self.findings.clear()
+            self.edges.clear()
+            self.edge_witness.clear()
+
+
+_real_lock_factory = threading.Lock
+_real_rlock_factory = threading.RLock
+
+_tls = threading.local()
+_state: Optional[_State] = None
+_install_guard = threading.Lock()
+_originals: Dict[str, Any] = {}
+
+
+def _held_stack() -> List["SanitizedLock"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def _creation_site() -> str:
+    """``file:line`` of the first caller frame outside this module and
+    :mod:`threading` — the lock's identity in the dynamic graph."""
+    frame = sys._getframe(2)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != _THIS_FILE and not filename.endswith("threading.py"):
+            return f"{os.path.basename(filename)}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class SanitizedLock:
+    """Instrumented stand-in for ``threading.Lock`` / ``RLock``.
+
+    Delegates every operation to a real lock and maintains the
+    per-thread held stack and acquisition-order graph around it.  The
+    RLock variant also forwards the private ``Condition`` protocol
+    (``_acquire_restore`` / ``_release_save`` / ``_is_owned``) so
+    instrumented locks compose with ``threading.Condition`` and
+    ``queue.Queue`` internals.
+    """
+
+    def __init__(self, reentrant: bool, name: Optional[str] = None) -> None:
+        self._real = _real_rlock_factory() if reentrant \
+            else _real_lock_factory()
+        self._reentrant = reentrant
+        self.name = name or _creation_site()
+
+    # ------------------------------------------------------ lock protocol
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        state = _state
+        stack = _held_stack()
+        if state is not None and blocking:
+            if not self._reentrant and any(s is self for s in stack):
+                finding = Finding(
+                    kind="self-deadlock",
+                    description=(f"re-acquiring non-reentrant lock "
+                                 f"{self.name} already held by this thread "
+                                 "would block forever"),
+                    thread=threading.current_thread().name,
+                    lock=self.name,
+                    held=tuple(s.name for s in stack),
+                )
+                state.add_finding(finding)
+                raise RuntimeError("lock sanitizer: " + finding.format())
+        acquired = self._real.acquire(blocking, timeout)
+        if acquired:
+            if state is not None:
+                for held in stack:
+                    if held is not self:
+                        state.record_edge(
+                            held.name, self.name,
+                            threading.current_thread().name)
+            stack.append(self)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+        self._real.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return bool(self._real.locked())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<Sanitized{kind} {self.name}>"
+
+
+class SanitizedRLock(SanitizedLock):
+    """RLock variant, exposing the ``Condition`` integration hooks."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(reentrant=True, name=name)
+
+    def _acquire_restore(self, state: Any) -> None:
+        self._real._acquire_restore(state)  # type: ignore[union-attr]
+        _held_stack().append(self)
+
+    def _release_save(self) -> Any:
+        stack = _held_stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is self:
+                del stack[i]
+                break
+        return self._real._release_save()  # type: ignore[union-attr]
+
+    def _is_owned(self) -> bool:
+        return bool(self._real._is_owned())  # type: ignore[union-attr]
+
+
+def _make_lock() -> SanitizedLock:
+    return SanitizedLock(reentrant=False)
+
+
+def _make_rlock() -> SanitizedRLock:
+    return SanitizedRLock()
+
+
+def _note_blocking(what: str) -> None:
+    state = _state
+    if state is None:
+        return
+    stack = _held_stack()
+    if not stack:
+        return
+    state.add_finding(Finding(
+        kind="blocking-under-lock",
+        description=(f"{what} while holding {stack[-1].name}; waiting "
+                     "under a lock stalls every other acquirer"),
+        thread=threading.current_thread().name,
+        lock=stack[-1].name,
+        held=tuple(s.name for s in stack),
+    ))
+
+
+def install() -> None:
+    """Switch the process into sanitizing mode (idempotent).
+
+    Locks created *after* install through ``threading.Lock`` /
+    ``threading.RLock`` are instrumented; pre-existing locks are left
+    alone.  ``Future.result``, ``queue.Queue.get`` and
+    ``ThreadPoolExecutor.shutdown`` gain lock-held checks.
+    """
+    global _state
+    with _install_guard:
+        if _state is not None:
+            return
+        _state = _State()
+        _originals["Lock"] = threading.Lock
+        _originals["RLock"] = threading.RLock
+        threading.Lock = _make_lock  # type: ignore[assignment]
+        threading.RLock = _make_rlock  # type: ignore[assignment]
+
+        original_result = Future.result
+        _originals["Future.result"] = original_result
+
+        def result(self: "Future[Any]",
+                   timeout: Optional[float] = None) -> Any:
+            _note_blocking("Future.result()")
+            return original_result(self, timeout)
+
+        Future.result = result  # type: ignore[method-assign]
+
+        original_get = queue.Queue.get
+        _originals["Queue.get"] = original_get
+
+        def get(self: "queue.Queue[Any]", block: bool = True,
+                timeout: Optional[float] = None) -> Any:
+            if block:
+                _note_blocking("queue.get()")
+            return original_get(self, block, timeout)
+
+        queue.Queue.get = get  # type: ignore[method-assign]
+
+        original_shutdown = ThreadPoolExecutor.shutdown
+        _originals["Executor.shutdown"] = original_shutdown
+
+        def shutdown(self: ThreadPoolExecutor, wait: bool = True,
+                     *, cancel_futures: bool = False) -> None:
+            if wait:
+                _note_blocking("Executor.shutdown(wait=True)")
+            original_shutdown(self, wait, cancel_futures=cancel_futures)
+
+        ThreadPoolExecutor.shutdown = shutdown  # type: ignore[method-assign]
+
+
+def uninstall() -> None:
+    """Restore the un-instrumented factories and patched methods."""
+    global _state
+    with _install_guard:
+        if _state is None:
+            return
+        threading.Lock = _originals.pop("Lock")  # type: ignore[assignment]
+        threading.RLock = _originals.pop("RLock")  # type: ignore[assignment]
+        Future.result = _originals.pop(  # type: ignore[method-assign]
+            "Future.result")
+        queue.Queue.get = _originals.pop(  # type: ignore[method-assign]
+            "Queue.get")
+        ThreadPoolExecutor.shutdown = _originals.pop(  # type: ignore[method-assign]
+            "Executor.shutdown")
+        _state = None
+
+
+def active() -> bool:
+    """True while the sanitizer is installed."""
+    return _state is not None
+
+
+def findings() -> List[Finding]:
+    """Findings recorded since install/last clear (empty when inactive)."""
+    state = _state
+    return state.snapshot() if state is not None else []
+
+
+def clear_findings() -> None:
+    """Drop recorded findings and the acquisition-order history."""
+    state = _state
+    if state is not None:
+        state.clear()
+
+
+def format_findings(found: Sequence[Finding]) -> str:
+    """One line per finding, for assertion messages and CI logs."""
+    return "\n".join(f.format() for f in found)
+
+
+class InterleavingDriver:
+    """Deterministic, seed-controlled interleaving of thread operations.
+
+    Each logical thread contributes an ordered list of zero-argument
+    operations.  The driver builds one global schedule — a permutation of
+    "run thread *i*'s next op" tokens drawn from
+    :func:`repro.utils.rng.ensure_rng` — and steps the threads one
+    operation at a time, so a failing seed replays the exact interleaving
+    that produced the failure.  Per-thread *program order* is always
+    preserved; only the cross-thread schedule varies with the seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = ensure_rng(seed)
+
+    def run(
+        self,
+        thread_ops: Sequence[Sequence[Callable[[], object]]],
+        timeout: float = 30.0,
+    ) -> List[List[object]]:
+        """Execute every op; returns per-thread lists of op results.
+
+        The first exception raised by any op aborts the drive and is
+        re-raised in the caller (with the schedule exhausted so worker
+        threads exit cleanly).
+        """
+        n = len(thread_ops)
+        schedule: List[int] = []
+        for idx, ops in enumerate(thread_ops):
+            schedule.extend([idx] * len(ops))
+        order = self._rng.permutation(len(schedule))
+        schedule = [schedule[int(i)] for i in order]
+
+        gates = [threading.Semaphore(0) for _ in range(n)]
+        done: "queue.Queue[Tuple[int, Optional[BaseException]]]" = \
+            queue.Queue()
+        results: List[List[object]] = [[] for _ in range(n)]
+
+        def runner(idx: int) -> None:
+            for op in thread_ops[idx]:
+                gates[idx].acquire()
+                error: Optional[BaseException] = None
+                try:
+                    results[idx].append(op())
+                except BaseException as exc:  # noqa: B036 - reported below
+                    error = exc
+                done.put((idx, error))
+                if error is not None:
+                    return
+
+        threads = [
+            threading.Thread(target=runner, args=(i,),
+                             name=f"interleave-{i}", daemon=True)
+            for i in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        failure: Optional[BaseException] = None
+        for token in schedule:
+            gates[token].release()
+            idx, error = done.get(timeout=timeout)
+            if error is not None:
+                failure = error
+                break
+        # Unblock any still-waiting threads so they can exit.
+        for idx, gate in enumerate(gates):
+            for _ in thread_ops[idx]:
+                gate.release()
+        for thread in threads:
+            thread.join(timeout=timeout)
+        if failure is not None:
+            raise failure
+        return results

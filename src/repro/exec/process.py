@@ -347,12 +347,12 @@ class ProcessShardExecutor:
         import time  # invariant: disable=R6 — one-time pool setup timing,
         # recorded through the obs setup histogram, never per-query.
 
-        t0 = time.perf_counter()  # invariant: disable=R6
+        t0 = time.perf_counter()  # invariant: disable=R6 — setup-only timing
         self._shm, self._manifest, self._meta = _materialize(index)
         self._workers: List[Optional[_Worker]] = [None] * self.n_workers
         for widx in range(self.n_workers):
             self._spawn(widx)
-        self.setup_seconds = time.perf_counter() - t0  # invariant: disable=R6
+        self.setup_seconds = time.perf_counter() - t0  # invariant: disable=R6 — setup-only timing
         ob = obs.active()
         if ob is not None:
             ob.record_native_setup("process", self.setup_seconds)
@@ -430,7 +430,7 @@ class ProcessShardExecutor:
                 continue
             try:
                 worker.conn.send(("stop",))
-            except (BrokenPipeError, OSError) as error:  # invariant: disable=R7
+            except (BrokenPipeError, OSError) as error:  # invariant: disable=R7 — recorded below via record_worker_event
                 ob = obs.active()  # worker already dead: count it, move on
                 if ob is not None:
                     ob.record_worker_event(

@@ -1,9 +1,43 @@
-"""Shared fixtures: small deterministic datasets reused across test modules."""
+"""Shared fixtures: small deterministic datasets reused across test modules.
+
+Also hosts the lock-sanitizer integration: when the
+``REPRO_SANITIZE_LOCKS`` env gate is on (the CI ``sanitizer`` job), every
+lock created during the session is instrumented, and each test fails if
+it produced a dynamic lock-order or blocking-under-lock finding.
+"""
 
 import numpy as np
 import pytest
 
+from repro.analysis import sanitizer
 from repro.datasets.synthetic import clustered_manifold
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lock_sanitizer_session():
+    """Install the lock sanitizer for the whole session when gated on."""
+    if not sanitizer.env_gate_enabled():
+        yield
+        return
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer_check(_lock_sanitizer_session):
+    """Fail any test that triggered a dynamic concurrency finding."""
+    if not sanitizer.active():
+        yield
+        return
+    sanitizer.clear_findings()
+    yield
+    found = sanitizer.findings()
+    assert not found, (
+        "lock sanitizer findings:\n" + sanitizer.format_findings(found)
+    )
 
 
 @pytest.fixture(scope="session")

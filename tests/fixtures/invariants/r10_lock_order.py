@@ -1,0 +1,37 @@
+"""Seeded R10 violations: a lock-order cycle plus blocking under a lock.
+
+``drain`` reproduces the PR 4 hung-worker deadlock shape: the resilience
+policy's bounded-call helper once used ``with ThreadPoolExecutor(...)``,
+whose ``__exit__`` calls ``shutdown(wait=True)`` — so after a timeout the
+caller blocked forever on the abandoned worker thread, and any lock held
+across that wait (here ``_plan_lock``) wedged every other acquirer.
+``plan_then_registry`` / ``registry_then_plan`` seed the classic ABBA
+ordering cycle on top.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+
+class MiniDispatch:
+    def __init__(self) -> None:
+        self._plan_lock = threading.Lock()
+        self._registry_lock = threading.Lock()
+        self.count = 0
+
+    def plan_then_registry(self) -> None:
+        with self._plan_lock:
+            with self._registry_lock:
+                self.count += 1
+
+    def registry_then_plan(self) -> None:
+        with self._registry_lock:
+            with self._plan_lock:
+                self.count += 1
+
+    def drain(self, pool: ThreadPoolExecutor, future: "Future[int]") -> int:
+        with self._plan_lock:
+            pool.shutdown(wait=True)
+            return int(future.result())

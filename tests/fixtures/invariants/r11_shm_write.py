@@ -1,0 +1,20 @@
+"""Seeded R11 violations: writes through a SharedMemory-reconstructed view.
+
+``_segment_view`` mirrors the ``repro.exec.process`` seam: without
+``writeable=True`` it returns a read-only array over the shared segment.
+Writing through such a view (or flipping its writeable flag back on)
+corrupts — or faults on — memory every shard worker maps.
+"""
+
+from __future__ import annotations
+
+
+def _segment_view(shm: object, dtype_str: str, shape: tuple,
+                  offset: int, writeable: bool = False) -> object:
+    ...
+
+
+def corrupt(shm: object) -> None:
+    view = _segment_view(shm, "<f8", (4,), 0)
+    view[0] = 1.0
+    view.flags.writeable = True

@@ -1,0 +1,25 @@
+"""Seeded R12 violations: lock and bound method shipped to a spawn worker.
+
+A spawn-context ``Process`` pickles its target and args: a bound method
+serializes its whole instance (locks included), and a ``threading.Lock``
+either fails to pickle or arrives as an unrelated copy that synchronizes
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import get_context
+
+
+class ShardPool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._proc: object = None
+
+    def _serve(self, lock: object) -> None:
+        ...
+
+    def start(self) -> None:
+        ctx = get_context("spawn")
+        self._proc = ctx.Process(target=self._serve, args=(self._lock,))

@@ -1,0 +1,25 @@
+"""Seeded R3 violation the PR 2 name-indexed graph could not see.
+
+``query_batch`` aliases the bound method ``self._mutate`` to a local and
+submits it to a pool.  The old graph recorded neither the assignment nor
+plain ``Name`` call arguments, so ``_mutate`` was unreachable and its
+unguarded mutation invisible; the v2 graph tracks the local callable
+alias and follows ``submit``'s shipped argument.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List
+
+
+class SubmitTable:
+    def __init__(self) -> None:
+        self._ends: List[int] = []
+
+    def _mutate(self) -> None:
+        self._ends.append(1)
+
+    def query_batch(self, pool: ThreadPoolExecutor) -> None:
+        worker = self._mutate
+        pool.submit(worker)

@@ -31,12 +31,17 @@ FIXTURE_RULES = {
     "r1_direct_rng.py": "R1",
     "lsh/r2_missing_dtype.py": "R2",
     "r3_unlocked_mutation.py": "R3",
+    "r3_callable_alias.py": "R3",
+    "r3_bound_submit.py": "R3",
     "r4_untyped_api.py": "R4",
     "r5_silent_failure.py": "R5",
     "lsh/r6_raw_telemetry.py": "R6",
     "lsh/r7_swallowed_exception.py": "R7",
     "lsh/r8_inline_plumbing.py": "R8",
     "r9_direct_backend_import.py": "R9",
+    "r10_lock_order.py": "R10",
+    "r11_shm_write.py": "R11",
+    "r12_spawn_unsafe.py": "R12",
 }
 
 
@@ -186,6 +191,218 @@ class TestRuleDetails:
         assert len(violations) == 1
         assert violations[0].rule == "parse"
 
+    def test_pragma_on_decorated_def(self):
+        # A def's violations anchor to the `def` line, below the
+        # decorators — the pragma must sit there, not on the decorator.
+        src = (
+            "def deco(f):  # invariant: disable=R4\n"
+            "    return f\n"
+            "@deco\n"
+            "def api(x):  # invariant: disable=R4\n"
+            "    return x\n"
+        )
+        assert _check_source(src, rules=("R4",)) == []
+        misplaced = (
+            "def deco(f):  # invariant: disable=R4\n"
+            "    return f\n"
+            "@deco  # invariant: disable=R4\n"
+            "def api(x):\n"
+            "    return x\n"
+        )
+        flagged = _check_source(misplaced, rules=("R4",))
+        assert {v.rule for v in flagged} == {"R4"}
+
+    def test_pragma_multi_rule_list(self):
+        # One line tripping both R1 and R2; a single comma-separated
+        # pragma suppresses both, a partial list leaves the rest live.
+        line = "    return np.zeros(int(np.random.rand() * n))"
+        src = ("import numpy as np\n"
+               "def noise(n: int) -> object:\n")
+        both = src + line + "  # invariant: disable=R1,R2\n"
+        assert _check_source(both, rules=("R1", "R2"),
+                             name="lsh/noise.py") == []
+        partial = src + line + "  # invariant: disable=R1\n"
+        left = _check_source(partial, rules=("R1", "R2"),
+                             name="lsh/noise.py")
+        assert [v.rule for v in left] == ["R2"]
+
+    @pytest.mark.skipif(sys.version_info < (3, 10),
+                        reason="match statements need Python 3.10+")
+    def test_r3_flags_mutation_inside_match_arm(self):
+        src = (
+            "class T:\n"
+            "    def lookup(self, code):\n"
+            "        match code:\n"
+            "            case 0:\n"
+            "                self._overlay = None\n"
+            "            case _:\n"
+            "                pass\n"
+        )
+        flagged = _check_source(src, rules=("R3",))
+        assert [v.rule for v in flagged] == ["R3"]
+        assert flagged[0].line == 5
+
+    def test_r3_follows_renamed_cross_module_import(self):
+        # The PR 2 walk only matched callee *names*; a renamed import
+        # (`from pkg.helpers import refresh as reload_table`) severed the
+        # edge and hid the unlocked mutation.  The v2 symbol table keeps it.
+        helpers = parse_source(
+            "class GrowTable:\n"
+            "    def grow(self):\n"
+            "        self._starts.append(0)\n"
+            "\n"
+            "def refresh(table):\n"
+            "    table.grow()\n",
+            "pkg/helpers.py",
+        )
+        main = parse_source(
+            "from pkg.helpers import refresh as reload_table\n"
+            "\n"
+            "def lookup_batch(table):\n"
+            "    reload_table(table)\n",
+            "pkg/query.py",
+        )
+        config = AnalysisConfig(rules=("R3",))
+        flagged = analyze_modules([helpers, main], config)
+        assert [(v.rule, v.path, v.line) for v in flagged] == [
+            ("R3", "pkg/helpers.py", 3)]
+        # Without the importing module the helper is unreachable: clean.
+        assert analyze_modules([helpers], config) == []
+
+    def test_r7_accepts_recording_via_resolved_helper(self):
+        helpers = parse_source(
+            "def soften(obs):\n"
+            "    obs.record_fallback('stage')\n",
+            "core/helpers.py",
+        )
+        main_src = (
+            "from core.helpers import soften as absorb\n"
+            "\n"
+            "def step(obs):\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:\n"
+            "        absorb(obs)\n"
+            "        return 0\n"
+        )
+        config = AnalysisConfig(rules=("R7",))
+        main = parse_source(main_src, "core/run.py")
+        assert analyze_modules([helpers, main], config) == []
+
+    def test_r7_still_flags_non_recording_helper(self):
+        helpers = parse_source(
+            "def soften(obs):\n"
+            "    obs.last_error = 'stage'\n",
+            "core/helpers.py",
+        )
+        main = parse_source(
+            "from core.helpers import soften as absorb\n"
+            "\n"
+            "def step(obs):\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:\n"
+            "        absorb(obs)\n"
+            "        return 0\n",
+            "core/run.py",
+        )
+        config = AnalysisConfig(rules=("R7",))
+        flagged = analyze_modules([helpers, main], config)
+        assert [v.rule for v in flagged] == ["R7"]
+
+    def test_r10_flags_blocking_call_under_lock(self):
+        src = (
+            "import threading\n"
+            "class D:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def run(self, fut):\n"
+            "        with self._lock:\n"
+            "            return fut.result()\n"
+        )
+        flagged = _check_source(src, rules=("R10",))
+        assert [v.rule for v in flagged] == ["R10"]
+        assert "Future.result" in flagged[0].message
+
+    def test_r10_flags_blocking_reached_through_a_helper(self):
+        src = (
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "def wait_done(fut):\n"
+            "    return fut.result()\n"
+            "def run(fut):\n"
+            "    with LOCK:\n"
+            "        return wait_done(fut)\n"
+        )
+        flagged = _check_source(src, rules=("R10",))
+        assert [v.rule for v in flagged] == ["R10"]
+
+    def test_r10_flags_abba_acquisition_cycle(self):
+        src = (
+            "import threading\n"
+            "class P:\n"
+            "    def __init__(self):\n"
+            "        self._a_lock = threading.Lock()\n"
+            "        self._b_lock = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self._a_lock:\n"
+            "            with self._b_lock:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self._b_lock:\n"
+            "            with self._a_lock:\n"
+            "                pass\n"
+        )
+        flagged = _check_source(src, rules=("R10",))
+        assert flagged and {v.rule for v in flagged} == {"R10"}
+
+    def test_r10_reentrant_lock_nesting_is_clean(self):
+        src = (
+            "import threading\n"
+            "class Q:\n"
+            "    def __init__(self):\n"
+            "        self._update_lock = threading.RLock()\n"
+            "    def outer(self):\n"
+            "        with self._update_lock:\n"
+            "            self.inner()\n"
+            "    def inner(self):\n"
+            "        with self._update_lock:\n"
+            "            pass\n"
+        )
+        assert _check_source(src, rules=("R10",)) == []
+
+    def test_r11_requires_the_writeable_seam(self):
+        template = (
+            "def copy_in(shm, block):\n"
+            "    view = _segment_view(shm, 'f8', (4,), 0{seam})\n"
+            "    view[0] = block\n"
+        )
+        flagged = _check_source(template.format(seam=""), rules=("R11",))
+        assert [v.rule for v in flagged] == ["R11"]
+        assert _check_source(template.format(seam=", writeable=True"),
+                             rules=("R11",)) == []
+
+    def test_r12_allows_plain_functions_and_data(self):
+        src = (
+            "from multiprocessing import get_context\n"
+            "def serve(spec):\n"
+            "    return spec\n"
+            "def start(spec):\n"
+            "    ctx = get_context('spawn')\n"
+            "    return ctx.Process(target=serve, args=(spec,))\n"
+        )
+        assert _check_source(src, rules=("R12",)) == []
+
+    def test_r12_flags_lambda_targets(self):
+        src = (
+            "from multiprocessing import get_context\n"
+            "def start(spec):\n"
+            "    ctx = get_context('spawn')\n"
+            "    return ctx.Process(target=lambda: spec)\n"
+        )
+        flagged = _check_source(src, rules=("R12",))
+        assert [v.rule for v in flagged] == ["R12"]
+
 
 class TestCommandLine:
     def _run(self, *args):
@@ -221,3 +438,67 @@ class TestCommandLine:
         assert proc.returncode == 0
         for rule in ALL_RULES:
             assert rule in proc.stdout
+
+    def test_json_mode_clean_tree(self):
+        import json
+        proc = self._run("--json", "src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["violations"] == []
+        assert payload["checked"] > 40
+        assert payload["rules"] == list(ALL_RULES)
+
+    def test_json_mode_reports_violations(self):
+        import json
+        proc = self._run("--json", str(FIXTURES / "r1_direct_rng.py"))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        rules = {v["rule"] for v in payload["violations"]}
+        assert rules == {"R1"}
+        first = payload["violations"][0]
+        assert set(first) == {"rule", "path", "line", "message"}
+
+    def test_changed_only_with_no_changes_in_scope(self, tmp_path):
+        # tmp_path is outside the repository, so git never reports its
+        # files changed: the scoped set is empty and the gate passes.
+        clean = tmp_path / "clean.py"
+        clean.write_text("import random\n")  # would trip R1 if checked
+        proc = self._run("--changed-only", str(clean))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no changed files" in proc.stdout
+
+    def test_changed_only_json_is_empty_payload(self, tmp_path):
+        import json
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        proc = self._run("--changed-only", "--json", str(clean))
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload == {"violations": [], "checked": 0,
+                           "rules": list(ALL_RULES)}
+
+    def test_pragma_justification_flag(self, tmp_path):
+        bare = tmp_path / "bare.py"
+        bare.write_text(
+            "import numpy as np\n"
+            "def noise(n: int) -> object:\n"
+            "    return np.random.rand(n)  # invariant: disable=R1\n"
+        )
+        justified = tmp_path / "justified.py"
+        justified.write_text(
+            "import numpy as np\n"
+            "def noise(n: int) -> object:\n"
+            "    return np.random.rand(n)"
+            "  # invariant: disable=R1 — fixture entropy, not index state\n"
+        )
+        # Without the flag both files pass (the pragma suppresses R1).
+        assert self._run(str(bare)).returncode == 0
+        proc = self._run("--require-pragma-justification", str(bare))
+        assert proc.returncode == 1
+        assert "[pragma]" in proc.stdout
+        assert self._run("--require-pragma-justification",
+                         str(justified)).returncode == 0
+
+    def test_head_passes_pragma_justification_gate(self):
+        proc = self._run("--require-pragma-justification", "src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr

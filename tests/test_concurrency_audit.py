@@ -21,10 +21,14 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 
 import numpy as np
+import pytest
 
+from repro.analysis.sanitizer import InterleavingDriver
 from repro.core.bilevel import BiLevelLSH
 from repro.core.config import BiLevelConfig
 from repro.lsh.table import LSHTable
+
+pytestmark = pytest.mark.concurrency
 
 N_TRIALS = 100  # randomized interleavings in the parity sweep
 
@@ -189,3 +193,62 @@ class TestTableOverlayRaces:
         for row in range(probe.shape[0]):
             lo, hi = offsets[row], offsets[row + 1]
             assert set(got_ids[lo:hi]) == set(ref_ids[lo:hi])
+
+
+class TestSeededInterleavings:
+    """The same overlay-merge/query race, but on *deterministic* schedules.
+
+    The stress test above relies on the OS scheduler to find a bad
+    interleaving; :class:`InterleavingDriver` instead replays a
+    seed-determined global order of writer ``add``s and reader
+    ``gather_batch``es, so every schedule — including a failing one — is
+    exactly reproducible from its seed.
+    """
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_overlay_merge_query_race(self, seed):
+        rng = np.random.default_rng(40 + seed)
+        base_codes = rng.integers(-3, 4, size=(60, 3))
+        extra_codes = rng.integers(-3, 4, size=(40, 3))
+        extra_ids = np.arange(60, 100, dtype=np.int64)
+        probe = np.unique(np.vstack([base_codes, extra_codes]), axis=0)
+
+        table = LSHTable(base_codes)
+        chunks = [(extra_codes[i:i + 10], extra_ids[i:i + 10])
+                  for i in range(0, 40, 10)]
+        writer_ops = [lambda c=c, i=i: table.add(c, i) for c, i in chunks]
+
+        def gather():
+            ids, counts = table.gather_batch(probe)
+            assert ids.size == int(counts.sum())
+            assert np.all((ids >= 0) & (ids < 100))
+            return int(counts.sum())
+
+        reader_ops = [gather] * 6
+        InterleavingDriver(seed=seed).run(
+            [writer_ops, list(reader_ops), list(reader_ops)])
+
+        reference = LSHTable(
+            np.vstack([base_codes, extra_codes]),
+            np.concatenate([np.arange(60, dtype=np.int64), extra_ids]))
+        got_ids, got_counts = table.gather_batch(probe)
+        ref_ids, ref_counts = reference.gather_batch(probe)
+        np.testing.assert_array_equal(got_counts, ref_counts)
+        offsets = np.concatenate(([0], np.cumsum(got_counts)))
+        for row in range(probe.shape[0]):
+            lo, hi = offsets[row], offsets[row + 1]
+            assert set(got_ids[lo:hi]) == set(ref_ids[lo:hi])
+
+    def test_same_seed_replays_same_schedule(self):
+        def record(tag, log):
+            return lambda: log.append(tag)
+
+        logs = []
+        for _ in range(2):
+            log = []
+            InterleavingDriver(seed=5).run([
+                [record(f"a{i}", log) for i in range(4)],
+                [record(f"b{i}", log) for i in range(4)],
+            ])
+            logs.append(log)
+        assert logs[0] == logs[1]

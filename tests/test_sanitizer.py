@@ -1,0 +1,243 @@
+"""Unit tests for the runtime lock sanitizer (repro.analysis.sanitizer).
+
+These tests drive the instrumented wrappers directly: they install the
+sanitizer themselves when the session-wide ``REPRO_SANITIZE_LOCKS`` gate
+is off, and deliberately manufacture findings — clearing them before the
+conftest autouse check runs so a passing test never trips it.
+"""
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    InterleavingDriver,
+    SanitizedLock,
+    SanitizedRLock,
+)
+
+pytestmark = pytest.mark.concurrency
+
+
+@pytest.fixture()
+def sanitized():
+    """Ensure the sanitizer is installed for the test, with clean state.
+
+    Under the env gate the session fixture already installed it; then we
+    only clear state.  Findings created by the test are dropped before
+    the conftest autouse assertion sees them.
+    """
+    was_active = sanitizer.active()
+    if not was_active:
+        sanitizer.install()
+    sanitizer.clear_findings()
+    try:
+        yield
+    finally:
+        sanitizer.clear_findings()
+        if not was_active:
+            sanitizer.uninstall()
+
+
+def _kinds():
+    return [f.kind for f in sanitizer.findings()]
+
+
+class TestInstall:
+    def test_install_patches_factories_and_uninstall_restores(self, sanitized):
+        lock = threading.Lock()
+        rlock = threading.RLock()
+        assert isinstance(lock, SanitizedLock)
+        assert isinstance(rlock, SanitizedRLock)
+        assert sanitizer.active()
+        if sanitizer.env_gate_enabled():
+            return  # session-owned install; restoration covered elsewhere
+        sanitizer.uninstall()
+        try:
+            assert not sanitizer.active()
+            assert not isinstance(threading.Lock(), SanitizedLock)
+            assert not isinstance(threading.RLock(), SanitizedLock)
+            assert sanitizer.findings() == []
+        finally:
+            sanitizer.install()  # fixture teardown expects it installed
+
+    def test_install_is_idempotent(self, sanitized):
+        sanitizer.install()
+        sanitizer.install()
+        assert isinstance(threading.Lock(), SanitizedLock)
+
+    def test_inactive_helpers_are_noops(self):
+        if sanitizer.env_gate_enabled():
+            pytest.skip("sanitizer is session-active under the env gate")
+        assert not sanitizer.active()
+        assert sanitizer.findings() == []
+        sanitizer.clear_findings()  # must not raise
+
+
+class TestLockProtocol:
+    def test_context_manager_and_locked(self, sanitized):
+        lock = SanitizedLock(reentrant=False, name="cm")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert sanitizer.findings() == []
+
+    def test_self_deadlock_raises_instead_of_hanging(self, sanitized):
+        lock = SanitizedLock(reentrant=False, name="self")
+        with lock:
+            with pytest.raises(RuntimeError, match="self-deadlock"):
+                lock.acquire()
+        assert "self-deadlock" in _kinds()
+
+    def test_rlock_reacquire_is_clean(self, sanitized):
+        rlock = SanitizedRLock(name="re")
+        with rlock:
+            with rlock:
+                pass
+        assert sanitizer.findings() == []
+
+    def test_rlock_composes_with_condition(self, sanitized):
+        cond = threading.Condition(SanitizedRLock(name="cond"))
+        with cond:
+            cond.wait(timeout=0.01)  # exercises _release_save/_acquire_restore
+            cond.notify_all()
+        assert sanitizer.findings() == []
+
+    def test_nonblocking_acquire_failure_keeps_stack_consistent(
+            self, sanitized):
+        lock = SanitizedLock(reentrant=False, name="nb")
+        other = SanitizedLock(reentrant=False, name="nb-other")
+        lock._real.acquire()  # simulate another owner, bypassing the wrapper
+        try:
+            with other:
+                assert lock.acquire(blocking=False) is False
+        finally:
+            lock._real.release()
+        assert sanitizer.findings() == []
+
+
+class TestLockOrderCycle:
+    def test_abba_order_is_reported_even_without_a_hang(self, sanitized):
+        a = SanitizedLock(reentrant=False, name="A")
+        b = SanitizedLock(reentrant=False, name="B")
+
+        def a_then_b():
+            with a:
+                with b:
+                    pass
+
+        def b_then_a():
+            with b:
+                with a:
+                    pass
+
+        InterleavingDriver(seed=0).run([[a_then_b], [b_then_a]])
+        found = [f for f in sanitizer.findings()
+                 if f.kind == "lock-order-cycle"]
+        assert found, "ABBA acquisition order must be flagged"
+        assert found[0].lock in ("A", "B")
+
+    def test_consistent_order_is_clean(self, sanitized):
+        a = SanitizedLock(reentrant=False, name="A2")
+        b = SanitizedLock(reentrant=False, name="B2")
+
+        def a_then_b():
+            with a:
+                with b:
+                    pass
+
+        InterleavingDriver(seed=1).run([[a_then_b] * 3, [a_then_b] * 3])
+        assert sanitizer.findings() == []
+
+
+class TestBlockingUnderLock:
+    def test_future_result_under_lock(self, sanitized):
+        lock = SanitizedLock(reentrant=False, name="guard-result")
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(lambda: 42)
+            with lock:
+                assert future.result(timeout=5) == 42
+        found = [f for f in sanitizer.findings()
+                 if f.kind == "blocking-under-lock"]
+        assert any("Future.result" in f.description for f in found)
+        assert all(f.lock == "guard-result" for f in found
+                   if "Future.result" in f.description)
+
+    def test_queue_get_under_lock(self, sanitized):
+        lock = SanitizedLock(reentrant=False, name="guard-get")
+        q = queue.Queue()
+        q.put(1)
+        q.put(2)
+        with lock:
+            assert q.get() == 1
+            assert q.get(block=False) == 2  # non-blocking: not a finding
+        found = [f for f in sanitizer.findings()
+                 if f.kind == "blocking-under-lock"]
+        assert len(found) == 1
+        assert "queue.get" in found[0].description
+
+    def test_shutdown_wait_under_lock(self, sanitized):
+        lock = SanitizedLock(reentrant=False, name="guard-shutdown")
+        pool = ThreadPoolExecutor(max_workers=1)
+        pool.submit(lambda: None)
+        with lock:
+            pool.shutdown(wait=True)
+        found = [f for f in sanitizer.findings()
+                 if f.kind == "blocking-under-lock"]
+        assert any("shutdown(wait=True)" in f.description for f in found)
+
+    def test_shutdown_nowait_and_unlocked_blocking_are_clean(self, sanitized):
+        pool = ThreadPoolExecutor(max_workers=1)
+        future = pool.submit(lambda: 7)
+        assert future.result(timeout=5) == 7  # no lock held: fine
+        pool.shutdown(wait=False)
+        q = queue.Queue()
+        q.put(3)
+        assert q.get() == 3
+        assert sanitizer.findings() == []
+
+
+class TestInterleavingDriver:
+    def test_results_preserve_program_order(self):
+        results = InterleavingDriver(seed=3).run([
+            [lambda i=i: ("a", i) for i in range(5)],
+            [lambda i=i: ("b", i) for i in range(3)],
+        ])
+        assert results[0] == [("a", i) for i in range(5)]
+        assert results[1] == [("b", i) for i in range(3)]
+
+    def test_schedule_is_deterministic_per_seed(self):
+        def make_ops(tag, log, count):
+            return [lambda t=f"{tag}{i}": log.append(t)
+                    for i in range(count)]
+
+        runs = []
+        for _ in range(2):
+            log = []
+            InterleavingDriver(seed=11).run(
+                [make_ops("x", log, 6), make_ops("y", log, 6)])
+            runs.append(log)
+        assert runs[0] == runs[1]
+        other = []
+        InterleavingDriver(seed=12).run(
+            [make_ops("x", other, 6), make_ops("y", other, 6)])
+        # Not guaranteed in general, but with 12 ops a collision between
+        # two fixed seeds would be a permutation-of-924 coincidence.
+        assert other != runs[0]
+
+    def test_first_exception_propagates(self):
+        ran = []
+
+        def boom():
+            raise ValueError("injected")
+
+        with pytest.raises(ValueError, match="injected"):
+            InterleavingDriver(seed=0).run([
+                [lambda: ran.append(1), boom],
+                [lambda: ran.append(2)],
+            ])
+        assert 1 in ran

@@ -1,20 +1,37 @@
 #!/usr/bin/env python
-"""Gate the repository's machine-checked invariants (rules R1–R9).
+"""Gate the repository's machine-checked invariants (rules R1–R12).
 
 Usage::
 
     python tools/check_invariants.py src/           # the standard gate
     python tools/check_invariants.py --rules R2,R4 src/repro/lsh
+    python tools/check_invariants.py --changed-only # pre-commit speed
+    python tools/check_invariants.py --json src/    # machine-readable
     python tools/check_invariants.py --list-rules
 
-Exits 0 when every checked file is clean, 1 when any violation is found,
-2 on usage errors.  The rules and their rationale are documented in
-DESIGN.md ("Invariants") and implemented in ``src/repro/analysis/``.
+Exit codes:
+
+- ``0`` — every checked file is clean (or ``--changed-only`` found no
+  changed files in scope);
+- ``1`` — at least one violation (including unjustified pragmas under
+  ``--require-pragma-justification``);
+- ``2`` — usage error (unknown rule, missing path, git failure under
+  ``--changed-only``).
+
+``--changed-only`` restricts analysis to files git reports as changed
+(worktree + index + untracked) — a fast pre-commit subset.  Whole-program
+rules (R3/R7/R10/R11) then see only the changed files, so cross-file
+findings can be missed; CI always runs the full tree.
+
+The rules and their rationale are documented in DESIGN.md ("Invariants")
+and implemented in ``src/repro/analysis/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -29,8 +46,33 @@ from repro.analysis.checker import (  # noqa: E402  (path bootstrap above)
     RULE_SUMMARIES,
     AnalysisConfig,
     analyze_paths,
+    check_pragma_justifications,
+    discover_files,
     format_violations,
 )
+from repro.analysis.core import load_module  # noqa: E402
+
+
+def _git_changed_files(repo_root: Path) -> Optional[List[str]]:
+    """Changed + untracked paths relative to ``repo_root``, or ``None`` on
+    git failure (not a repo, git absent)."""
+    changed: List[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=str(repo_root), capture_output=True, text=True,
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.extend(line.strip() for line in proc.stdout.splitlines()
+                       if line.strip())
+    return changed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -49,6 +91,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule index and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit violations as JSON ({violations: [...], checked: N})",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="restrict to files git reports changed (worktree, index, "
+             "untracked); whole-program rules see only those files",
+    )
+    parser.add_argument(
+        "--require-pragma-justification", action="store_true",
+        help="additionally fail on '# invariant: disable=...' pragmas "
+             "with no trailing justification text",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true",
@@ -70,7 +126,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(missing)}")
 
-    violations = analyze_paths(paths, AnalysisConfig(rules=rules))
+    config = AnalysisConfig(rules=rules)
+    if args.changed_only:
+        changed = _git_changed_files(_REPO_ROOT)
+        if changed is None:
+            parser.error("--changed-only requires a working git checkout")
+        changed_set = {Path(c).resolve() for c in changed}
+        scoped = [
+            str(f) for f in discover_files(paths, config)
+            if f.resolve() in changed_set
+        ]
+        if not scoped:
+            if args.json:
+                print(json.dumps({"violations": [], "checked": 0,
+                                  "rules": list(rules)}))
+            elif not args.quiet:
+                print("invariants OK (no changed files in scope)")
+            return 0
+        paths = scoped
+
+    violations = list(analyze_paths(paths, config))
+    if args.require_pragma_justification:
+        pragma_modules = []
+        for f in discover_files(paths, config):
+            module, _err = load_module(f)
+            if module is not None:
+                pragma_modules.append(module)
+        violations = sorted(
+            violations + check_pragma_justifications(pragma_modules),
+            key=lambda v: (v.path, v.line, v.rule, v.message),
+        )
+
+    if args.json:
+        payload = {
+            "violations": [
+                {"rule": v.rule, "path": v.path, "line": v.line,
+                 "message": v.message}
+                for v in violations
+            ],
+            "checked": len(discover_files(paths, config)),
+            "rules": list(rules),
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if violations else 0
+
     if violations:
         if not args.quiet:
             print(format_violations(violations))
