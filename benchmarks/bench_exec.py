@@ -41,6 +41,7 @@ from pathlib import Path
 import numpy as np
 from conftest import interleaved_times, latency_row
 
+from repro import obs
 from repro.core.bilevel import BiLevelLSH
 from repro.core.config import BiLevelConfig
 from repro.evaluation.metrics import recall_ratio
@@ -123,6 +124,32 @@ def bench_process_sharded(index, workload, k, n_workers, rounds):
     return rows, ratio, ids_match and dists_match
 
 
+def instrumented_snapshot(index, queries, k, max_batch_rows, n_workers):
+    """One extra observed batch; returns the full snapshot dict.
+
+    With ``n_workers`` the batch runs through a fresh
+    :class:`ProcessShardExecutor` so the report's metrics section shows
+    the cross-process plane (worker counters drained over shared
+    memory) rather than the in-process path.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    obs.enable(registry=registry)
+    try:
+        if n_workers:
+            from repro.exec import ProcessShardExecutor
+            with ProcessShardExecutor(index, n_workers=n_workers,
+                                      engine="vectorized") as executor:
+                executor.query_batch(queries, k,
+                                     max_batch_rows=max_batch_rows)
+        else:
+            index.query_batch(queries, k, max_batch_rows=max_batch_rows)
+    finally:
+        obs.disable()
+    return obs.full_snapshot(registry)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -193,6 +220,8 @@ def main(argv=None):
     ratios["bilevel"] = ratio
     all_match &= match
 
+    snapshot = instrumented_snapshot(standard, workload.queries, k,
+                                     max_batch_rows, args.shard_workers)
     report = {
         "benchmark": "exec_sharding",
         "quick": bool(args.quick),
@@ -209,6 +238,8 @@ def main(argv=None):
         "throughput_ratio_sharded_to_unsharded": ratios,
         "throughput_ratio_process_sharded_to_in_process": process_ratio,
         "all_results_bit_identical": bool(all_match),
+        "metrics": snapshot["metrics"],
+        "metrics_derived": snapshot["derived"],
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 

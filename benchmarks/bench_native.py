@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 from conftest import interleaved_times, latency_row
 
+from repro import obs
 from repro.core.bilevel import BiLevelLSH
 from repro.core.config import BiLevelConfig
 from repro.evaluation.metrics import recall_ratio
@@ -107,6 +108,24 @@ def bench_process_pool(index, workload, k, rounds, max_batch_rows,
     })
     speedup = timings["unsharded"].best / timings["process"].best
     return row, speedup, ids_match and dists_match
+
+
+def instrumented_snapshot(index, queries, k):
+    """One extra observed native batch; returns the full snapshot dict.
+
+    The metrics section of the report then carries the per-kernel
+    latency histograms (``repro_native_kernel_seconds``) alongside the
+    timing rows.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    snap_registry = MetricsRegistry()
+    obs.enable(registry=snap_registry)
+    try:
+        index.query_batch(queries, k, engine="native")
+    finally:
+        obs.disable()
+    return obs.full_snapshot(snap_registry)
 
 
 def main(argv=None):
@@ -186,6 +205,7 @@ def main(argv=None):
         results.append(row)
         all_match &= match
 
+    snapshot = instrumented_snapshot(standard, workload.queries, k)
     report = {
         "benchmark": "native_tier",
         "quick": bool(args.quick),
@@ -203,6 +223,8 @@ def main(argv=None):
         "speedup_vectorized_to_native": speedups,
         "process_pool_speedup_vs_unsharded": process_speedup,
         "all_results_bit_identical": bool(all_match),
+        "metrics": snapshot["metrics"],
+        "metrics_derived": snapshot["derived"],
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 

@@ -107,6 +107,13 @@ class AnalysisConfig:
         "lsh", "lattice", "core", "hierarchy", "gpu", "rptree", "cluster",
         "exec",
     )
+    #: Extra packages R6 covers beyond the shared telemetry scope.  The
+    #: native tier is worker-reachable (its kernels run inside shard
+    #: workers, where an ad-hoc ``perf_counter``/``print`` would bypass
+    #: the shared-memory metrics plane entirely), so R6 polices it — but
+    #: R7 does not: backend resolution legitimately catches broad import
+    #: errors in its capability ladder.
+    obs_extra_scope_parts: Tuple[str, ...] = ("native",)
     #: Path parts identifying the observability package itself, which is
     #: the one place allowed to read the wall clock (R6 exemption).  The
     #: resilience package shares the exemption: deadlines and backoff are
@@ -180,7 +187,9 @@ def analyze_modules(
         violations += check_no_silent_failure(modules)
     if "R6" in config.rules:
         violations += check_obs_centralized(
-            modules, config.telemetry_scope_parts, config.obs_module_parts
+            modules,
+            config.telemetry_scope_parts + config.obs_extra_scope_parts,
+            config.obs_module_parts,
         )
     if "R7" in config.rules and graph is not None:
         violations += check_recorded_failures(

@@ -7,6 +7,7 @@ Usage (installed as ``repro-knn``, or ``python -m repro.cli``)::
     repro-knn info   index.npz
     repro-knn verify-index index.npz
     repro-knn stats  index.npz --queries queries.npy -k 10 --format prom
+    repro-knn stats  index.npz --queries queries.npy --serve 9100
     repro-knn bench  --figure fig05 --scale smoke
     repro-knn synth  out.npy --preset labelme --n 10000
 
@@ -281,8 +282,29 @@ def cmd_stats(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + ("" if text.endswith("\n") else "\n"))
         print(f"wrote {args.format} snapshot to {args.out}")
-    else:
+    elif args.serve is None:
         print(text)
+    if args.serve is not None:
+        import time
+
+        from repro.obs.server import MetricsServer
+
+        server = MetricsServer(registry, port=args.serve,
+                               traces_fn=lambda: traces)
+        server.start()
+        # The smoke test (and any scraper wrapper) parses this line for
+        # the bound port, so --serve 0 can pick an ephemeral one.
+        print(f"serving metrics on http://{server.host}:{server.port} "
+              f"(/metrics, /metrics.json, /traces)", flush=True)
+        try:
+            if args.serve_seconds is not None:
+                time.sleep(args.serve_seconds)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # invariant: disable=R5 — interactive stop
+            pass
+        server.stop()
     return 0
 
 
@@ -394,6 +416,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot format: JSON or Prometheus text")
     p.add_argument("--out", default=None,
                    help="write the snapshot to a file instead of stdout")
+    p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                   help="after the instrumented run, serve /metrics "
+                        "(Prometheus), /metrics.json and /traces on this "
+                        "port (0 = ephemeral; bound port is printed)")
+    p.add_argument("--serve-seconds", type=float, default=None,
+                   help="stop the --serve endpoint after this many "
+                        "seconds (default: serve until interrupted)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("bench", help="run one paper-figure driver")

@@ -19,7 +19,7 @@ gather/rank scratch, which scales with rows per call — is capped.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ def execute_stages(plan: QueryPlan, queries: np.ndarray, k: int, *,
                    policy: Optional[ResiliencePolicy] = None,
                    fault_plan: Optional[FaultPlan] = None,
                    max_batch_rows: Optional[int] = None,
+                   pre_stages: Optional[Dict[str, float]] = None,
                    ) -> ExecutionContext:
     """Run one validated, all-finite shard through ``plan``'s stages.
 
@@ -48,11 +49,16 @@ def execute_stages(plan: QueryPlan, queries: np.ndarray, k: int, *,
     uses it to time the pipeline with the gates pinned).  Normal entry is
     :func:`run_plan`.  ``max_batch_rows`` is only carried into the
     context for plans with ``delegates_sharding`` — this function itself
-    never slices the batch.
+    never slices the batch.  ``pre_stages`` seeds the batch's stage span
+    dict with spans measured before the stage loop (e.g. the
+    ``<site>.validate`` lap of :func:`run_plan`), so sampled traces show
+    the full waterfall.
     """
     ctx = ExecutionContext.for_batch(
         queries, k, ob=ob, deadline=deadline, policy=policy,
         fault_plan=fault_plan, max_batch_rows=max_batch_rows)
+    if pre_stages:
+        ctx.timer.stages.update(pre_stages)
     for stage in plan.stages():
         if (stage.skip is not None and deadline is not None
                 and deadline.expired()):
@@ -74,7 +80,9 @@ def _run_shard(plan: QueryPlan, queries: np.ndarray, k: int,
                deadline: Optional[Deadline],
                pol: Optional[ResiliencePolicy],
                fault_plan: Optional[FaultPlan],
-               max_batch_rows: Optional[int] = None) -> ExecutionContext:
+               max_batch_rows: Optional[int] = None,
+               pre_stages: Optional[Dict[str, float]] = None,
+               ) -> ExecutionContext:
     """One shard: split off non-finite rows (policy mode), run the rest.
 
     Rows flagged non-finite by validation are answered with padding and
@@ -85,7 +93,8 @@ def _run_shard(plan: QueryPlan, queries: np.ndarray, k: int,
     if finite_row is None or bool(finite_row.all()):
         return execute_stages(plan, queries, k, ob=ob, deadline=deadline,
                               policy=pol, fault_plan=fault_plan,
-                              max_batch_rows=max_batch_rows)
+                              max_batch_rows=max_batch_rows,
+                              pre_stages=pre_stages)
     assert pol is not None  # validation only tolerates bad rows under a policy
     ctx = ExecutionContext.for_batch(
         queries, k, ob=ob, deadline=deadline, policy=pol,
@@ -98,7 +107,8 @@ def _run_shard(plan: QueryPlan, queries: np.ndarray, k: int,
         sub = execute_stages(plan, queries[good], k, ob=ob,
                              deadline=deadline, policy=pol,
                              fault_plan=fault_plan,
-                             max_batch_rows=max_batch_rows)
+                             max_batch_rows=max_batch_rows,
+                             pre_stages=pre_stages)
         ctx.ids_out[good] = sub.ids_out
         ctx.dists_out[good] = sub.dists_out
         ctx.n_candidates[good] = sub.n_candidates
@@ -140,8 +150,15 @@ def run_plan(plan: QueryPlan, queries: object, k: int, *,
     level (via :func:`run_shards`) instead of the top-level slicing.
     """
     pol = policy if policy is not None else active_policy()
+    ob = obs.active()
+    # Validation is timed into the batch waterfall (``<site>.validate``)
+    # so a stitched trace starts at the real entry point; StageTimer is
+    # clock-free when ``ob`` is None, keeping the disabled-path contract.
+    vtimer = obs.StageTimer(ob)
     arr, finite_row, k = plan.validate(queries, k,
                                        allow_nonfinite=pol is not None)
+    vtimer.lap(f"{plan.site}.validate")
+    pre_stages = vtimer.stages if ob is not None else None
     if deadline is None:
         deadline = Deadline.from_ms(deadline_ms)
     if (deadline is not None or pol is not None) \
@@ -155,7 +172,6 @@ def run_plan(plan: QueryPlan, queries: object, k: int, *,
             raise QueryValidationError(
                 f"max_batch_rows must be a positive int or None, "
                 f"got {max_batch_rows!r}", field="max_batch_rows")
-    ob = obs.active()
     fault_plan = faults_active()
     if plan.delegates_sharding:
         # The plan bounds rows at its own fan-out level (see
@@ -164,11 +180,12 @@ def run_plan(plan: QueryPlan, queries: object, k: int, *,
                          fault_plan,
                          max_batch_rows=(int(max_batch_rows)
                                          if max_batch_rows is not None
-                                         else None))
+                                         else None),
+                         pre_stages=pre_stages)
         return ctx.ids_out, ctx.dists_out, ctx.build_stats()
     return run_shards(plan, arr, k, finite_row=finite_row, ob=ob,
                       deadline=deadline, policy=pol, fault_plan=fault_plan,
-                      max_batch_rows=max_batch_rows)
+                      max_batch_rows=max_batch_rows, pre_stages=pre_stages)
 
 
 def run_shards(plan: QueryPlan, queries: np.ndarray, k: int, *,
@@ -178,6 +195,7 @@ def run_shards(plan: QueryPlan, queries: np.ndarray, k: int, *,
                policy: Optional[ResiliencePolicy] = None,
                fault_plan: Optional[FaultPlan] = None,
                max_batch_rows: Optional[int] = None,
+               pre_stages: Optional[Dict[str, float]] = None,
                ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
     """Execute pre-validated ``queries`` in shards of ``max_batch_rows``.
 
@@ -191,7 +209,7 @@ def run_shards(plan: QueryPlan, queries: np.ndarray, k: int, *,
     nq = int(queries.shape[0])
     if max_batch_rows is None or int(max_batch_rows) >= nq:
         ctx = _run_shard(plan, queries, k, finite_row, ob, deadline,
-                         policy, fault_plan)
+                         policy, fault_plan, pre_stages=pre_stages)
         return ctx.ids_out, ctx.dists_out, ctx.build_stats()
 
     rows_per_shard = int(max_batch_rows)
@@ -219,7 +237,8 @@ def run_shards(plan: QueryPlan, queries: np.ndarray, k: int, *,
         sub_finite = (finite_row[start:stop]
                       if finite_row is not None else None)
         ctx = _run_shard(plan, queries[start:stop], k, sub_finite, ob,
-                         deadline, policy, fault_plan)
+                         deadline, policy, fault_plan,
+                         pre_stages=pre_stages)
         ids_out[start:stop] = ctx.ids_out
         dists_out[start:stop] = ctx.dists_out
         n_candidates[start:stop] = ctx.n_candidates

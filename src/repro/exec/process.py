@@ -241,14 +241,29 @@ def _reconstruct_index(shm: SharedMemory, manifest: List[_ManifestEntry],
 
 def _worker_main(conn: Connection, shm_name: str,
                  manifest: List[_ManifestEntry], meta: dict,
-                 engine: str) -> None:
-    """Worker process loop: reconstruct once, answer shards until 'stop'."""
+                 engine: str, sink_name: Optional[str],
+                 sink_schema: Optional[object], slot: int) -> None:
+    """Worker process loop: reconstruct once, answer shards until 'stop'.
+
+    ``sink_name``/``sink_schema``/``slot`` locate this worker's slot in
+    the parent's shared-memory metrics segment (``None`` disables the
+    plane, e.g. the benchmark baseline).  Observability inside the
+    worker is driven entirely by the :class:`~repro.obs.TraceContext`
+    shipped with each shard: when present, the worker enables ``obs``
+    onto its slot registry for the duration of the shard (so every
+    counter/histogram the pipeline records lands in shared memory) and
+    returns its sampled trace dicts with the result; when absent, the
+    worker runs fully un-instrumented — the parent's gate state is
+    thereby mirrored per shard, preserving the ≤2%-when-off contract.
+    """
     # Python < 3.13 registers every *attach* with the resource tracker,
     # which would try to clean up the parent-owned segment at interpreter
     # shutdown (and register/unregister pairs from sibling workers race
     # on the tracker's name set).  The parent is the sole owner: suppress
     # the registration for the duration of the attach.
     from multiprocessing import resource_tracker
+
+    from repro.obs import shm as obs_shm
 
     original_register = resource_tracker.register
     resource_tracker.register = lambda *args, **kwargs: None
@@ -257,15 +272,25 @@ def _worker_main(conn: Connection, shm_name: str,
     finally:
         resource_tracker.register = original_register
     index: Optional[object] = None
+    worker_slot: Optional[obs_shm.WorkerSlot] = None
     try:
         index = _reconstruct_index(shm, manifest, meta)
+        if sink_name is not None and sink_schema is not None:
+            try:
+                worker_slot = obs_shm.attach_worker_slot(
+                    sink_name, sink_schema, slot)
+            except (OSError, ValueError) as error:  # invariant: disable=R7 — surfaced to the parent as a startup event
+                # (non-fatal: the worker still answers shards, just
+                # un-instrumented).
+                conn.send(("event", "metrics_attach_failed",
+                           type(error).__name__))
         conn.send(("ready", os.getpid()))
         while True:
             msg = conn.recv()
             if msg[0] == "stop":
                 break
             (_, shard_id, queries, k, threshold, budget_ms,
-             expires_at) = msg
+             expires_at, tctx) = msg
             deadline = None
             if expires_at is not None:
                 # Reconstruct the parent's absolute deadline: monotonic
@@ -274,25 +299,52 @@ def _worker_main(conn: Connection, shm_name: str,
                 deadline = object.__new__(Deadline)
                 deadline.budget_ms = budget_ms
                 deadline._expires_at = expires_at
+            wob: Optional[obs.Observer] = None
+            if worker_slot is not None and tctx is not None:
+                wob = obs.enable(registry=worker_slot.registry,
+                                 trace_sample_rate=tctx.sample_rate,
+                                 trace_seed=tctx.trace_seed)
+                wob.record_worker_event("shard_recv")
+                # perf_counter is system-wide monotonic (same clock the
+                # shipped deadline relies on): parent send → worker recv.
+                wob.observe_queue_wait(max(0.0, wob.clock() - tctx.sent_at))
+            elif obs.enabled():
+                obs.disable()
             try:
                 ids, dists, stats = index.query_batch(
                     queries, k, hierarchy_threshold=threshold,
                     engine=engine, deadline=deadline)
             except Exception as error:  # invariant: disable=R7 — shipped
                 # to the parent, whose policy records it (note_failure).
+                if wob is not None:
+                    wob.record_worker_event("shard_err")
+                    obs.disable()
                 conn.send(("err", shard_id, type(error).__name__,
                            str(error)))
                 continue
+            reply_meta: Optional[dict] = None
+            if wob is not None:
+                wob.record_worker_event("shard_ok")
+                reply_meta = {
+                    "worker": slot,
+                    "pid": os.getpid(),
+                    "traces": [t.to_dict() for t in wob.tracer.traces()],
+                }
+                obs.disable()
             conn.send(("ok", shard_id, ids, dists, stats.n_candidates,
-                       stats.escalated, stats.exhausted_budget))
+                       stats.escalated, stats.exhausted_budget,
+                       reply_meta))
     except EOFError:  # invariant: disable=R5,R7 — parent vanished; no
         # surviving side to record to, exit quietly.
         pass
     finally:
-        # Ownership rule: the index holds views into shm — drop every
+        # Ownership rule: the index holds views into shm (and the slot
+        # writer holds views into the metrics segment) — drop every
         # reference before close(), or close() raises BufferError over
         # the live memoryview exports.
         del index
+        if worker_slot is not None:
+            worker_slot.close()
         conn.close()
         shm.close()
 
@@ -324,14 +376,23 @@ class ProcessShardExecutor:
     engine:
         Engine the workers run per shard: ``"vectorized"`` (default) or
         ``"native"`` (each worker resolves its own compiled backend).
+    metrics:
+        When True (default) the executor allocates the cross-process
+        metrics segment (one :class:`repro.obs.shm` slot per worker, a
+        few KiB total) so worker-side recordings and traces survive the
+        process boundary.  The segment costs nothing per query while
+        observability is disabled — workers only write their slot for
+        shards carrying a :class:`~repro.obs.TraceContext`.  ``False``
+        skips the allocation entirely (the overhead-benchmark baseline).
     """
 
     #: Supervision site label (failure records, obs counters).
     SITE = "exec.process"
 
     def __init__(self, index: "StandardLSH", n_workers: int = 2,
-                 engine: str = "vectorized") -> None:
+                 engine: str = "vectorized", metrics: bool = True) -> None:
         from repro.native.registry import REGISTERED_ENGINES
+        from repro.obs import shm as obs_shm
 
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -344,11 +405,18 @@ class ProcessShardExecutor:
         self.n_workers = int(n_workers)
         self._ctx = get_context("spawn")
         self._closed = False
+        self._batch_seq = 0
         import time  # invariant: disable=R6 — one-time pool setup timing,
         # recorded through the obs setup histogram, never per-query.
 
         t0 = time.perf_counter()  # invariant: disable=R6 — setup-only timing
         self._shm, self._manifest, self._meta = _materialize(index)
+        self._sink: Optional[obs_shm.ShmMetricsSink] = None
+        self._sink_schema: Optional[obs_shm.SlotSchema] = None
+        if metrics:
+            self._sink_schema = obs_shm.build_worker_schema(index.n_tables)
+            self._sink = obs_shm.ShmMetricsSink(self._sink_schema,
+                                                self.n_workers)
         self._workers: List[Optional[_Worker]] = [None] * self.n_workers
         for widx in range(self.n_workers):
             self._spawn(widx)
@@ -356,15 +424,19 @@ class ProcessShardExecutor:
         ob = obs.active()
         if ob is not None:
             ob.record_native_setup("process", self.setup_seconds)
+            ob.record_shm_bytes("index", int(self._shm.size))
+            if self._sink is not None:
+                ob.record_shm_bytes("metrics", self._sink.nbytes)
 
     # ------------------------------------------------------------ lifecycle
 
     def _spawn(self, widx: int) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
+        sink_name = None if self._sink is None else self._sink.name
         process = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, self._shm.name, self._manifest, self._meta,
-                  self._engine),
+                  self._engine, sink_name, self._sink_schema, widx),
             daemon=True)
         process.start()
         child_conn.close()
@@ -379,6 +451,7 @@ class ProcessShardExecutor:
         ob = obs.active()
         if ob is not None:
             ob.record_worker_event("spawn")
+            ob.record_worker_state(widx, True)
         return worker
 
     def _recv(self, worker: _Worker) -> tuple:
@@ -403,6 +476,7 @@ class ProcessShardExecutor:
         ob = obs.active()
         if ob is not None:
             ob.record_worker_event("death")
+            ob.record_worker_state(widx, False)
 
     def _ensure_worker(self, widx: int) -> _Worker:
         worker = self._workers[widx]
@@ -441,6 +515,12 @@ class ProcessShardExecutor:
                 worker.process.join(timeout=5.0)
             worker.conn.close()
             self._workers[widx] = None
+        # Final drain after every worker has exited: whatever the
+        # workers wrote up to their last shard is folded into the active
+        # registry before the segment disappears.
+        self.drain_metrics()
+        if self._sink is not None:
+            self._sink.close()
         # Parent owns the segment: every parent-side view was local to
         # _materialize(), so no exports remain and close() cannot raise
         # BufferError; unlink() then frees the backing memory.
@@ -478,8 +558,11 @@ class ProcessShardExecutor:
         if self._closed:
             raise RuntimeError("executor is closed")
         pol = policy if policy is not None else active_policy()
+        ob = obs.active()
+        timer = obs.StageTimer(ob)  # clock-free when ob is None
         arr, finite_row, k = self._index._validate_query_batch(
             queries, k, allow_nonfinite=pol is not None)
+        timer.lap(f"{self.SITE}.validate")
         if deadline is None:
             deadline = Deadline.from_ms(deadline_ms)
         nq = int(arr.shape[0])
@@ -506,14 +589,13 @@ class ProcessShardExecutor:
                     "query rows contain NaN or infinite values",
                     field="queries"),
                 "degraded"))
-            ob = obs.active()
             if ob is not None:
                 ob.record_degraded("nonfinite_query", n_bad)
             if good.size:
                 sub_ids, sub_dists, sub_stats = self._run_rows(
                     np.ascontiguousarray(arr[good], dtype=np.float64), k,
                     hierarchy_threshold, deadline, pol, max_batch_rows,
-                    failures)
+                    failures, timer)
                 ids_out[good] = sub_ids
                 dists_out[good] = sub_dists
                 n_candidates[good] = sub_stats.n_candidates
@@ -529,7 +611,7 @@ class ProcessShardExecutor:
                 failures=tuple(failures) if failures else None)
 
         return self._run_rows(arr, k, hierarchy_threshold, deadline, pol,
-                              max_batch_rows, failures)
+                              max_batch_rows, failures, timer)
 
     def _run_rows(self, queries: np.ndarray, k: int,
                   hierarchy_threshold: object,
@@ -537,6 +619,7 @@ class ProcessShardExecutor:
                   pol: Optional[ResiliencePolicy],
                   max_batch_rows: Optional[int],
                   failures: List[FailureRecord],
+                  timer: "obs.StageTimer",
                   ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
         """Shard validated all-finite rows over the pool and merge.
 
@@ -544,6 +627,14 @@ class ProcessShardExecutor:
         worker, then collects replies in shard order — at most one shard
         is in flight per worker, so a dying worker loses exactly the
         shard being supervised and the retry path stays simple.
+
+        With observability on, every dispatched shard carries a
+        :class:`~repro.obs.TraceContext`; the workers return their
+        sampled trace dicts with each result and this method stitches
+        them into parent :class:`~repro.obs.QueryTrace` records (parent
+        validate/dispatch/collect spans + per-worker stage and kernel
+        spans), then drains the shared-memory metrics segment so worker
+        counters appear in the parent registry.
         """
         nq = int(queries.shape[0])
         rows_per_shard = (nq if max_batch_rows is None
@@ -558,6 +649,11 @@ class ProcessShardExecutor:
         exhausted: Optional[np.ndarray] = (
             np.zeros(nq, dtype=bool) if deadline is not None else None)
         ob = obs.active()
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        # (row_start, shard_id, worker_meta, worker_trace_dict) tuples,
+        # stitched after the final lap so parent spans are complete.
+        pending_traces: List[Tuple[int, int, dict, dict]] = []
         for wave_start in range(0, len(shards), self.n_workers):
             wave = shards[wave_start:wave_start + self.n_workers]
             sent: List[bool] = [False] * len(wave)
@@ -568,8 +664,12 @@ class ProcessShardExecutor:
                     worker = self._ensure_worker(slot)
                     worker.conn.send(self._request(
                         wave_start + slot, queries[start:stop], k,
-                        hierarchy_threshold, deadline))
+                        hierarchy_threshold, deadline,
+                        self._make_tctx(ob, batch_id, wave_start + slot,
+                                        slot)))
                     sent[slot] = True
+                    if ob is not None:
+                        ob.record_worker_inflight(slot, 1)
                 except (WorkerCrashError, BrokenPipeError,
                         OSError) as error:
                     # Send-side failure: retire the worker and leave the
@@ -583,6 +683,7 @@ class ProcessShardExecutor:
                     failures.append(pol.note_failure(
                         self.SITE, f"shard={wave_start + slot}",
                         error, "retried"))
+            timer.lap(f"{self.SITE}.dispatch")
             for slot, (start, stop) in enumerate(wave):
                 shard_id = wave_start + slot
                 if not sent[slot] and deadline is not None \
@@ -597,7 +698,9 @@ class ProcessShardExecutor:
                     continue
                 result, shard_failures, shard_degraded = self._collect(
                     shard_id, slot, sent[slot], queries[start:stop], k,
-                    hierarchy_threshold, deadline, pol)
+                    hierarchy_threshold, deadline, pol, batch_id)
+                if ob is not None:
+                    ob.record_worker_inflight(slot, 0)
                 failures.extend(shard_failures)
                 if shard_degraded or result is None:
                     if degraded is None:
@@ -607,33 +710,94 @@ class ProcessShardExecutor:
                         ob.record_degraded("worker_crash", stop - start)
                 if result is None:
                     continue  # flagged padding stays in place
-                s_ids, s_dists, s_cand, s_esc, s_exh = result
+                s_ids, s_dists, s_cand, s_esc, s_exh, s_meta = result
                 ids_out[start:stop] = s_ids
                 dists_out[start:stop] = s_dists
                 n_candidates[start:stop] = s_cand
                 escalated[start:stop] = s_esc
                 if exhausted is not None and s_exh is not None:
                     exhausted[start:stop] = s_exh
+                if ob is not None and s_meta is not None:
+                    for trace_dict in s_meta.get("traces", ()):
+                        pending_traces.append((start, shard_id, s_meta,
+                                               trace_dict))
+            timer.lap(f"{self.SITE}.collect")
         if ob is not None:
             ob.record_shards(self.SITE, len(shards))
+            self._stitch_traces(ob, timer, pending_traces)
+            self.drain_metrics(ob)
         stats = QueryStats(
             n_candidates, escalated, degraded=degraded,
             exhausted_budget=exhausted,
             failures=tuple(failures) if failures else None)
         return ids_out, dists_out, stats
 
+    def _make_tctx(self, ob: Optional[obs.Observer], batch_id: int,
+                   shard_id: int, widx: int) -> Optional[obs.TraceContext]:
+        """The trace identity shipped with one shard send (None when
+        observability is off — the worker then runs un-instrumented)."""
+        if ob is None:
+            return None
+        return obs.TraceContext(
+            batch_id=batch_id, shard_id=shard_id, worker_id=widx,
+            sample_rate=ob.tracer.rate,
+            trace_seed=batch_id * 1_000_003 + shard_id,
+            sent_at=ob.clock())
+
+    def _stitch_traces(self, ob: obs.Observer, timer: "obs.StageTimer",
+                       pending: List[Tuple[int, int, dict, dict]]) -> None:
+        """Fold worker-sampled trace dicts into parent QueryTrace records.
+
+        The workers already applied the sampling decision (same rate,
+        deterministic per-shard seed), so every pending trace is added
+        directly — re-sampling here would square the rate.
+        """
+        stages = dict(timer.stages)
+        for start, shard_id, meta, trace_dict in pending:
+            ob.tracer.add(obs.QueryTrace(
+                query_index=start + int(trace_dict.get("query_index", 0)),
+                engine=f"process:{trace_dict.get('engine', self._engine)}",
+                n_candidates=int(trace_dict.get("n_candidates", 0)),
+                n_probes=int(trace_dict.get("n_probes", 0)),
+                escalated=bool(trace_dict.get("escalated", False)),
+                stages=stages,
+                shard_id=shard_id,
+                worker_id=int(meta.get("worker", -1)),
+                worker_stages=dict(trace_dict.get("stages", {}))))
+
+    def drain_metrics(self, ob: Optional[obs.Observer] = None) -> int:
+        """Fold the workers' slot increments into the active registry.
+
+        Called automatically after every batch and on :meth:`close`;
+        public so long-lived callers (the stats endpoint, tests) can
+        force a drain between batches.  Returns the number of cells that
+        carried new increments (0 when the plane or obs is off).
+        """
+        if self._sink is None:
+            return 0
+        if ob is None:
+            ob = obs.active()
+        if ob is None:
+            return 0
+        updated = self._sink.drain_into(ob.registry)
+        ob.record_shm_bytes("metrics", self._sink.nbytes)
+        return updated
+
     def _request(self, shard_id: int, queries: np.ndarray, k: int,
                  hierarchy_threshold: object,
-                 deadline: Optional[Deadline]) -> tuple:
+                 deadline: Optional[Deadline],
+                 tctx: Optional[obs.TraceContext]) -> tuple:
         return ("query", shard_id, queries, k, hierarchy_threshold,
                 None if deadline is None else deadline.budget_ms,
-                None if deadline is None else deadline._expires_at)
+                None if deadline is None else deadline._expires_at,
+                tctx)
 
     def _collect(self, shard_id: int, widx: int, in_flight: bool,
                  queries: np.ndarray, k: int,
                  hierarchy_threshold: object,
                  deadline: Optional[Deadline],
                  pol: Optional[ResiliencePolicy],
+                 batch_id: int,
                  ) -> Tuple[Optional[tuple], List[FailureRecord], bool]:
         """Await one shard's reply, supervising crashes.
 
@@ -665,7 +829,9 @@ class ProcessShardExecutor:
                 if not state["in_flight"]:
                     worker.conn.send(self._request(
                         shard_id, queries, k, hierarchy_threshold,
-                        deadline))
+                        deadline,
+                        self._make_tctx(obs.active(), batch_id, shard_id,
+                                        widx)))
                 state["in_flight"] = False
                 msg = self._recv(worker)
             except WorkerCrashError:
@@ -688,7 +854,7 @@ class ProcessShardExecutor:
             alive = self._live_points()
             nr = queries.shape[0]
             return (ids, dists, np.full(nr, alive, dtype=np.int64),
-                    np.zeros(nr, dtype=bool), None)
+                    np.zeros(nr, dtype=bool), None, None)
 
         result, action, records = pol.run(
             self.SITE, f"shard={shard_id}", attempt,

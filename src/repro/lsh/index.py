@@ -873,6 +873,25 @@ class _VectorPlan(QueryPlan):
                  ) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
         return self.index._validate_query_batch(queries, k, allow_nonfinite)
 
+    def _kernels_for(self, ctx: ExecutionContext) -> Optional[object]:
+        """The kernel bundle for this batch — timed when obs is on.
+
+        With observability enabled the raw kernels are wrapped once per
+        batch in :class:`repro.obs.TimedKernels` (cached in
+        ``ctx.scratch``), so each compiled-kernel call lands in the
+        ``repro_native_kernel_seconds`` histogram and the batch's
+        ``kernel/*`` trace spans.  With observability off this returns
+        the raw bundle untouched — zero indirection on the gated path.
+        """
+        kernels = self.kernels
+        if kernels is None or ctx.ob is None:
+            return kernels
+        timed = ctx.scratch.get("timed_kernels")
+        if timed is None:
+            timed = ctx.ob.timed_kernels(kernels, ctx.timer.stages)
+            ctx.scratch["timed_kernels"] = timed
+        return timed
+
     def stages(self) -> Tuple[Stage, ...]:
         stages = [Stage("lsh.hash", self._stage_hash),
                   Stage("lsh.gather", self._stage_gather)]
@@ -898,7 +917,7 @@ class _VectorPlan(QueryPlan):
         cand, qidx, counts = self.index._gather_candidates_batch(
             ctx.scratch["projections"], ctx.scratch["codes"], ctx.nq,
             ob=ctx.ob, probe_out=probe_out, plan=ctx.fault_plan,
-            pol=ctx.policy, res_out=res_out, kernels=self.kernels)
+            pol=ctx.policy, res_out=res_out, kernels=self._kernels_for(ctx))
         ctx.scratch["cand"] = cand
         ctx.scratch["qidx"] = qidx
         ctx.scratch["res_out"] = res_out
@@ -946,7 +965,7 @@ class _VectorPlan(QueryPlan):
                                                  int(skipped.size))
         cand, qidx, counts = index._dedup_per_query(
             np.concatenate(extra_ids), np.concatenate(extra_q), ctx.nq,
-            self.kernels)
+            self._kernels_for(ctx))
         ctx.scratch["cand"] = cand
         ctx.scratch["qidx"] = qidx
         ctx.n_candidates[:] = counts
@@ -954,7 +973,7 @@ class _VectorPlan(QueryPlan):
     def _stage_rank(self, ctx: ExecutionContext) -> None:
         ids_out, dists_out = self.index._rank_shortlists(
             ctx.queries, ctx.k, ctx.scratch["cand"], ctx.scratch["qidx"],
-            ctx.n_candidates, kernels=self.kernels)
+            ctx.n_candidates, kernels=self._kernels_for(ctx))
         ctx.ids_out[:] = ids_out
         ctx.dists_out[:] = dists_out
 
@@ -1003,7 +1022,7 @@ class _NativePlan(_VectorPlan):
 
     def _stage_hash(self, ctx: ExecutionContext) -> None:
         index = self.index
-        kernels = self.kernels
+        kernels = self._kernels_for(ctx)
         projections = [family.project(ctx.queries)
                        for family in index._families]
         ctx.scratch["projections"] = projections

@@ -36,23 +36,26 @@ of ``tools/check_invariants.py`` rejects raw ``time.perf_counter()`` or
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.kernels import NATIVE_KERNEL_SECONDS, TimedKernels
 from repro.obs.registry import (COUNT_BUCKETS, LATENCY_BUCKETS_SECONDS,
                                 CounterFamily, Gauge, GaugeFamily, Histogram,
                                 HistogramFamily, MetricsRegistry, log_buckets)
 from repro.obs.registry import Counter  # noqa: F401  (re-export)
 from repro.obs.trace import (STAGE_SECONDS, QueryTrace, Span, StageTimer,
-                             TraceCollector)
+                             TraceCollector, TraceContext)
 from repro.utils.rng import SeedLike
 
 __all__ = [
     "MetricsRegistry", "CounterFamily", "GaugeFamily", "HistogramFamily",
     "Counter", "Gauge", "Histogram", "log_buckets",
     "COUNT_BUCKETS", "LATENCY_BUCKETS_SECONDS",
-    "Span", "StageTimer", "QueryTrace", "TraceCollector", "Observer",
+    "Span", "StageTimer", "QueryTrace", "TraceCollector", "TraceContext",
+    "TimedKernels", "NATIVE_KERNEL_SECONDS", "Observer",
     "active", "enabled", "enable", "disable", "get_registry",
     "recent_traces", "derived_summary", "full_snapshot",
 ]
@@ -89,6 +92,10 @@ NATIVE_FALLBACKS_TOTAL = "repro_native_fallbacks_total"    # counter{reason}
 NATIVE_BATCHES_TOTAL = "repro_native_batches_total"        # counter{backend}
 NATIVE_SETUP_SECONDS = "repro_native_setup_seconds"        # histogram{backend}
 EXEC_WORKER_EVENTS_TOTAL = "repro_exec_worker_events_total"  # counter{kind}
+OBS_SHM_BYTES = "repro_obs_shm_bytes"              # gauge{segment}
+WORKER_ALIVE = "repro_exec_worker_alive"           # gauge{worker}
+WORKER_INFLIGHT = "repro_exec_worker_inflight_shards"  # gauge{worker}
+QUEUE_WAIT_SECONDS = "repro_exec_queue_wait_seconds"   # histogram
 
 
 class Observer:
@@ -292,6 +299,54 @@ class Observer:
             EXEC_WORKER_EVENTS_TOTAL,
             "Shard-worker pool lifecycle events."
             ).labels(kind=kind).inc()
+
+    # -- cross-process plane (shared-memory sink, stitched tracing) --------
+
+    def clock(self) -> float:
+        """A ``perf_counter`` read for cross-process span arithmetic.
+
+        The obs package owns every wall-clock read (rule R6); executors
+        that need timestamps for :class:`~repro.obs.trace.TraceContext`
+        or queue-wait spans take them through the observer so the
+        disabled path never touches the clock.
+        """
+        return time.perf_counter()
+
+    def timed_kernels(self, kernels: object,
+                      stages: Dict[str, float]) -> TimedKernels:
+        """Wrap a native kernel bundle with per-call timing."""
+        return TimedKernels(kernels, self, stages)
+
+    def observe_kernel(self, kernel: str, backend: str,
+                       seconds: float) -> None:
+        self.registry.histogram(
+            NATIVE_KERNEL_SECONDS,
+            "Per-call compiled-kernel latency (seconds).",
+            buckets=LATENCY_BUCKETS_SECONDS).labels(
+                kernel=kernel, backend=backend).observe(seconds)
+
+    def record_worker_state(self, worker: int, alive: bool) -> None:
+        self.registry.gauge(
+            WORKER_ALIVE, "Shard-worker liveness (1=alive).").labels(
+                worker=worker).set(1.0 if alive else 0.0)
+
+    def record_worker_inflight(self, worker: int, n_shards: int) -> None:
+        self.registry.gauge(
+            WORKER_INFLIGHT,
+            "Shards currently dispatched to each worker.").labels(
+                worker=worker).set(n_shards)
+
+    def record_shm_bytes(self, segment: str, nbytes: int) -> None:
+        self.registry.gauge(
+            OBS_SHM_BYTES,
+            "Shared-memory segment size, per segment kind.").labels(
+                segment=segment).set(nbytes)
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self.registry.histogram(
+            QUEUE_WAIT_SECONDS,
+            "Dispatch-to-receive wait of one shard message (seconds).",
+            buckets=LATENCY_BUCKETS_SECONDS).observe(seconds)
 
 
 # --------------------------------------------------------------------------

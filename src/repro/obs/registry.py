@@ -154,6 +154,28 @@ class Histogram:
             self._sum += float(flat.sum())
             self._n += int(flat.size)
 
+    def merge_counts(self, counts: np.ndarray, total: float, n: int) -> None:
+        """Fold pre-bucketed observations in (cross-process aggregation).
+
+        ``counts`` must match this histogram's bucket layout (one
+        overflow bucket after the last bound).  Used by the shared-memory
+        sink to apply per-worker deltas; the bucket layouts agree by
+        construction because both sides derive them from the same
+        :class:`~repro.obs.shm.SlotSchema`.
+        """
+        add = np.asarray(counts, dtype=np.int64)
+        if add.shape != self._counts.shape:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge {add.shape[0] if add.ndim else 0} "
+                f"bucket counts into {self._counts.shape[0]} buckets")
+        if n < 0 or np.any(add < 0):
+            raise ValueError(
+                f"histogram {self.name}: merged counts must be >= 0")
+        with self._lock:
+            self._counts += add
+            self._sum += float(total)
+            self._n += int(n)
+
     @property
     def count(self) -> int:
         return self._n
@@ -357,6 +379,21 @@ def _escape_label_value(value: str) -> str:
             .replace('"', r'\"'))
 
 
+def _format_value(value: float) -> str:
+    """Prometheus-conformant scalar rendering: NaN/±Inf spellings.
+
+    Python floats print as ``nan``/``inf``, which the exposition-format
+    parsers reject; the format requires ``NaN``, ``+Inf``, ``-Inf``.
+    """
+    if value != value:  # NaN is the only value unequal to itself
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
 def _format_labels(items: LabelItems, extra: str = "") -> str:
     parts = [f'{k}="{_escape_label_value(v)}"' for k, v in items]
     if extra:
@@ -452,7 +489,8 @@ class MetricsRegistry:
             if isinstance(family, (CounterFamily, GaugeFamily)):
                 for scalar in family.children():
                     labels = _format_labels(scalar.label_items)
-                    lines.append(f"{family.name}{labels} {scalar.value}")
+                    lines.append(f"{family.name}{labels} "
+                                 f"{_format_value(scalar.value)}")
             else:
                 for hist in family.children():
                     bounds = hist.bucket_bounds()
@@ -468,6 +506,7 @@ class MetricsRegistry:
                                             extra='le="+Inf"')
                     lines.append(f"{family.name}_bucket{labels} {cum}")
                     plain = _format_labels(hist.label_items)
-                    lines.append(f"{family.name}_sum{plain} {hist.sum}")
+                    lines.append(f"{family.name}_sum{plain} "
+                                 f"{_format_value(hist.sum)}")
                     lines.append(f"{family.name}_count{plain} {hist.count}")
         return "\n".join(lines) + "\n"

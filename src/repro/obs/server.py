@@ -1,0 +1,126 @@
+"""Live metrics exposition over stdlib HTTP (``repro-knn stats --serve``).
+
+A tiny read-only endpoint for scraping the observability plane:
+
+- ``/metrics`` — Prometheus text exposition
+  (:meth:`~repro.obs.registry.MetricsRegistry.to_prometheus`);
+- ``/metrics.json`` — the full snapshot plus derived roll-ups
+  (:func:`repro.obs.full_snapshot`);
+- ``/traces`` — recently sampled :class:`~repro.obs.trace.QueryTrace`
+  records as a JSON list of waterfalls.
+
+Serving uses only :mod:`http.server` on a daemon thread so it never
+blocks interpreter exit and adds no dependencies — the direct precursor
+to the ROADMAP async serving layer.  The server reads the registry on
+every request (registries are thread-safe), so scrapes always see the
+latest drained state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import QueryTrace
+
+__all__ = ["MetricsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three read-only endpoints; 404 elsewhere."""
+
+    # set by MetricsServer via the handler subclass created per server
+    server_version = "repro-knn-stats/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = owner.render_prometheus().encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = owner.render_json().encode("utf-8")
+            ctype = "application/json; charset=utf-8"
+        elif path == "/traces":
+            body = owner.render_traces().encode("utf-8")
+            ctype = "application/json; charset=utf-8"
+        else:
+            self.send_error(404, "unknown endpoint "
+                                 "(try /metrics, /metrics.json, /traces)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (R6: no ad-hoc output)."""
+
+
+class MetricsServer:
+    """Daemon-thread HTTP exposition of one registry.
+
+    >>> server = MetricsServer(registry)        # doctest: +SKIP
+    >>> server.start()                          # doctest: +SKIP
+    >>> print(server.port)                      # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` for the bound value (how the CLI prints the scrape
+    target and the smoke test finds it).  ``traces_fn`` defaults to the
+    module-level :func:`repro.obs.recent_traces`, so a server attached
+    to the enabled observer serves live samples.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1",
+                 traces_fn: Optional[Callable[[], List[QueryTrace]]] = None,
+                 ) -> None:
+        self.registry = registry
+        self._traces_fn = traces_fn
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    def render_prometheus(self) -> str:
+        return self.registry.to_prometheus()
+
+    def render_json(self) -> str:
+        from repro import obs
+        return json.dumps(obs.full_snapshot(self.registry), indent=2,
+                          sort_keys=True)
+
+    def render_traces(self) -> str:
+        if self._traces_fn is not None:
+            traces = self._traces_fn()
+        else:
+            from repro import obs
+            traces = obs.recent_traces()
+        return json.dumps([t.to_dict() for t in traces], indent=2)
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-metrics-http",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()

@@ -1,0 +1,28 @@
+"""Seeded R6 violations: ad-hoc timing/printing in a worker-reachable
+native module.
+
+The ``native`` directory component puts this fixture inside R6's
+extended scope (``AnalysisConfig.obs_extra_scope_parts``): compiled
+kernels run inside shard workers, where a raw ``perf_counter`` or
+``print`` bypasses the shared-memory metrics plane entirely — kernel
+timing must go through ``repro.obs`` (``Observer.observe_kernel`` via
+``TimedKernels``).  Parsed by the self-tests, never imported.
+"""
+
+import time
+from time import perf_counter
+
+
+def timed_kernel_call(n: int) -> float:
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    elapsed = time.perf_counter() - t0
+    print(f"rank_topk took {elapsed:.6f}s ({acc} ops)")
+    return elapsed
+
+
+def timed_decode() -> float:
+    t0 = perf_counter()
+    return perf_counter() - t0

@@ -36,6 +36,7 @@ FIXTURE_RULES = {
     "r4_untyped_api.py": "R4",
     "r5_silent_failure.py": "R5",
     "lsh/r6_raw_telemetry.py": "R6",
+    "native/r6_worker_timing.py": "R6",
     "lsh/r7_swallowed_exception.py": "R7",
     "lsh/r8_inline_plumbing.py": "R8",
     "r9_direct_backend_import.py": "R9",

@@ -165,6 +165,86 @@ class TestExports:
         assert r'path="a\"b\\c\nd"' in text
 
 
+class TestPrometheusExpositionEdgeCases:
+    """Exposition-format conformance on the awkward inputs.
+
+    The text format has exact spellings parsers insist on: label values
+    escape ``\\``, ``\"`` and newlines (in that order, so backslashes
+    aren't double-escaped); non-finite scalars render as ``NaN`` /
+    ``+Inf`` / ``-Inf`` (Python's ``nan``/``inf`` are rejected); a
+    histogram family with no observations still emits its full bucket
+    ladder with zero counts.
+    """
+
+    def test_each_escape_class_alone(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").labels(v='say "hi"').inc()
+        reg.counter("b_total").labels(v="back\\slash").inc()
+        reg.counter("c_total").labels(v="line\nbreak").inc()
+        text = reg.to_prometheus()
+        assert r'v="say \"hi\""' in text
+        assert r'v="back\\slash"' in text
+        assert r'v="line\nbreak"' in text
+        # One physical line per sample even with embedded newlines.
+        for line in text.splitlines():
+            assert line.startswith(("#", "a_total", "b_total", "c_total"))
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # The pathological value: a literal backslash-n followed by a
+        # real newline.  Escaping backslashes first keeps them distinct.
+        reg = MetricsRegistry()
+        reg.gauge("g").labels(v="\\n\n").set(1)
+        text = reg.to_prometheus()
+        assert 'v="\\\\n\\n"' in text
+
+    def test_empty_histogram_family_emits_zero_ladder(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", "help", buckets=(0.1, 1.0)).labels(
+            stage="rank")  # instantiated, never observed
+        text = reg.to_prometheus()
+        assert "# TYPE h_seconds histogram" in text
+        assert 'h_seconds_bucket{stage="rank",le="0.1"} 0' in text
+        assert 'h_seconds_bucket{stage="rank",le="+Inf"} 0' in text
+        assert 'h_seconds_sum{stage="rank"} 0.0' in text
+        assert 'h_seconds_count{stage="rank"} 0' in text
+
+    def test_histogram_family_with_no_children(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", "help", buckets=(0.1,))
+        text = reg.to_prometheus()
+        assert "# TYPE h_seconds histogram" in text
+        assert "h_seconds_bucket" not in text
+
+    def test_nonfinite_gauges_use_prometheus_spellings(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").labels(k="nan").set(float("nan"))
+        reg.gauge("g").labels(k="pinf").set(float("inf"))
+        reg.gauge("g").labels(k="ninf").set(float("-inf"))
+        text = reg.to_prometheus()
+        assert 'g{k="nan"} NaN' in text
+        assert 'g{k="pinf"} +Inf' in text
+        assert 'g{k="ninf"} -Inf' in text
+        # Python's own float spellings must never leak into the text.
+        for line in text.splitlines():
+            value = line.rsplit(" ", 1)[1]
+            assert value not in ("nan", "inf", "-inf")
+
+    def test_nonfinite_histogram_sum(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0,)).labels()
+        hist.observe(float("inf"))
+        text = reg.to_prometheus()
+        assert "h_sum +Inf" in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+
+    def test_json_snapshot_unaffected_by_exposition_spellings(self):
+        # snapshot() keeps native floats; only the text format respells.
+        reg = MetricsRegistry()
+        reg.gauge("g").labels().set(float("inf"))
+        snap = reg.snapshot()
+        assert snap["g"]["samples"][0]["value"] == float("inf")
+
+
 class TestGate:
     def test_disabled_by_default(self):
         assert obs.active() is None

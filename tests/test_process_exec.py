@@ -353,3 +353,176 @@ class TestObservability:
         shards = snap["repro_exec_shards_total"]["samples"]
         assert any(s["labels"].get("site") == "exec.process"
                    for s in shards)
+
+
+# ----------------------------------------- cross-process metrics plane
+
+
+def _samples(snap, name):
+    return {tuple(sorted(s["labels"].items())): s["value"]
+            for s in snap.get(name, {}).get("samples", ())}
+
+
+class TestCrossProcessMetrics:
+    """PR 8 contract: worker recordings survive the process boundary.
+
+    Regression for the silent-loss bug: before the shared-memory sink,
+    ``_worker_main``'s ``obs.active()`` recordings landed in a registry
+    that died with the worker.
+    """
+
+    def test_worker_counters_visible_in_parent_snapshot(self, index,
+                                                        queries,
+                                                        reference):
+        reg = MetricsRegistry()
+        obs.enable(registry=reg)
+        try:
+            with ProcessShardExecutor(index, n_workers=2) as ex:
+                result = ex.query_batch(queries, K,
+                                        hierarchy_threshold=THRESHOLD,
+                                        max_batch_rows=8)
+        finally:
+            obs.disable()
+        assert_bit_identical(result, reference)
+        snap = reg.snapshot()
+        # Worker-side pipeline counters, recorded inside the shard
+        # processes, drained into the parent registry.
+        queries_by_engine = _samples(snap, "repro_queries_total")
+        assert queries_by_engine.get((("engine", "vectorized"),), 0) \
+            == N_QUERIES
+        lookups = _samples(snap, "repro_bucket_lookups_total")
+        assert sum(lookups.values()) > 0
+        events = _samples(snap, "repro_exec_worker_events_total")
+        n_shards = -(-N_QUERIES // 8)
+        assert events.get((("kind", "shard_recv"),), 0) == n_shards
+        assert events.get((("kind", "shard_ok"),), 0) == n_shards
+        # Worker-side stage histograms merge bucket-exactly.
+        stage = snap["repro_stage_seconds"]["samples"]
+        stages = {s["labels"]["stage"] for s in stage}
+        assert {"lsh.hash", "lsh.gather", "lsh.rank"} <= stages
+        # Self-monitoring: queue wait + segment gauges.
+        assert "repro_exec_queue_wait_seconds" in snap
+        shm_gauges = _samples(snap, "repro_obs_shm_bytes")
+        assert shm_gauges.get((("segment", "metrics"),), 0) > 0
+        assert shm_gauges.get((("segment", "index"),), 0) > 0
+
+    def test_worker_faults_counted_in_parent(self, index, queries):
+        reg = MetricsRegistry()
+        obs.enable(registry=reg)
+        plan = FaultPlan((FaultSpec("exec.process", max_hits=1),), seed=5)
+        try:
+            with ProcessShardExecutor(index, n_workers=1) as ex:
+                with injected_faults(plan):
+                    ex.query_batch(queries, K,
+                                   hierarchy_threshold=THRESHOLD,
+                                   policy=ResiliencePolicy(max_retries=2),
+                                   max_batch_rows=8)
+        finally:
+            obs.disable()
+        snap = reg.snapshot()
+        faults = _samples(snap, "repro_faults_injected_total")
+        assert faults.get((("site", "exec.process"),), 0) >= 1
+
+    def test_stitched_trace_has_parent_and_worker_spans(self, index,
+                                                        queries,
+                                                        reference):
+        reg = MetricsRegistry()
+        obs.enable(registry=reg, trace_sample_rate=1.0, trace_seed=11)
+        try:
+            with ProcessShardExecutor(index, n_workers=2) as ex:
+                result = ex.query_batch(queries, K,
+                                        hierarchy_threshold=THRESHOLD,
+                                        max_batch_rows=8)
+            traces = obs.recent_traces()
+        finally:
+            obs.disable()
+        assert_bit_identical(result, reference)
+        stitched = [t for t in traces if t.engine == "process:vectorized"]
+        # rate=1.0: one stitched waterfall per query, no re-sampling.
+        assert len(stitched) == N_QUERIES
+        assert sorted(t.query_index for t in stitched) == \
+            list(range(N_QUERIES))
+        for trace in stitched:
+            assert trace.shard_id >= 0
+            assert 0 <= trace.worker_id < 2
+            assert {"exec.process.validate", "exec.process.dispatch",
+                    "exec.process.collect"} <= set(trace.stages)
+            assert {"lsh.validate", "lsh.hash", "lsh.gather",
+                    "lsh.rank"} <= set(trace.worker_stages)
+            payload = trace.to_dict()
+            assert payload["shard_id"] == trace.shard_id
+            assert payload["worker_stages"] == trace.worker_stages
+
+    def test_native_kernel_spans_in_stitched_trace(self, index, queries,
+                                                   reference):
+        from repro.native import registry as native_registry
+
+        if native_registry.load_kernels() is None:
+            pytest.skip("no compiled native backend available")
+        reg = MetricsRegistry()
+        obs.enable(registry=reg, trace_sample_rate=1.0, trace_seed=11)
+        try:
+            with ProcessShardExecutor(index, n_workers=2,
+                                      engine="native") as ex:
+                result = ex.query_batch(queries, K,
+                                        hierarchy_threshold=THRESHOLD,
+                                        max_batch_rows=8)
+            traces = obs.recent_traces()
+        finally:
+            obs.disable()
+        assert_bit_identical(result, reference)
+        stitched = [t for t in traces if t.engine == "process:native"]
+        assert len(stitched) == N_QUERIES
+        kernel_spans = set()
+        for trace in stitched:
+            kernel_spans |= {s for s in trace.worker_stages
+                             if s.startswith("kernel/")}
+        assert "kernel/rank_topk" in kernel_spans
+        snap = reg.snapshot()
+        assert sum(_samples(snap, "repro_native_batches_total")
+                   .values()) > 0
+        kernel_hist = snap["repro_native_kernel_seconds"]["samples"]
+        assert any(s["labels"].get("kernel") == "rank_topk"
+                   for s in kernel_hist)
+
+    def test_metrics_false_runs_unplumbed(self, index, queries, reference):
+        reg = MetricsRegistry()
+        obs.enable(registry=reg)
+        try:
+            with ProcessShardExecutor(index, n_workers=1,
+                                      metrics=False) as ex:
+                result = ex.query_batch(queries, K,
+                                        hierarchy_threshold=THRESHOLD)
+                assert ex.drain_metrics() == 0
+        finally:
+            obs.disable()
+        assert_bit_identical(result, reference)
+        # No sink: worker-side counters never reach the parent.
+        snap = reg.snapshot()
+        assert "repro_queries_total" not in snap
+
+    def test_drain_is_idempotent_between_batches(self, index, queries):
+        reg = MetricsRegistry()
+        ob = obs.enable(registry=reg)
+        try:
+            with ProcessShardExecutor(index, n_workers=1) as ex:
+                ex.query_batch(queries, K, hierarchy_threshold=THRESHOLD)
+                before = _samples(reg.snapshot(), "repro_queries_total")
+                assert ex.drain_metrics(ob) == 0  # nothing new to fold
+                after = _samples(reg.snapshot(), "repro_queries_total")
+        finally:
+            obs.disable()
+        assert before == after
+        assert before.get((("engine", "vectorized"),), 0) == N_QUERIES
+
+    def test_obs_disabled_ships_no_trace_context(self, index, queries,
+                                                 reference):
+        # Off path: no TraceContext, no worker instrumentation, and the
+        # answers stay bit-identical.
+        assert obs.active() is None
+        with ProcessShardExecutor(index, n_workers=1) as ex:
+            result = ex.query_batch(queries, K,
+                                    hierarchy_threshold=THRESHOLD,
+                                    max_batch_rows=8)
+        assert_bit_identical(result, reference)
+        assert obs.recent_traces() == []
