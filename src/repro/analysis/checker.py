@@ -32,11 +32,12 @@ from repro.analysis.rules import (
     check_recorded_failures,
     check_rng_centralized,
     check_typed_api,
+    check_wal_before_ack,
 )
 
 ALL_RULES: Tuple[str, ...] = (
     "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
-    "R10", "R11", "R12",
+    "R10", "R11", "R12", "R13",
 )
 
 #: Rules that need the interprocedural call graph.
@@ -73,6 +74,10 @@ RULE_SUMMARIES: Dict[str, str] = {
     "R12": "spawn-safe: objects shipped to spawn-context workers "
            "(Process targets/args, ProcessPoolExecutor.submit) carry no "
            "locks, open files, bound methods, lambdas, or RNG state",
+    "R13": "wal-before-ack: mutating public methods (insert/delete) on "
+           "queryable index classes contain a write-ahead-log append "
+           "(append_insert/append_delete), so every acknowledged write "
+           "is replayable after a crash",
 }
 
 
@@ -85,7 +90,8 @@ class AnalysisConfig:
     #: global RNG machinery).
     rng_module_suffixes: Tuple[str, ...] = ("utils/rng.py",)
     #: Packages whose modules form the dtype-sensitive hot path (R2).
-    hot_path_parts: Tuple[str, ...] = ("lsh", "lattice", "core", "exec")
+    hot_path_parts: Tuple[str, ...] = ("lsh", "lattice", "core", "exec",
+                                       "maintenance")
     #: Bare names of the batch-query entry points that execute on the
     #: ``n_jobs`` worker pool — the roots of the R3 reachability walk.
     worker_roots: Tuple[str, ...] = (
@@ -105,7 +111,7 @@ class AnalysisConfig:
     #: telemetry there must flow through ``repro.obs``.
     telemetry_scope_parts: Tuple[str, ...] = (
         "lsh", "lattice", "core", "hierarchy", "gpu", "rptree", "cluster",
-        "exec",
+        "exec", "maintenance",
     )
     #: Extra packages R6 covers beyond the shared telemetry scope.  The
     #: native tier is worker-reachable (its kernels run inside shard
@@ -144,6 +150,9 @@ class AnalysisConfig:
     shm_scope_parts: Tuple[str, ...] = (
         "exec", "lsh", "lattice", "hierarchy", "core", "rptree", "native",
     )
+    #: Index front-end packages whose mutating public methods must append
+    #: to the write-ahead log before acknowledging (R13).
+    wal_scope_parts: Tuple[str, ...] = ("lsh", "core")
     #: Directory names never descended into during file discovery.
     skip_dirs: Tuple[str, ...] = (
         "__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist",
@@ -213,6 +222,8 @@ def analyze_modules(
         )
     if "R12" in config.rules and graph is not None:
         violations += check_spawn_safe(modules, graph)
+    if "R13" in config.rules:
+        violations += check_wal_before_ack(modules, config.wal_scope_parts)
     by_path = {module.posix_path: module for module in modules}
     kept = [
         v for v in violations

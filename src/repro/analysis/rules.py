@@ -1,4 +1,4 @@
-"""The repo-specific invariant rules R1–R8.
+"""The repo-specific syntactic invariant rules (R1–R9, R13).
 
 Each rule is a pure function from parsed modules (plus shared context:
 type-alias table, call graph) to a list of :class:`Violation`.  Rules are
@@ -637,4 +637,65 @@ def check_native_dispatch(
                     "repro.native.registry.load_kernels() "
                     "(engine='native' resolution)",
                 ))
+    return violations
+
+
+# -------------------------------------------------------------------- R13
+
+#: Calls that commit a mutation to the write-ahead log.  A mutating
+#: public method satisfies R13 when one of these appears in its body
+#: (behind the ``self._wal is not None`` gate by convention).
+WAL_APPEND_CALLS = frozenset({
+    "append_insert", "append_delete", "wal_append",
+})
+
+
+def check_wal_before_ack(
+    modules: Sequence[ModuleInfo],
+    wal_scope_parts: Tuple[str, ...],
+) -> List[Violation]:
+    """R13: mutating index methods log to the WAL before acknowledging.
+
+    Inside the index front-end packages (``lsh``, ``core``), any class
+    that answers queries (defines ``query_batch``) and accepts live
+    mutation (defines a non-stub ``insert`` or ``delete``) is a durable
+    surface: those mutating methods must contain a WAL append call
+    (``append_insert`` / ``append_delete`` / ``wal_append``) so an
+    acknowledged write can always be replayed after a crash
+    (:mod:`repro.maintenance`).  The append is gated on an attached WAL
+    at runtime; the rule checks that the *plumbing* exists, which is the
+    part a refactor silently loses.  Protocol/ABC stubs are exempt.
+    """
+    violations: List[Violation] = []
+    scope = set(wal_scope_parts)
+    for module in modules:
+        if not set(module.path_parts()) & scope:
+            continue
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = {
+                node.name: node for node in cls.body
+                if isinstance(node, _FUNC_DEFS)
+            }
+            if "query_batch" not in methods:
+                continue
+            for name in ("insert", "delete"):
+                method = methods.get(name)
+                if method is None or _is_stub_def_body(method.body):
+                    continue
+                logs = any(
+                    isinstance(sub, ast.Call)
+                    and (dotted_attribute(sub.func) or "").rpartition(".")[2]
+                    in WAL_APPEND_CALLS
+                    for sub in ast.walk(method)
+                )
+                if not logs:
+                    violations.append(Violation(
+                        "R13", module.posix_path, method.lineno,
+                        f"{cls.name}.{name} mutates a queryable index "
+                        "without a WAL append; acknowledged writes must "
+                        "reach the write-ahead log (append_insert/"
+                        "append_delete) before the method returns",
+                    ))
     return violations

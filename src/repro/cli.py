@@ -215,6 +215,61 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Fold overlays/tombstones of a saved index into fresh tables."""
+    from repro.lsh.forest import LSHForest
+    from repro.maintenance import recover_index
+    from repro.persistence import load_index, save_index
+
+    if args.wal is not None:
+        index, report = recover_index(args.index, args.wal)
+        print(f"replayed {report.applied} WAL records "
+              f"(skipped {report.skipped}, torn {report.torn_bytes} bytes)")
+    else:
+        index = load_index(args.index)
+    if isinstance(index, LSHForest):
+        print("error: LSHForest has no live-update path to compact",
+              file=sys.stderr)
+        return 2
+    installed = index.compact()
+    out = args.out if args.out is not None else args.index
+    save_index(index, out)
+    if args.wal is not None and not args.keep_wal:
+        from repro.maintenance import WriteAheadLog
+
+        with WriteAheadLog(args.wal) as wal:
+            wal.reset(int(getattr(index, "_applied_lsn", 0)))
+    print(json.dumps({
+        "out": str(out), "installed": bool(installed),
+        "n_points": int(index.n_points),
+        "wal_lsn": int(getattr(index, "_applied_lsn", 0)),
+    }, indent=2))
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild the acknowledged state: snapshot + WAL-tail replay."""
+    from repro.maintenance import RecoveryError, recover_index
+    from repro.persistence import save_index
+
+    try:
+        index, report = recover_index(args.index, args.wal)
+    except RecoveryError as error:
+        print(f"RECOVERY FAILED: {error}", file=sys.stderr)
+        return 3
+    save_index(index, args.out)
+    print(json.dumps({
+        "out": str(args.out),
+        "snapshot_lsn": report.snapshot_lsn,
+        "applied": report.applied,
+        "skipped": report.skipped,
+        "last_lsn": report.last_lsn,
+        "torn_bytes": report.torn_bytes,
+        "n_points": int(index.n_points),
+    }, indent=2))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import inspect
 
@@ -424,6 +479,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop the --serve endpoint after this many "
                         "seconds (default: serve until interrupted)")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("compact",
+                       help="fold a saved index's overlays/tombstones into "
+                            "fresh sorted tables (optionally replaying a "
+                            "WAL first)")
+    p.add_argument("index", help="saved index archive (.npz)")
+    p.add_argument("--wal", default=None,
+                   help="replay this write-ahead log before compacting")
+    p.add_argument("--out", default=None,
+                   help="write the compacted index here (default: in place)")
+    p.add_argument("--keep-wal", action="store_true",
+                   help="do not truncate the replayed WAL after the "
+                        "compacted snapshot is committed")
+    p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser("recover",
+                       help="rebuild the acknowledged state from a snapshot "
+                            "plus WAL tail (exit 3 on replay mismatch)")
+    p.add_argument("index", help="last good snapshot archive (.npz)")
+    p.add_argument("--wal", required=True,
+                   help="write-ahead log to replay on top of the snapshot")
+    p.add_argument("--out", required=True,
+                   help="write the recovered index here")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("bench", help="run one paper-figure driver")
     p.add_argument("--figure", default="fig05")

@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +42,10 @@ from repro.rptree.tree import RPTree
 from repro.utils.rng import spawn_rngs
 from repro.utils.validation import (as_float_matrix, as_query_matrix,
                                     check_k)
+
+if TYPE_CHECKING:  # runtime import would cycle: maintenance replays via us
+    from repro.maintenance.compactor import Compactor
+    from repro.maintenance.wal import WriteAheadLog
 
 
 class BiLevelLSH:
@@ -77,6 +81,12 @@ class BiLevelLSH:
         # batch queries stay lock-free and rely on the per-group indexes'
         # snapshot discipline (see StandardLSH).
         self._update_lock = threading.RLock()
+        # Durability plumbing (repro.maintenance): one WAL at this front
+        # end covers all groups — group indexes never log their internal
+        # sub-inserts, the routed operation is the unit of replay.
+        self._wal = None
+        self._applied_lsn = 0
+        self._compactor = None
 
     # ------------------------------------------------------------------ fit
 
@@ -170,6 +180,32 @@ class BiLevelLSH:
         self._check_fitted()
         return len(self.group_indexes)
 
+    # ---------------------------------------------------------- maintenance
+
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Log every acknowledged insert/delete through ``wal`` (R13).
+
+        Attached at the bi-level front end only: the WAL records the
+        *routed* operation with the globally assigned ids, and replay
+        re-routes it through the same static partition — group indexes
+        stay WAL-free.
+        """
+        self._wal = wal
+
+    def attach_compactor(self, compactor: "Compactor") -> None:
+        """Use ``compactor`` for every group's overlay merges (async)."""
+        self._compactor = compactor
+        for index in self.group_indexes:
+            index.attach_compactor(compactor)
+
+    def compact(self, max_retries: int = 4) -> bool:
+        """Compact every leaf group's tables; True if any installed."""
+        self._check_fitted()
+        installed = False
+        for index in self.group_indexes:
+            installed = index.compact(max_retries=max_retries) or installed
+        return installed
+
     # -------------------------------------------------------------- updates
 
     def insert(self, points: np.ndarray) -> np.ndarray:
@@ -189,6 +225,11 @@ class BiLevelLSH:
         with self._update_lock:
             start = self._data.shape[0]
             new_ids = np.arange(start, start + points.shape[0], dtype=np.int64)
+            # Durability: acknowledged operation reaches the log before
+            # any structure changes (R13).  Ids are assigned by position,
+            # so replay regenerates them deterministically.
+            if self._wal is not None:
+                self._applied_lsn = self._wal.append_insert(points, new_ids)
             self._data = np.vstack([self._data, points])
             groups = self.partitioner.assign(points)
             for g, index in enumerate(self.group_indexes):
@@ -200,7 +241,12 @@ class BiLevelLSH:
     def delete(self, ids: np.ndarray) -> int:
         """Remove points by global id; returns how many were found."""
         self._check_fitted()
+        ids = np.asarray(ids, dtype=np.int64).ravel()
         with self._update_lock:
+            # Logged unconditionally (the found count is only known after
+            # routing); replaying a no-op delete is itself a no-op.
+            if self._wal is not None:
+                self._applied_lsn = self._wal.append_delete(ids)
             return sum(index.delete(ids) for index in self.group_indexes)
 
     # ---------------------------------------------------------------- query

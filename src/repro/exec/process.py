@@ -39,8 +39,11 @@ with it every view) before closing its handle on shutdown.
 
 from __future__ import annotations
 
+import atexit
 import os
+import signal
 import threading
+import weakref
 from multiprocessing import get_context
 from multiprocessing.connection import Connection
 from multiprocessing.shared_memory import SharedMemory
@@ -69,6 +72,59 @@ _ManifestEntry = Tuple[str, str, Tuple[int, ...], int]
 
 class WorkerCrashError(RuntimeError):
     """A shard worker process died before delivering its result."""
+
+
+# ---------------------------------------------------------------------------
+# Abnormal-exit SHM cleanup.  A SharedMemory segment is a kernel object
+# (/dev/shm/...) that outlives the process unless unlink() runs; a parent
+# killed by SIGTERM — or one that simply forgets close() — would leak the
+# whole index copy until reboot.  Every live executor registers in a weak
+# set, and a process-wide atexit hook plus a chaining SIGTERM handler
+# close (and therefore unlink) whatever is still open on the way down.
+# SIGKILL cannot be caught by design; that residual case is documented in
+# DESIGN.md §13 (stale segments are keyed by a fresh random name per run,
+# so a leaked one is never re-attached, only wasted until cleanup).
+# ---------------------------------------------------------------------------
+
+_LIVE_EXECUTORS: "weakref.WeakSet[ProcessShardExecutor]" = weakref.WeakSet()
+_CLEANUP_INSTALLED = False
+_PREV_SIGTERM_HANDLER: object = None
+
+
+def _cleanup_live_executors() -> None:
+    """Close every still-open executor (atexit / SIGTERM path)."""
+    for executor in list(_LIVE_EXECUTORS):
+        try:
+            executor.close()
+        except Exception:  # invariant: disable=R5,R7 — best-effort teardown
+            # on the way out of a dying process; there is no registry left
+            # to record into and raising would mask the original exit cause.
+            pass  # invariant: disable=R5 — see handler justification above
+
+
+def _sigterm_cleanup(signum: int, frame: object) -> None:
+    _cleanup_live_executors()
+    if callable(_PREV_SIGTERM_HANDLER):
+        _PREV_SIGTERM_HANDLER(signum, frame)
+    else:
+        # Preserve the conventional "terminated by SIGTERM" exit status.
+        raise SystemExit(143)
+
+
+def _install_cleanup_hooks() -> None:
+    """Register the atexit + SIGTERM hooks once per process (lazy)."""
+    global _CLEANUP_INSTALLED, _PREV_SIGTERM_HANDLER
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(_cleanup_live_executors)
+    try:
+        _PREV_SIGTERM_HANDLER = signal.signal(signal.SIGTERM,
+                                              _sigterm_cleanup)
+    except (ValueError, OSError):  # invariant: disable=R7 — signal() only
+        # works from the main thread; an executor built on a worker thread
+        # still gets atexit coverage, which is the load-bearing half.
+        _PREV_SIGTERM_HANDLER = None
 
 
 def _align(offset: int) -> int:
@@ -418,6 +474,10 @@ class ProcessShardExecutor:
             self._sink = obs_shm.ShmMetricsSink(self._sink_schema,
                                                 self.n_workers)
         self._workers: List[Optional[_Worker]] = [None] * self.n_workers
+        # Abnormal-exit coverage: from here on the segment exists, so the
+        # executor must be findable by the atexit/SIGTERM sweep.
+        _install_cleanup_hooks()
+        _LIVE_EXECUTORS.add(self)
         for widx in range(self.n_workers):
             self._spawn(widx)
         self.setup_seconds = time.perf_counter() - t0  # invariant: disable=R6 — setup-only timing
@@ -499,6 +559,7 @@ class ProcessShardExecutor:
         if self._closed:
             return
         self._closed = True
+        _LIVE_EXECUTORS.discard(self)
         for widx, worker in enumerate(self._workers):
             if worker is None:
                 continue

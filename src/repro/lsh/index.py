@@ -19,7 +19,8 @@ the apples-to-apples setup of the paper's experiments.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -42,6 +43,10 @@ from repro.resilience.policy import ResiliencePolicy
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
 from repro.utils.validation import (as_float_matrix, as_query_matrix, check_k,
                                     check_positive)
+
+if TYPE_CHECKING:  # runtime import would cycle: maintenance replays via us
+    from repro.maintenance.compactor import Compactor
+    from repro.maintenance.wal import WriteAheadLog
 
 __all__ = ["QueryStats", "StandardLSH", "make_lattice"]
 
@@ -134,6 +139,15 @@ class StandardLSH:
         # cache, which worker threads fill on first use.
         self._update_lock = threading.RLock()
         self._norms_lock = threading.Lock()
+        # Durability plumbing (repro.maintenance): when a WAL is attached,
+        # every insert/delete appends (and flushes) a record *before* the
+        # mutation is applied — rule R13 wal-before-ack.  ``_applied_lsn``
+        # is the LSN of the last applied record; ``_mutations`` is a
+        # monotonically increasing version used by optimistic compaction.
+        self._wal = None
+        self._applied_lsn = 0
+        self._compactor = None
+        self._mutations = 0
 
     #: Overlay fraction beyond which insert() rebuilds the sorted tables.
     REBUILD_FRACTION = 0.2
@@ -164,8 +178,68 @@ class StandardLSH:
             PStableHashFamily(dim, self.n_hashes, self.bucket_width, seed=rng)
             for rng in rngs
         ]
+        with self._update_lock:
+            self._mutations += 1
         self._rebuild_tables()
         return self
+
+    # ---------------------------------------------------------- maintenance
+
+    def attach_wal(self, wal: "WriteAheadLog") -> None:
+        """Log every acknowledged insert/delete through ``wal`` (R13).
+
+        The record is appended (and flushed) *before* the mutation is
+        applied, so a crash after acknowledgement can always be replayed
+        from the log (:mod:`repro.maintenance.recovery`).
+        """
+        self._wal = wal
+
+    def attach_compactor(self, compactor: "Compactor") -> None:
+        """Fold overlays in the background instead of stalling ``insert``.
+
+        With a :class:`repro.maintenance.compactor.Compactor` attached,
+        the overlay-debt trigger in :meth:`insert` becomes an async hint
+        (``request_compaction``) instead of a synchronous
+        :meth:`_rebuild_tables` stall on the writer.
+        """
+        self._compactor = compactor
+
+    def compact(self, max_retries: int = 4) -> bool:
+        """Merge overlays and tombstones into fresh sorted tables.
+
+        The expensive build runs *off* the writer lock against an
+        immutable snapshot and is installed only if no mutation landed in
+        between (optimistic concurrency on the ``_mutations`` version).
+        After ``max_retries`` conflicting attempts the final build runs
+        under the writer lock, which cannot conflict.  Returns ``True``
+        when new tables were installed.
+        """
+        self._check_fitted()
+        for _ in range(max(0, int(max_retries))):
+            if self._compact_once():
+                return True
+        with self._update_lock:
+            return self._compact_once()
+
+    def _compact_once(self) -> bool:
+        """One optimistic compaction attempt; False when a writer won."""
+        with self._update_lock:
+            version = self._mutations
+            tables = list(self._tables)
+            deleted = self._deleted
+        new_tables = [table.compacted(drop=deleted) for table in tables]
+        hierarchies: list = []
+        if self.use_hierarchy:
+            hierarchies = [self._build_hierarchy(t) for t in new_tables]
+        with self._update_lock:
+            if self._mutations != version:
+                return False
+            self._tables = new_tables
+            self._hierarchies = hierarchies
+            ob = obs.active()
+            if ob is not None:
+                ob.record_rebuild()
+        return True
 
     def _rebuild_tables(self) -> None:
         """(Re)build the sorted tables and hierarchies from current data.
@@ -219,6 +293,11 @@ class StandardLSH:
                 if ids.shape != (m,):
                     raise ValueError(
                         f"ids must have shape ({m},), got {ids.shape}")
+            # Durability: the acknowledged operation reaches the log (and
+            # the OS) before any in-memory structure changes (R13).
+            if self._wal is not None:
+                self._applied_lsn = self._wal.append_insert(points, ids)
+            self._mutations += 1
             # Publish the grown data/ids/mask arrays *before* the table
             # overlays learn the new local ids: a concurrent query that
             # gathers a fresh id is then guaranteed to find its row.
@@ -238,7 +317,12 @@ class StandardLSH:
                 table.add(codes, local)
             overlay = max((table.n_extra for table in self._tables), default=0)
             if overlay > self.REBUILD_FRACTION * max(start, 1):
-                self._rebuild_tables()
+                # With a compactor attached the debt trigger is a hint —
+                # the merge happens off this writer lock, in background.
+                if self._compactor is not None:
+                    self._compactor.request_compaction(self)
+                else:
+                    self._rebuild_tables()
         return ids
 
     def delete(self, ids: np.ndarray) -> int:
@@ -253,10 +337,15 @@ class StandardLSH:
             mask = np.isin(self._ids, ids)
             found = int(mask.sum())
             if found:
-                deleted = (np.zeros(self._ids.shape[0], dtype=bool)
-                           if self._deleted is None
-                           else self._deleted.copy())
-                deleted[:mask.shape[0]] |= mask
+                if self._wal is not None:
+                    self._applied_lsn = self._wal.append_delete(ids)
+                self._mutations += 1
+                # Grow the mask to the current row count first: a prior
+                # delete may have sized it to an older, shorter snapshot.
+                deleted = np.zeros(self._ids.shape[0], dtype=bool)
+                if self._deleted is not None:
+                    deleted[:self._deleted.shape[0]] = self._deleted
+                deleted |= mask
                 # Atomic swap: in-flight queries keep filtering against the
                 # previous mask instead of observing a half-written one.
                 self._deleted = deleted

@@ -176,6 +176,35 @@ class LSHTable:
                 self._overlay = overlay
         return overlay
 
+    def compacted(self, drop: Optional[np.ndarray] = None) -> "LSHTable":
+        """A fresh table with the overlay folded in and ``drop`` ids removed.
+
+        Reconstructs every base row's code from the CSR layout (buckets
+        tile ``sorted_ids`` contiguously, so per-row codes are a
+        ``repeat`` of the bucket codes by bucket size), appends an
+        immutable snapshot of the overlay, masks out ids flagged in the
+        boolean ``drop`` array (indexed by id), and builds a brand-new
+        :class:`LSHTable` — no re-projection needed, making this safe to
+        run off the owning index's writer lock.  ``self`` is untouched.
+        """
+        sizes = self._ends - self._starts
+        base_codes = np.repeat(self._bucket_codes, sizes, axis=0)
+        with self._overlay_lock:
+            extra_codes = list(self._extra_codes)
+            extra_ids = list(self._extra_ids)
+        codes = np.concatenate([base_codes] + extra_codes, axis=0) \
+            if extra_codes else base_codes
+        ids = np.concatenate([self._sorted_ids] + extra_ids) \
+            if extra_ids else self._sorted_ids
+        if drop is not None and drop.size and ids.size:
+            dropped = (ids < drop.shape[0]) & drop[np.minimum(
+                ids, drop.shape[0] - 1)]
+            if np.any(dropped):
+                keep = ~dropped
+                codes = codes[keep]
+                ids = ids[keep]
+        return LSHTable(codes, ids=ids)
+
     @property
     def bucket_codes(self) -> np.ndarray:
         """The distinct codes, one row per bucket (lexicographically sorted)."""

@@ -1,0 +1,41 @@
+"""Durable streaming maintenance: WAL, background compaction, recovery.
+
+The package splits live-index durability into four orthogonal pieces:
+
+- :mod:`repro.maintenance.wal` — a checksummed append-only write-ahead
+  log; every acknowledged ``insert``/``delete`` is framed, CRC32-checked
+  and flushed before the mutating call returns.
+- :mod:`repro.maintenance.compactor` — a background thread folding CSR
+  overlays and delete tombstones into fresh immutable tables off the
+  writer lock, installed by atomic swap.
+- :mod:`repro.maintenance.drift` — per-leaf-group drift detection over
+  the bi-level top level, feeding targeted rebuilds into the compactor.
+- :mod:`repro.maintenance.recovery` — snapshot + WAL-tail replay after
+  a crash, idempotent via monotonic LSNs.
+"""
+
+from repro.maintenance.compactor import Compactable, Compactor
+from repro.maintenance.drift import DriftDetector, GroupDrift
+from repro.maintenance.recovery import (RecoverableIndex, RecoveryError,
+                                        RecoveryReport, checkpoint,
+                                        recover_index, replay_records)
+from repro.maintenance.wal import (FSYNC_POLICIES, WalInfo, WalRecord,
+                                   WriteAheadLog, read_wal)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalInfo",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_wal",
+    "Compactable",
+    "Compactor",
+    "DriftDetector",
+    "GroupDrift",
+    "RecoverableIndex",
+    "RecoveryError",
+    "RecoveryReport",
+    "checkpoint",
+    "recover_index",
+    "replay_records",
+]

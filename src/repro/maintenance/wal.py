@@ -1,0 +1,392 @@
+"""Checksummed append-only write-ahead log for index mutations.
+
+Durability layer for streaming updates (DESIGN.md §13): every
+``insert``/``delete`` against a WAL-attached index is framed, CRC-32
+checksummed and appended here *before* the in-memory structures change,
+so an acknowledged mutation survives ``kill -9`` — recovery replays the
+tail on top of the last snapshot (:mod:`repro.maintenance.recovery`).
+
+File layout (all little-endian)::
+
+    header : magic "RPWAL001" (8s) | base_lsn (u64)
+    record : magic "WREC" (4s) | payload_len (u32) | crc32(payload) (u32)
+             payload = lsn (u64) | kind (u8) | body
+    insert body : m (u32) | dim (u32) | ids (m x i64) | points (m*dim x f64)
+    delete body : m (u32) | ids (m x i64)
+
+LSNs are monotonic starting at ``base_lsn + 1``; ``base_lsn`` records
+the prefix already folded into a snapshot by a checkpoint, so replay is
+idempotent (records at or below the snapshot's LSN are skipped).
+
+Torn-tail tolerance: a crash mid-append leaves a final frame that is
+short, has a bad magic, or fails its CRC.  :func:`read_wal` stops at
+the first invalid frame and reports the unread byte count; opening the
+log for appending truncates that tail so the next record lands on a
+clean prefix.
+
+Fsync policy (the ack-durability knob): every append is *flushed* to
+the OS before it is acknowledged — a SIGKILL of the writer process can
+then never lose an acked record — while ``fsync`` controls disk-level
+durability against power loss: ``"always"`` fsyncs per append,
+``"batch"`` every ``fsync_every`` appends (and on close), ``"none"``
+never fsyncs explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.resilience.faults import faults_active
+
+__all__ = ["FSYNC_POLICIES", "WalRecord", "WalInfo", "read_wal",
+           "WriteAheadLog"]
+
+FSYNC_POLICIES: Tuple[str, ...] = ("always", "batch", "none")
+
+_FILE_MAGIC = b"RPWAL001"
+_REC_MAGIC = b"WREC"
+_HEADER = struct.Struct("<8sQ")        # file magic, base_lsn
+_FRAME = struct.Struct("<4sII")        # record magic, payload_len, crc32
+_REC_HEAD = struct.Struct("<QB")       # lsn, kind
+_INS_HEAD = struct.Struct("<II")       # m, dim
+_DEL_HEAD = struct.Struct("<I")        # m
+
+_KIND_INSERT = 1
+_KIND_DELETE = 2
+
+#: Upper bound on one record's payload: rejects absurd length fields from
+#: a corrupted frame before any allocation happens.
+_MAX_PAYLOAD = 1 << 31
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded mutation: ``kind`` is ``"insert"`` or ``"delete"``."""
+
+    lsn: int
+    kind: str
+    ids: np.ndarray
+    points: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class WalInfo:
+    """Scan result: what prefix of the file decoded cleanly."""
+
+    path: str
+    base_lsn: int
+    last_lsn: int
+    n_records: int
+    valid_bytes: int
+    torn_bytes: int
+
+
+def _encode_insert(lsn: int, points: np.ndarray, ids: np.ndarray) -> bytes:
+    m, dim = points.shape
+    return b"".join((
+        _REC_HEAD.pack(lsn, _KIND_INSERT),
+        _INS_HEAD.pack(m, dim),
+        np.ascontiguousarray(ids, dtype="<i8").tobytes(),
+        np.ascontiguousarray(points, dtype="<f8").tobytes(),
+    ))
+
+
+def _encode_delete(lsn: int, ids: np.ndarray) -> bytes:
+    return b"".join((
+        _REC_HEAD.pack(lsn, _KIND_DELETE),
+        _DEL_HEAD.pack(ids.shape[0]),
+        np.ascontiguousarray(ids, dtype="<i8").tobytes(),
+    ))
+
+
+def _decode_payload(payload: bytes) -> Optional[WalRecord]:
+    """Decode one CRC-verified payload; ``None`` if structurally invalid."""
+    if len(payload) < _REC_HEAD.size:
+        return None
+    lsn, kind = _REC_HEAD.unpack_from(payload, 0)
+    body = payload[_REC_HEAD.size:]
+    if kind == _KIND_INSERT:
+        if len(body) < _INS_HEAD.size:
+            return None
+        m, dim = _INS_HEAD.unpack_from(body, 0)
+        need = _INS_HEAD.size + m * 8 + m * dim * 8
+        if len(body) != need:
+            return None
+        off = _INS_HEAD.size
+        ids = np.frombuffer(body, dtype="<i8", count=m, offset=off)
+        points = np.frombuffer(body, dtype="<f8", count=m * dim,
+                               offset=off + m * 8).reshape(m, dim)
+        return WalRecord(lsn=int(lsn), kind="insert",
+                         ids=ids.astype(np.int64),
+                         points=points.astype(np.float64))
+    if kind == _KIND_DELETE:
+        if len(body) < _DEL_HEAD.size:
+            return None
+        (m,) = _DEL_HEAD.unpack_from(body, 0)
+        if len(body) != _DEL_HEAD.size + m * 8:
+            return None
+        ids = np.frombuffer(body, dtype="<i8", count=m,
+                            offset=_DEL_HEAD.size)
+        return WalRecord(lsn=int(lsn), kind="delete",
+                         ids=ids.astype(np.int64))
+    return None
+
+
+def _scan(raw: bytes, path: str) -> Tuple[List[WalRecord], WalInfo]:
+    """Decode the longest clean prefix of ``raw``; never raises on torn data."""
+    records: List[WalRecord] = []
+    if len(raw) < _HEADER.size:
+        # Missing/short header: the whole file is a torn prefix.
+        return records, WalInfo(path=path, base_lsn=0, last_lsn=0,
+                                n_records=0, valid_bytes=0,
+                                torn_bytes=len(raw))
+    magic, base_lsn = _HEADER.unpack_from(raw, 0)
+    if magic != _FILE_MAGIC:
+        return records, WalInfo(path=path, base_lsn=0, last_lsn=0,
+                                n_records=0, valid_bytes=0,
+                                torn_bytes=len(raw))
+    offset = _HEADER.size
+    last_lsn = int(base_lsn)
+    while True:
+        if offset + _FRAME.size > len(raw):
+            break
+        rmagic, length, crc = _FRAME.unpack_from(raw, offset)
+        if rmagic != _REC_MAGIC or length > _MAX_PAYLOAD:
+            break
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(raw):
+            break
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        record = _decode_payload(payload)
+        if record is None or record.lsn <= last_lsn:
+            # Structurally invalid or non-monotonic LSN: treat as the
+            # torn tail rather than applying garbage.
+            break
+        records.append(record)
+        last_lsn = record.lsn
+        offset = end
+    return records, WalInfo(path=path, base_lsn=int(base_lsn),
+                            last_lsn=last_lsn, n_records=len(records),
+                            valid_bytes=offset,
+                            torn_bytes=len(raw) - offset)
+
+
+def read_wal(path: str) -> Tuple[List[WalRecord], WalInfo]:
+    """Read-only replay scan: the clean record prefix plus a tail report.
+
+    Tolerant by design — a torn or corrupted tail (crash mid-append)
+    simply ends the scan; it is reported via ``WalInfo.torn_bytes``, not
+    raised.  A missing file reads as an empty log.
+    """
+    if not os.path.exists(path):
+        return [], WalInfo(path=str(path), base_lsn=0, last_lsn=0,
+                           n_records=0, valid_bytes=0, torn_bytes=0)
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    return _scan(raw, str(path))
+
+
+class WriteAheadLog:
+    """Append handle over one WAL file (thread-safe; one writer process).
+
+    Opening an existing file self-heals: the torn tail (if any) is
+    truncated so appends extend a clean, CRC-verified prefix, and LSNs
+    continue from the last valid record.
+    """
+
+    def __init__(self, path: str, fsync: str = "always",
+                 fsync_every: int = 32) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{', '.join(FSYNC_POLICIES)}")
+        if fsync_every <= 0:
+            raise ValueError(
+                f"fsync_every must be positive, got {fsync_every}")
+        self.path = str(path)
+        self.fsync_policy = fsync
+        self.fsync_every = int(fsync_every)
+        self._lock = threading.Lock()
+        self._appends_since_sync = 0
+        self._closed = False
+        if os.path.exists(self.path):
+            records, info = read_wal(self.path)
+            self._base_lsn = info.base_lsn
+            self._next_lsn = info.last_lsn + 1
+            self._fh: BinaryIO = open(self.path, "r+b")
+            if info.torn_bytes:
+                self._fh.truncate(info.valid_bytes)
+            self._fh.seek(info.valid_bytes)
+            if info.valid_bytes == 0:
+                # Empty or headerless file: (re)write the header.
+                self._write_header(0)
+        else:
+            self._base_lsn = 0
+            self._next_lsn = 1
+            self._fh = open(self.path, "w+b")
+            self._write_header(0)
+
+    def _write_header(self, base_lsn: int) -> None:
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(_FILE_MAGIC, base_lsn))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._base_lsn = int(base_lsn)
+
+    # ------------------------------------------------------------- appends
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended (or recovered) record."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    @property
+    def base_lsn(self) -> int:
+        """LSN prefix already folded into a snapshot by a checkpoint."""
+        with self._lock:
+            return self._base_lsn
+
+    def append_insert(self, points: np.ndarray, ids: np.ndarray) -> int:
+        """Frame + append one insert record; returns its LSN once durable."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(
+                f"points must be 2-d, got shape {points.shape}")
+        ids = np.ascontiguousarray(ids, dtype=np.int64).ravel()
+        if ids.shape[0] != points.shape[0]:
+            raise ValueError("points and ids must have matching lengths")
+        return self._append("insert",
+                            lambda lsn: _encode_insert(lsn, points, ids))
+
+    def append_delete(self, ids: np.ndarray) -> int:
+        """Frame + append one delete record; returns its LSN once durable."""
+        ids = np.ascontiguousarray(ids, dtype=np.int64).ravel()
+        return self._append("delete", lambda lsn: _encode_delete(lsn, ids))
+
+    def _append(self, kind: str, encode: Callable[[int], bytes]) -> int:
+        plan = faults_active()
+        if plan is not None and plan.check("maintenance.append",
+                                           path=self.path, kind=kind):
+            # Corruption hit: model a torn append — write a frame header
+            # that promises more bytes than follow, then fail the ack.
+            with self._lock:
+                self._check_open()
+                self._fh.write(_FRAME.pack(_REC_MAGIC, 1 << 20, 0))
+                self._fh.flush()
+            raise OSError(
+                f"injected torn append on {self.path} (maintenance.append)")
+        with self._lock:
+            self._check_open()
+            lsn = self._next_lsn
+            payload = encode(lsn)
+            frame = _FRAME.pack(_REC_MAGIC, len(payload),
+                                zlib.crc32(payload))
+            self._fh.write(frame)
+            self._fh.write(payload)
+            # Ack floor: data reaches the kernel before the caller is
+            # told the mutation is durable — a SIGKILL after the ack can
+            # no longer lose it.
+            self._fh.flush()
+            fsynced = False
+            self._appends_since_sync += 1
+            if self.fsync_policy == "always" or (
+                    self.fsync_policy == "batch"
+                    and self._appends_since_sync >= self.fsync_every):
+                os.fsync(self._fh.fileno())
+                self._appends_since_sync = 0
+                fsynced = True
+            self._next_lsn = lsn + 1
+            nbytes = len(frame) + len(payload)
+        ob = obs.active()
+        if ob is not None:
+            ob.record_wal_append(kind, nbytes, fsynced)
+        return lsn
+
+    # ---------------------------------------------------------- maintenance
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy (used by checkpoints)."""
+        with self._lock:
+            self._check_open()
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._appends_since_sync = 0
+
+    def records(self) -> List[WalRecord]:
+        """Decode the current on-disk records (flushes buffered appends)."""
+        with self._lock:
+            self._check_open()
+            self._fh.flush()
+        return read_wal(self.path)[0]
+
+    def reset(self, base_lsn: int) -> None:
+        """Drop records with LSN <= ``base_lsn`` (they are snapshot-covered).
+
+        Used after a checkpoint: the snapshot stores ``base_lsn`` in its
+        ``__meta__``, so the covered prefix is dead weight.  The rewrite
+        is atomic (tmp + ``os.replace``); records above ``base_lsn`` —
+        e.g. appended concurrently with the snapshot save — survive.
+        """
+        with self._lock:
+            self._check_open()
+            self._fh.flush()
+            records, _ = read_wal(self.path)
+            keep = [rec for rec in records if rec.lsn > base_lsn]
+            tmp = self.path + ".tmp"
+            with open(tmp, "wb") as out:
+                out.write(_HEADER.pack(_FILE_MAGIC, base_lsn))
+                for rec in keep:
+                    if rec.kind == "insert":
+                        assert rec.points is not None
+                        payload = _encode_insert(rec.lsn, rec.points,
+                                                 rec.ids)
+                    else:
+                        payload = _encode_delete(rec.lsn, rec.ids)
+                    out.write(_FRAME.pack(_REC_MAGIC, len(payload),
+                                          zlib.crc32(payload)))
+                    out.write(payload)
+                out.flush()
+                os.fsync(out.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "r+b")
+            self._fh.seek(0, os.SEEK_END)
+            self._base_lsn = int(base_lsn)
+            self._next_lsn = max(self._next_lsn, base_lsn + 1)
+            self._appends_since_sync = 0
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"WAL {self.path} is closed")
+
+    def close(self) -> None:
+        """Flush, fsync and close the log (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"WriteAheadLog(path={self.path!r}, "
+                f"fsync={self.fsync_policy!r}, last_lsn={self.last_lsn})")

@@ -96,6 +96,13 @@ OBS_SHM_BYTES = "repro_obs_shm_bytes"              # gauge{segment}
 WORKER_ALIVE = "repro_exec_worker_alive"           # gauge{worker}
 WORKER_INFLIGHT = "repro_exec_worker_inflight_shards"  # gauge{worker}
 QUEUE_WAIT_SECONDS = "repro_exec_queue_wait_seconds"   # histogram
+WAL_APPENDS_TOTAL = "repro_wal_appends_total"      # counter{kind}
+WAL_BYTES_TOTAL = "repro_wal_bytes_total"          # counter
+WAL_FSYNCS_TOTAL = "repro_wal_fsyncs_total"        # counter
+WAL_REPLAYED_TOTAL = "repro_wal_replayed_total"    # counter{outcome}
+COMPACTIONS_TOTAL = "repro_compactions_total"      # counter{kind,outcome}
+DRIFT_REBUILDS_TOTAL = "repro_drift_rebuilds_total"  # counter{group}
+FAILURES_TOTAL = "repro_failures_total"            # counter{site,error}
 
 
 class Observer:
@@ -251,6 +258,56 @@ class Observer:
                 DEADLINE_EXHAUSTED_TOTAL,
                 "Queries whose wall-clock budget expired mid-pipeline."
                 ).labels(stage=stage).inc(n_queries)
+
+    def record_failure(self, site: str, error: str) -> None:
+        """A supervised background task failed (thread survived it)."""
+        self.registry.counter(
+            FAILURES_TOTAL,
+            "Background-task failures, per site and error type.").labels(
+                site=site, error=error).inc()
+
+    # -- durability / maintenance events -----------------------------------
+
+    def record_wal_append(self, kind: str, nbytes: int,
+                          fsynced: bool) -> None:
+        """One acknowledged WAL record (insert/delete) hit the log."""
+        reg = self.registry
+        reg.counter(WAL_APPENDS_TOTAL,
+                    "WAL records appended, per kind.").labels(
+                        kind=kind).inc()
+        reg.counter(WAL_BYTES_TOTAL, "Bytes appended to the WAL.").inc(
+            nbytes)
+        if fsynced:
+            reg.counter(WAL_FSYNCS_TOTAL, "fsync calls issued by the WAL."
+                        ).inc()
+
+    def record_wal_replay(self, applied: int, skipped: int,
+                          torn_bytes: int) -> None:
+        """Outcome counts of one recovery replay pass."""
+        reg = self.registry
+        counter = reg.counter(WAL_REPLAYED_TOTAL,
+                              "WAL records seen during recovery, "
+                              "per outcome.")
+        if applied:
+            counter.labels(outcome="applied").inc(applied)
+        if skipped:
+            counter.labels(outcome="skipped").inc(skipped)
+        if torn_bytes:
+            counter.labels(outcome="torn").inc()
+
+    def record_compaction(self, kind: str, outcome: str) -> None:
+        """One background compaction task finished (or aborted/failed)."""
+        self.registry.counter(
+            COMPACTIONS_TOTAL,
+            "Background compaction tasks, per kind and outcome.").labels(
+                kind=kind, outcome=outcome).inc()
+
+    def record_drift_rebuild(self, group: int) -> None:
+        """Drift detection scheduled a per-leaf-group rebuild."""
+        self.registry.counter(
+            DRIFT_REBUILDS_TOTAL,
+            "Per-group rebuilds scheduled by drift detection.").labels(
+                group=group).inc()
 
     # -- GPU pipeline events -----------------------------------------------
 

@@ -16,6 +16,7 @@ deterministic and cheaper than serializing the derived structures.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import zlib
@@ -80,6 +81,8 @@ def _standard_arrays(prefix: str, index: StandardLSH,
     if include_data:
         arrays[f"{prefix}/data"] = index._data
     arrays[f"{prefix}/ids"] = index._ids
+    if index._deleted is not None:
+        arrays[f"{prefix}/deleted"] = index._deleted
     for t, family in enumerate(index._families):
         meta["families"].append(
             _family_arrays(f"{prefix}/family{t}", family, arrays))
@@ -101,6 +104,9 @@ def _standard_restore(prefix: str, meta: dict, arrays,
     index._data = (np.asarray(arrays[f"{prefix}/data"])
                    if data is None else data)
     index._ids = np.asarray(arrays[f"{prefix}/ids"])
+    # Tombstone mask: absent from pre-maintenance archives (stays None).
+    if f"{prefix}/deleted" in arrays:
+        index._deleted = np.asarray(arrays[f"{prefix}/deleted"], dtype=bool)
     from repro.lsh.index import make_lattice
 
     index._lattice = make_lattice(index.lattice_kind, index.n_hashes)
@@ -434,17 +440,28 @@ def save_index(index: Union[StandardLSH, BiLevelLSH, LSHForest],
     :func:`os.replace`, so a crash mid-save leaves the previous good
     index untouched instead of a truncated file.  Every array's CRC-32
     checksum is recorded in ``__meta__`` for load-time verification.
+
+    Assembly runs under the index's writer lock (when it has one), so a
+    save racing live inserts/deletes — or a background compaction —
+    captures a consistent ``(snapshot, wal_lsn)`` pair: the recorded LSN
+    covers exactly the mutations visible in the captured arrays, which
+    is what makes WAL-tail replay after recovery idempotent.  Mutations
+    publish fresh arrays instead of writing in place, so the captured
+    references stay frozen while compression runs off-lock.
     """
     arrays: Dict[str, np.ndarray] = {}
-    if isinstance(index, BiLevelLSH):
-        meta = {"type": "bilevel", "body": _bilevel_arrays(index, arrays)}
-    elif isinstance(index, StandardLSH):
-        meta = {"type": "standard",
-                "body": _standard_arrays("index", index, arrays)}
-    elif isinstance(index, LSHForest):
-        meta = {"type": "forest", "body": _forest_arrays(index, arrays)}
-    else:
-        raise TypeError(f"cannot persist index of type {type(index)!r}")
+    lock = getattr(index, "_update_lock", None)
+    with lock if lock is not None else contextlib.nullcontext():
+        if isinstance(index, BiLevelLSH):
+            meta = {"type": "bilevel", "body": _bilevel_arrays(index, arrays)}
+        elif isinstance(index, StandardLSH):
+            meta = {"type": "standard",
+                    "body": _standard_arrays("index", index, arrays)}
+        elif isinstance(index, LSHForest):
+            meta = {"type": "forest", "body": _forest_arrays(index, arrays)}
+        else:
+            raise TypeError(f"cannot persist index of type {type(index)!r}")
+        meta["wal_lsn"] = int(getattr(index, "_applied_lsn", 0))
     meta["version"] = FORMAT_VERSION
     meta["checksums"] = _array_checksums(arrays)
     # ``np.savez_compressed`` appends ``.npz`` to string paths but not to
@@ -490,12 +507,18 @@ def load_index(path: str) -> Union[StandardLSH, BiLevelLSH, LSHForest]:
     _verify_arrays(str(path), meta, arrays)
     kind = meta["type"]
     if kind == "bilevel":
-        return _bilevel_restore(meta["body"], arrays)
-    if kind == "standard":
-        return _standard_restore("index", meta["body"], arrays)
-    if kind == "forest":
-        return _forest_restore(meta["body"], arrays)
-    raise ValueError(f"unknown index type {kind!r} in {path}")
+        index = _bilevel_restore(meta["body"], arrays)
+    elif kind == "standard":
+        index = _standard_restore("index", meta["body"], arrays)
+    elif kind == "forest":
+        index = _forest_restore(meta["body"], arrays)
+    else:
+        raise ValueError(f"unknown index type {kind!r} in {path}")
+    # The snapshot's WAL position (0 for pre-maintenance archives): the
+    # recovery path replays only records beyond it.
+    if hasattr(index, "_applied_lsn"):
+        index._applied_lsn = int(meta.get("wal_lsn", 0))
+    return index
 
 
 def verify_index(path: str) -> Dict[str, object]:

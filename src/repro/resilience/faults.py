@@ -46,6 +46,8 @@ KNOWN_SITES: Tuple[str, ...] = (
     "bilevel.dispatch",   # per-group sub-batch dispatch in BiLevelLSH
     "exec.process",       # per-shard dispatch in ProcessShardExecutor
     "lsh.gather",         # per-table candidate gathering in StandardLSH
+    "maintenance.append",  # WAL record append in WriteAheadLog
+    "maintenance.compact",  # per-task execution in Compactor
     "persistence.load",   # archive read in load_index / verify_index
     "persistence.save",   # commit step (pre-rename) in save_index
 )

@@ -43,6 +43,7 @@ FIXTURE_RULES = {
     "r10_lock_order.py": "R10",
     "r11_shm_write.py": "R11",
     "r12_spawn_unsafe.py": "R12",
+    "lsh/r13_unlogged_mutation.py": "R13",
 }
 
 

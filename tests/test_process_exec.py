@@ -526,3 +526,72 @@ class TestCrossProcessMetrics:
                                     max_batch_rows=8)
         assert_bit_identical(result, reference)
         assert obs.recent_traces() == []
+
+
+# ------------------------------------------------------- SHM crash cleanup
+
+_LEAK_CHILD = r"""
+import os, sys, time
+import numpy as np
+from repro.exec import ProcessShardExecutor
+from repro.lsh.index import StandardLSH
+
+data = np.random.default_rng(1).standard_normal((200, 8))
+index = StandardLSH(n_tables=3, bucket_width=6.0, seed=2).fit(data)
+ex = ProcessShardExecutor(index, n_workers=1)
+names = [ex._shm.name]
+if ex._sink is not None:
+    names.append(ex._sink.name)
+print(" ".join(names), flush=True)
+mode = sys.argv[1]
+if mode == "sigterm":
+    time.sleep(60)          # parent SIGTERMs us here; handler must unlink
+else:
+    sys.exit(1)             # abnormal exit skipping close(); atexit unlinks
+"""
+
+
+class TestShmCrashCleanup:
+    """A dying parent must not leak its /dev/shm segments (DESIGN §12)."""
+
+    def _spawn(self, mode):
+        import subprocess
+        import sys as _sys
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.Popen(
+            [_sys.executable, "-c", _LEAK_CHILD, mode], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        names = proc.stdout.readline().split()
+        assert names, "child failed before creating its executor"
+        return proc, names
+
+    def _assert_unlinked(self, names):
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = [n for n in names
+                      if os.path.exists(os.path.join("/dev/shm", n))]
+            if not leaked:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"leaked /dev/shm segments: {leaked}")
+
+    def test_sigterm_unlinks_segments(self):
+        proc, names = self._spawn("sigterm")
+        for name in names:  # live before the signal
+            assert os.path.exists(os.path.join("/dev/shm", name))
+        proc.terminate()
+        proc.wait(timeout=15.0)
+        proc.stdout.close()
+        proc.stderr.close()
+        assert proc.returncode != 0  # died by/after SIGTERM, not cleanly
+        self._assert_unlinked(names)
+
+    def test_abnormal_exit_unlinks_segments(self):
+        proc, names = self._spawn("exit")
+        proc.wait(timeout=15.0)
+        proc.stdout.close()
+        proc.stderr.close()
+        assert proc.returncode == 1
+        self._assert_unlinked(names)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Gate the repository's machine-checked invariants (rules R1–R12).
+"""Gate the repository's machine-checked invariants (rules R1–R13).
 
 Usage::
 
