@@ -218,11 +218,17 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_compact(args: argparse.Namespace) -> int:
     """Fold overlays/tombstones of a saved index into fresh tables."""
     from repro.lsh.forest import LSHForest
-    from repro.maintenance import recover_index
+    from repro.maintenance import RecoveryError, recover_index
     from repro.persistence import load_index, save_index
 
     if args.wal is not None:
-        index, report = recover_index(args.index, args.wal)
+        try:
+            index, report = recover_index(args.index, args.wal)
+        except RecoveryError as error:
+            # e.g. --wal pointed at an LSHForest archive: no live-update
+            # path, same clean rejection as the no-WAL branch below.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(f"replayed {report.applied} WAL records "
               f"(skipped {report.skipped}, torn {report.torn_bytes} bytes)")
     else:

@@ -189,7 +189,12 @@ class BiLevelLSH:
         *routed* operation with the globally assigned ids, and replay
         re-routes it through the same static partition — group indexes
         stay WAL-free.
+
+        The log's LSN counter is fast-forwarded past this index's
+        applied LSN so a fresh WAL attached to a restored index never
+        hands out snapshot-covered LSNs (replay would skip them).
         """
+        wal.advance_to(self._applied_lsn)
         self._wal = wal
 
     def attach_compactor(self, compactor: "Compactor") -> None:

@@ -92,7 +92,7 @@ _PREV_SIGTERM_HANDLER: object = None
 
 
 def _cleanup_live_executors() -> None:
-    """Close every still-open executor (atexit / SIGTERM path)."""
+    """Close every still-open executor (atexit path)."""
     for executor in list(_LIVE_EXECUTORS):
         try:
             executor.close()
@@ -103,7 +103,18 @@ def _cleanup_live_executors() -> None:
 
 
 def _sigterm_cleanup(signum: int, frame: object) -> None:
-    _cleanup_live_executors()
+    # The handler runs on the main thread at an arbitrary point — possibly
+    # while it holds an executor lock mid-run_batch.  A full close()
+    # (worker joins, pipe sends, metrics drain) could deadlock there, so
+    # only unlink the SHM names: that is the actual leak being prevented
+    # (the kernel frees the memory once the dying process's mappings go),
+    # and unlink is a single re-entrant syscall per segment.
+    for executor in list(_LIVE_EXECUTORS):
+        try:
+            executor._emergency_unlink()
+        except Exception:  # invariant: disable=R5,R7 — best-effort unlink
+            # on the way down; raising would mask the termination itself.
+            pass  # invariant: disable=R5 — see comment above
     if callable(_PREV_SIGTERM_HANDLER):
         _PREV_SIGTERM_HANDLER(signum, frame)
     else:
@@ -119,8 +130,16 @@ def _install_cleanup_hooks() -> None:
     _CLEANUP_INSTALLED = True
     atexit.register(_cleanup_live_executors)
     try:
-        _PREV_SIGTERM_HANDLER = signal.signal(signal.SIGTERM,
-                                              _sigterm_cleanup)
+        current = signal.getsignal(signal.SIGTERM)
+        if current is signal.SIG_IGN:
+            # The embedding process deliberately ignores SIGTERM; an
+            # ignored signal never kills it, so there is nothing to clean
+            # up — and installing our handler would turn SIG_IGN into an
+            # exit, a behavior change we must not make.
+            _PREV_SIGTERM_HANDLER = None
+        else:
+            _PREV_SIGTERM_HANDLER = signal.signal(signal.SIGTERM,
+                                                  _sigterm_cleanup)
     except (ValueError, OSError):  # invariant: disable=R7 — signal() only
         # works from the main thread; an executor built on a worker thread
         # still gets atexit coverage, which is the load-bearing half.
@@ -586,7 +605,29 @@ class ProcessShardExecutor:
         # _materialize(), so no exports remain and close() cannot raise
         # BufferError; unlink() then frees the backing memory.
         self._shm.close()
-        self._shm.unlink()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # invariant: disable=R5,R7 — the name
+            # is already gone because _emergency_unlink() ran first (the
+            # SIGTERM handler); the leak this close() prevents is gone too.
+            pass
+
+    def _emergency_unlink(self) -> None:
+        """Unlink the SHM names without joining workers (SIGTERM handler).
+
+        Removes only the ``/dev/shm`` entries — the actual cross-reboot
+        leak — via one re-entrant syscall per segment.  Existing mappings
+        stay valid (a worker mid-shard keeps its views), and the memory
+        itself is freed by the kernel when the dying process's mappings
+        go away.  A later full :meth:`close` treats the already-gone
+        name as a no-op.
+        """
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # invariant: disable=R5,R7 —
+            pass  # best-effort on the way down; nothing left to record to
+        if self._sink is not None:
+            self._sink.emergency_unlink()
 
     def __enter__(self) -> "ProcessShardExecutor":
         return self

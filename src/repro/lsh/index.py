@@ -191,7 +191,13 @@ class StandardLSH:
         The record is appended (and flushed) *before* the mutation is
         applied, so a crash after acknowledgement can always be replayed
         from the log (:mod:`repro.maintenance.recovery`).
+
+        The log's LSN counter is fast-forwarded past this index's
+        applied LSN: attaching a fresh WAL to an index restored from a
+        snapshot at LSN *n* must hand out LSNs above *n*, or replay
+        would skip the new records as snapshot-covered.
         """
+        wal.advance_to(self._applied_lsn)
         self._wal = wal
 
     def attach_compactor(self, compactor: "Compactor") -> None:

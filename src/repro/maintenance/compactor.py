@@ -94,11 +94,18 @@ class Compactor:
 
     def _submit(self, task: _Task) -> bool:
         key = (id(task.target), task.kind, task.group)
+        # The put happens under the same lock as the _closed check:
+        # close() also takes the lock before enqueueing its None
+        # sentinel, so a task can never land *behind* the sentinel
+        # (where it would never run or task_done(), hanging drain()).
+        # Safe to hold the lock here — the queue is unbounded so put()
+        # never blocks, and the drain thread never holds the lock while
+        # waiting on get().
         with self._lock:
             if self._closed or key in self._pending:
                 return False
             self._pending.add(key)
-        self._queue.put(task)
+            self._queue.put(task)
         return True
 
     # ----------------------------------------------------------- the drain
@@ -168,7 +175,9 @@ class Compactor:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(None)
+            # Sentinel enqueued under the lock: orders it strictly after
+            # every task _submit() already accepted (see _submit).
+            self._queue.put(None)
         self._thread.join(timeout=30.0)
 
     def __enter__(self) -> "Compactor":

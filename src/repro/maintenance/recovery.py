@@ -71,6 +71,13 @@ def replay_records(index: RecoverableIndex, records: List[WalRecord],
     logged ids exactly, and a mismatch raises :class:`RecoveryError`
     instead of silently renumbering acknowledged points.
     """
+    if not isinstance(index, (StandardLSH, BiLevelLSH)):
+        # e.g. LSHForest: no insert/delete and no _applied_lsn.  Raise
+        # the domain error up front instead of an AttributeError from
+        # the first record (or silently "recovering" nothing).
+        raise RecoveryError(
+            f"{type(index).__name__} has no live-update path; WAL replay "
+            f"is only defined for StandardLSH and BiLevelLSH")
     applied = skipped = 0
     for record in records:
         if record.lsn <= start_lsn:
@@ -125,14 +132,17 @@ def checkpoint(index: object, wal: Optional[WriteAheadLog],
     """Snapshot ``index`` to ``path`` and drop the covered WAL prefix.
 
     The save itself captures a consistent ``(snapshot, LSN)`` pair (the
-    assembly runs under the index's writer lock), and the WAL reset
-    keeps any record appended after that capture.  Crash-safe in both
-    halves: the snapshot commits via atomic rename, and a crash between
-    the save and the reset merely leaves covered records in the WAL —
+    assembly runs under the index's writer lock) and *returns* the LSN
+    it recorded, so the WAL reset truncates exactly the prefix the
+    snapshot contains — a mutation acknowledged while compression ran
+    off-lock advances ``index._applied_lsn`` past the captured value,
+    and truncating against that newer LSN would drop its WAL record
+    from a snapshot that does not hold it.  Crash-safe in both halves:
+    the snapshot commits via atomic rename, and a crash between the
+    save and the reset merely leaves covered records in the WAL —
     replay skips them by LSN.  Returns the checkpointed LSN.
     """
-    save_index(index, path)
-    lsn = int(getattr(index, "_applied_lsn", 0))
+    lsn = save_index(index, path)
     if wal is not None:
         wal.reset(lsn)
     return lsn

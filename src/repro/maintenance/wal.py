@@ -220,6 +220,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._appends_since_sync = 0
         self._closed = False
+        self._failed = False
         if os.path.exists(self.path):
             records, info = read_wal(self.path)
             self._base_lsn = info.base_lsn
@@ -281,38 +282,76 @@ class WriteAheadLog:
                                            path=self.path, kind=kind):
             # Corruption hit: model a torn append — write a frame header
             # that promises more bytes than follow, then fail the ack.
+            # The garbage stays on disk (that is the crash being
+            # modelled), so this handle is now poisoned: the file ends
+            # in an invalid frame and read_wal stops there, meaning any
+            # record appended past it would be acknowledged yet
+            # unrecoverable.  Refuse further appends; reopening heals
+            # the torn tail.
             with self._lock:
                 self._check_open()
                 self._fh.write(_FRAME.pack(_REC_MAGIC, 1 << 20, 0))
                 self._fh.flush()
+                self._failed = True
             raise OSError(
                 f"injected torn append on {self.path} (maintenance.append)")
         with self._lock:
             self._check_open()
+            start = self._fh.tell()
             lsn = self._next_lsn
             payload = encode(lsn)
             frame = _FRAME.pack(_REC_MAGIC, len(payload),
                                 zlib.crc32(payload))
-            self._fh.write(frame)
-            self._fh.write(payload)
-            # Ack floor: data reaches the kernel before the caller is
-            # told the mutation is durable — a SIGKILL after the ack can
-            # no longer lose it.
-            self._fh.flush()
-            fsynced = False
-            self._appends_since_sync += 1
-            if self.fsync_policy == "always" or (
-                    self.fsync_policy == "batch"
-                    and self._appends_since_sync >= self.fsync_every):
-                os.fsync(self._fh.fileno())
-                self._appends_since_sync = 0
-                fsynced = True
+            try:
+                self._fh.write(frame)
+                self._fh.write(payload)
+                # Ack floor: data reaches the kernel before the caller is
+                # told the mutation is durable — a SIGKILL after the ack
+                # can no longer lose it.
+                self._fh.flush()
+                fsynced = False
+                self._appends_since_sync += 1
+                if self.fsync_policy == "always" or (
+                        self.fsync_policy == "batch"
+                        and self._appends_since_sync >= self.fsync_every):
+                    os.fsync(self._fh.fileno())
+                    self._appends_since_sync = 0
+                    fsynced = True
+            except BaseException:
+                # A partial write (ENOSPC, ...) leaves garbage bytes and
+                # a file position past them; appending more would bury
+                # acknowledged records behind an invalid frame that ends
+                # every replay.  Roll back to the clean prefix so the
+                # next append extends valid data — and if even that
+                # fails, poison the handle rather than append blind.
+                try:
+                    self._fh.truncate(start)
+                    self._fh.seek(start)
+                except OSError:  # invariant: disable=R7 — not swallowed:
+                    # the append failure re-raises below; this secondary
+                    # rollback failure is recorded by poisoning the
+                    # handle, which refuses all further appends.
+                    self._failed = True
+                raise
             self._next_lsn = lsn + 1
             nbytes = len(frame) + len(payload)
         ob = obs.active()
         if ob is not None:
             ob.record_wal_append(kind, nbytes, fsynced)
         return lsn
+
+    def advance_to(self, lsn: int) -> None:
+        """Fast-forward the LSN counter to hand out LSNs above ``lsn``.
+
+        Called by ``attach_wal`` with the index's restored
+        ``_applied_lsn``: a fresh (or lagging) log would otherwise
+        assign LSNs at or below the snapshot's position, and replay —
+        which by design skips records the snapshot covers — would
+        silently drop those acknowledged writes.  Never rewinds.
+        """
+        with self._lock:
+            self._check_open()
+            self._next_lsn = max(self._next_lsn, int(lsn) + 1)
 
     # ---------------------------------------------------------- maintenance
 
@@ -370,6 +409,11 @@ class WriteAheadLog:
     def _check_open(self) -> None:
         if self._closed:
             raise ValueError(f"WAL {self.path} is closed")
+        if self._failed:
+            raise ValueError(
+                f"WAL {self.path} failed mid-append and its tail is torn; "
+                f"reopen it (WriteAheadLog truncates the torn tail) before "
+                f"appending again")
 
     def close(self) -> None:
         """Flush, fsync and close the log (idempotent)."""

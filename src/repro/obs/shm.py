@@ -516,6 +516,18 @@ class ShmMetricsSink:
             self._last_buckets[slot] = buckets
         return updated
 
+    def emergency_unlink(self) -> None:
+        """Unlink the segment name only (signal-handler path).
+
+        One re-entrant syscall, no view teardown: safe at any
+        interruption point.  Mappings stay valid; :meth:`close` later
+        treats the missing name as benign.
+        """
+        try:
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # invariant: disable=R5,R7 —
+            pass  # best-effort on the way down; raising would mask the exit
+
     def close(self) -> None:
         """Drop views, close, and unlink the segment (idempotent)."""
         if self._closed:

@@ -432,7 +432,7 @@ def _read_archive(path: str) -> Tuple[dict, Dict[str, np.ndarray]]:
 # --------------------------------------------------------------- public API
 
 def save_index(index: Union[StandardLSH, BiLevelLSH, LSHForest],
-               path: str) -> None:
+               path: str) -> int:
     """Persist a fitted index to ``path`` (a ``.npz`` archive).
 
     The write is crash-safe: the archive is assembled in a ``.tmp``
@@ -448,6 +448,13 @@ def save_index(index: Union[StandardLSH, BiLevelLSH, LSHForest],
     is what makes WAL-tail replay after recovery idempotent.  Mutations
     publish fresh arrays instead of writing in place, so the captured
     references stay frozen while compression runs off-lock.
+
+    Returns the ``wal_lsn`` recorded in ``__meta__`` (0 for indexes
+    without a WAL position).  Checkpoints must truncate the WAL against
+    *this* value — re-reading ``index._applied_lsn`` after the save
+    returns races concurrent mutations that landed while compression
+    ran off-lock, and truncating against the newer LSN would drop their
+    WAL records from a snapshot that does not contain them.
     """
     arrays: Dict[str, np.ndarray] = {}
     lock = getattr(index, "_update_lock", None)
@@ -493,6 +500,7 @@ def save_index(index: Union[StandardLSH, BiLevelLSH, LSHForest],
         if os.path.exists(tmp):
             os.remove(tmp)
         raise
+    return int(meta["wal_lsn"])
 
 
 def load_index(path: str) -> Union[StandardLSH, BiLevelLSH, LSHForest]:

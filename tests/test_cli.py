@@ -216,3 +216,22 @@ class TestResilienceCLI:
 
     def test_verify_index_missing_file_exits_2(self, tmp_path, capsys):
         assert main(["verify-index", str(tmp_path / "nope.npz")]) == 2
+
+
+class TestCompactCommand:
+    def test_wal_on_forest_archive_is_clean_error(self, tmp_path,
+                                                  gaussian_data, capsys):
+        # Regression: --wal pointed at an LSHForest archive used to hit
+        # replay_records' AttributeError (no insert/delete) instead of
+        # the intended "no live-update path" rejection with exit 2.
+        from repro.lsh.forest import LSHForest
+        from repro.maintenance import WriteAheadLog
+        from repro.persistence import save_index
+
+        archive = str(tmp_path / "forest.npz")
+        save_index(LSHForest(n_trees=3, seed=0).fit(gaussian_data), archive)
+        wal_path = str(tmp_path / "wal.bin")
+        with WriteAheadLog(wal_path) as wal:
+            wal.append_delete(np.array([1], dtype=np.int64))
+        assert main(["compact", archive, "--wal", wal_path]) == 2
+        assert "no live-update path" in capsys.readouterr().err

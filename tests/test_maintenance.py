@@ -252,6 +252,125 @@ class TestIndexWalHooks:
         _same_answers(idx, recovered, rng.standard_normal((16, 12)))
 
 
+class TestReviewRegressions:
+    """Regressions for the durability review findings."""
+
+    def test_checkpoint_keeps_record_acked_during_save(
+            self, tmp_path, points, monkeypatch):
+        # save_index captures (snapshot, LSN) under the writer lock but
+        # compresses off-lock; a mutation acknowledged in that window
+        # advances _applied_lsn past the capture.  The checkpoint must
+        # truncate the WAL at the *captured* LSN so the racing record
+        # survives into recovery instead of being silently dropped.
+        import repro.maintenance.recovery as recovery_mod
+        idx = _fitted(points)
+        wal = WriteAheadLog(str(tmp_path / "wal.bin"))
+        idx.attach_wal(wal)
+        rng = np.random.default_rng(11)
+        idx.insert(rng.standard_normal((6, 12)))          # lsn 1
+        racing = rng.standard_normal((3, 12))
+        real_save = recovery_mod.save_index
+
+        def save_then_race(index, path):
+            lsn = real_save(index, path)
+            index.insert(racing)                          # lsn 2, acked
+            return lsn
+
+        monkeypatch.setattr(recovery_mod, "save_index", save_then_race)
+        ck = str(tmp_path / "ck.npz")
+        assert recovery_mod.checkpoint(idx, wal, ck) == 1
+        assert [r.lsn for r in wal.records()] == [2]
+        wal.close()
+        recovered, report = recover_index(ck, str(tmp_path / "wal.bin"))
+        assert report.applied == 1
+        _same_answers(idx, recovered, rng.standard_normal((16, 12)))
+
+    def test_failed_append_rolls_back_to_clean_prefix(
+            self, tmp_path, monkeypatch):
+        # A real append failure (e.g. ENOSPC during the fsync) must not
+        # leave the handle positioned past garbage bytes: the next
+        # append has to extend a clean prefix, or every later acked
+        # record would be invisible to replay.
+        from repro.maintenance import wal as wal_mod
+        path = str(tmp_path / "wal.bin")
+        wal = WriteAheadLog(path, fsync="always")
+        wal.append_delete(np.array([1], dtype=np.int64))
+
+        def failing_fsync(fd):
+            raise OSError("injected ENOSPC")
+
+        monkeypatch.setattr(wal_mod.os, "fsync", failing_fsync)
+        with pytest.raises(OSError, match="ENOSPC"):
+            wal.append_delete(np.array([2], dtype=np.int64))
+        monkeypatch.undo()
+        # The failed record was rolled back, so its LSN is reused and
+        # the file decodes end to end with no torn bytes.
+        assert wal.append_delete(np.array([3], dtype=np.int64)) == 2
+        wal.close()
+        records, info = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2]
+        np.testing.assert_array_equal(records[1].ids, [3])
+        assert info.torn_bytes == 0
+
+    def test_injected_torn_append_poisons_handle(self, tmp_path):
+        # The injected fault leaves garbage on disk (modelling a crash
+        # mid-append); the surviving handle must refuse further appends
+        # — a record written past the garbage would be acknowledged yet
+        # unreachable by replay.  Reopening heals the tail as usual.
+        path = str(tmp_path / "wal.bin")
+        wal = WriteAheadLog(path)
+        wal.append_delete(np.array([1], dtype=np.int64))
+        plan = FaultPlan([FaultSpec(site="maintenance.append",
+                                    kind="corruption", max_hits=1)], seed=0)
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                wal.append_delete(np.array([2], dtype=np.int64))
+        with pytest.raises(ValueError, match="torn"):
+            wal.append_delete(np.array([3], dtype=np.int64))
+        wal.close()
+        with WriteAheadLog(path) as healed:
+            assert healed.append_delete(np.array([3], dtype=np.int64)) == 2
+        records, info = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2]
+        assert info.torn_bytes == 0
+
+    def test_fresh_wal_attached_to_restored_index_advances_lsns(
+            self, tmp_path, points):
+        # Attaching a brand-new WAL to an index restored from a
+        # snapshot at LSN n must hand out LSNs above n — a record at
+        # LSN <= n reads as snapshot-covered and replay would silently
+        # drop the acknowledged write.
+        idx = _fitted(points)
+        with WriteAheadLog(str(tmp_path / "wal1.bin")) as wal1:
+            idx.attach_wal(wal1)
+            rng = np.random.default_rng(12)
+            idx.insert(rng.standard_normal((5, 12)))      # lsn 1
+            idx.delete(np.array([0], dtype=np.int64))     # lsn 2
+            snap = str(tmp_path / "snap.npz")
+            save_index(idx, snap)                         # wal_lsn 2
+        restored = load_index(snap)
+        wal2 = WriteAheadLog(str(tmp_path / "wal2.bin"))  # fresh log
+        restored.attach_wal(wal2)
+        restored.insert(rng.standard_normal((4, 12)))
+        wal2.close()
+        records, _ = read_wal(str(tmp_path / "wal2.bin"))
+        assert [r.lsn for r in records] == [3]
+        recovered, report = recover_index(snap, str(tmp_path / "wal2.bin"))
+        assert report.applied == 1
+        assert recovered.n_points == restored.n_points
+        _same_answers(restored, recovered, rng.standard_normal((16, 12)))
+
+    def test_replay_rejects_index_without_live_update_path(self, points):
+        from repro.lsh.forest import LSHForest
+        forest = LSHForest(n_trees=3, seed=0).fit(points)
+        record_stream = [
+            # Any record at all: the guard must fire before replay
+            # touches insert/delete.
+        ]
+        with pytest.raises(RecoveryError, match="no live-update path"):
+            replay_records(forest, record_stream, 0)
+
+
 class TestDeleteMaskRegression:
     def test_delete_after_insert_after_delete(self, points):
         # Regression: the tombstone mask must grow to the current row

@@ -531,11 +531,16 @@ class TestCrossProcessMetrics:
 # ------------------------------------------------------- SHM crash cleanup
 
 _LEAK_CHILD = r"""
-import os, sys, time
+import os, signal, sys, time
 import numpy as np
 from repro.exec import ProcessShardExecutor
 from repro.lsh.index import StandardLSH
 
+mode = sys.argv[1]
+if mode == "sigign":
+    # An embedding process that deliberately ignores SIGTERM; building
+    # an executor must not overwrite that disposition.
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
 data = np.random.default_rng(1).standard_normal((200, 8))
 index = StandardLSH(n_tables=3, bucket_width=6.0, seed=2).fit(data)
 ex = ProcessShardExecutor(index, n_workers=1)
@@ -543,9 +548,8 @@ names = [ex._shm.name]
 if ex._sink is not None:
     names.append(ex._sink.name)
 print(" ".join(names), flush=True)
-mode = sys.argv[1]
-if mode == "sigterm":
-    time.sleep(60)          # parent SIGTERMs us here; handler must unlink
+if mode in ("sigterm", "sigign"):
+    time.sleep(60)          # parent signals us here
 else:
     sys.exit(1)             # abnormal exit skipping close(); atexit unlinks
 """
@@ -595,3 +599,23 @@ class TestShmCrashCleanup:
         proc.stderr.close()
         assert proc.returncode == 1
         self._assert_unlinked(names)
+
+    def test_sig_ign_disposition_preserved(self):
+        # Regression: installing the cleanup hook must not convert a
+        # deliberate SIG_IGN into a terminating handler — an embedding
+        # process that ignores SIGTERM keeps ignoring it.
+        proc, names = self._spawn("sigign")
+        proc.terminate()
+        time.sleep(1.0)
+        assert proc.poll() is None, "SIGTERM killed a SIG_IGN process"
+        proc.kill()
+        proc.wait(timeout=15.0)
+        proc.stdout.close()
+        proc.stderr.close()
+        # SIGKILL leaks by design (nothing can catch it); reap the
+        # segments here so later tests see a clean /dev/shm.
+        for name in names:
+            try:
+                os.unlink(os.path.join("/dev/shm", name))
+            except FileNotFoundError:
+                pass
